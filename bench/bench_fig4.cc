@@ -1,0 +1,67 @@
+// Figure 4 reproduction: impact of the window size w in {10, 20, 30, 40, 50}
+// on Transition Error, Query Error and Trip Error for all six methods on the
+// T-Drive-like and Oldenburg-like datasets.
+//
+// Expected shape (paper SV-D Fig. 4): RetraSyn wins at every w; its utility
+// declines mildly as w grows (less budget/users per timestamp); LBD/LPD are
+// flat-ish in w (exponential decay is w-independent), LBA/LPA degrade more.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace retrasyn {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+
+  std::vector<int> windows{10, 20, 30, 40, 50};
+  if (flags.Has("w")) windows = {options.window};
+
+  const std::vector<MethodId> methods{MethodId::kLBD,       MethodId::kLBA,
+                                      MethodId::kLPD,       MethodId::kLPA,
+                                      MethodId::kRetraSynB, MethodId::kRetraSynP};
+
+  std::printf("=== Figure 4: impact of window size w (eps=%.1f, K=%u) ===\n",
+              options.epsilon, options.grid_k);
+  TablePrinter csv_table({"dataset", "w", "method", "transition_error",
+                          "query_error", "trip_error"});
+
+  for (DatasetKind kind :
+       {DatasetKind::kTDriveLike, DatasetKind::kOldenburgLike}) {
+    const NamedDataset dataset = Prepare(kind, options);
+    TablePrinter table(
+        {"w", "method", "TransitionError", "QueryError", "TripError"});
+    for (size_t wi = 0; wi < windows.size(); ++wi) {
+      for (size_t mi = 0; mi < methods.size(); ++mi) {
+        const RunResult result =
+            RunMethod(methods[mi], dataset, options, options.epsilon,
+                      windows[wi], AllocationKind::kAdaptive, wi * 10 + mi);
+        table.AddRow({std::to_string(windows[wi]), MethodName(methods[mi]),
+                      FormatDouble(result.metrics.transition_error),
+                      FormatDouble(result.metrics.query_error),
+                      FormatDouble(result.metrics.trip_error)});
+        csv_table.AddRow({dataset.name, std::to_string(windows[wi]),
+                          MethodName(methods[mi]),
+                          FormatDouble(result.metrics.transition_error),
+                          FormatDouble(result.metrics.query_error),
+                          FormatDouble(result.metrics.trip_error)});
+      }
+      if (wi + 1 < windows.size()) table.AddRow(TablePrinter::Separator());
+    }
+    std::printf("\n--- %s ---\n", dataset.name.c_str());
+    table.Print();
+  }
+  MaybeWriteCsv(csv_table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace retrasyn
+
+int main(int argc, char** argv) { return retrasyn::bench::Run(argc, argv); }

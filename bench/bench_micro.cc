@@ -1,0 +1,169 @@
+// Hot-path microbenchmarks (google-benchmark): the LDP perturbation and
+// estimation kernels, the DMU selection, and the synthesis step, swept over
+// domain sizes / populations so the complexity claims of paper SIV-B are
+// visible (user-side O(|S|), curator aggregation O(n + |S|), DMU O(|S|),
+// synthesis O(|T_syn|)).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/dmu.h"
+#include "core/mobility_model.h"
+#include "core/synthesizer.h"
+#include "geo/state_space.h"
+#include "ldp/aggregate.h"
+#include "ldp/frequency_oracle.h"
+#include "metrics/histogram.h"
+
+namespace retrasyn {
+namespace {
+
+void BM_OuePerturbDense(benchmark::State& state) {
+  const uint32_t domain = static_cast<uint32_t>(state.range(0));
+  OueClient client(1.0, domain);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(domain / 2, rng));
+  }
+  state.SetComplexityN(domain);
+}
+BENCHMARK(BM_OuePerturbDense)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_OuePerturbSparse(benchmark::State& state) {
+  const uint32_t domain = static_cast<uint32_t>(state.range(0));
+  OueClient client(1.0, domain);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.PerturbSparse(domain / 2, rng));
+  }
+}
+BENCHMARK(BM_OuePerturbSparse)->Range(64, 4096);
+
+void BM_OueEstimate(benchmark::State& state) {
+  const uint32_t domain = static_cast<uint32_t>(state.range(0));
+  OueAggregator agg(1.0, domain);
+  std::vector<uint64_t> ones(domain, 13);
+  agg.AddRawCounts(ones, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.EstimateFrequencies());
+  }
+}
+BENCHMARK(BM_OueEstimate)->Range(64, 4096);
+
+void BM_CollectAggregateSim(benchmark::State& state) {
+  const uint32_t domain = 1000;
+  const size_t n = static_cast<size_t>(state.range(0));
+  TransitionCollector collector(domain, CollectionMode::kAggregateSim);
+  Rng rng(3);
+  std::vector<StateId> states(n);
+  for (size_t i = 0; i < n; ++i) states[i] = i % domain;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collector.Collect(states, 1.0, rng));
+  }
+}
+BENCHMARK(BM_CollectAggregateSim)->Range(100, 100000);
+
+void BM_CollectPerUser(benchmark::State& state) {
+  const uint32_t domain = 1000;
+  const size_t n = static_cast<size_t>(state.range(0));
+  TransitionCollector collector(domain, CollectionMode::kPerUser);
+  Rng rng(4);
+  std::vector<StateId> states(n);
+  for (size_t i = 0; i < n; ++i) states[i] = i % domain;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collector.Collect(states, 1.0, rng));
+  }
+}
+BENCHMARK(BM_CollectPerUser)->Range(100, 2000);
+
+void BM_DmuSelect(benchmark::State& state) {
+  const uint32_t domain = static_cast<uint32_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> model(domain), fresh(domain);
+  for (uint32_t i = 0; i < domain; ++i) {
+    model[i] = rng.UniformDouble() * 0.01;
+    fresh[i] = model[i] + rng.Gaussian(0.0, 0.002);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectSignificantTransitions(model, fresh, 1.0, 5000));
+  }
+  state.SetComplexityN(domain);
+}
+BENCHMARK(BM_DmuSelect)->Range(64, 8192)->Complexity(benchmark::oN);
+
+void BM_SynthesizerStep(benchmark::State& state) {
+  const uint32_t population = static_cast<uint32_t>(state.range(0));
+  const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 10);
+  const StateSpace states(grid);
+  GlobalMobilityModel model(states);
+  Rng rng(6);
+  std::vector<double> f(states.size());
+  for (double& x : f) x = rng.UniformDouble() * 0.01;
+  model.ReplaceAll(f);
+  SynthesizerConfig config;
+  config.lambda = 50.0;
+  Synthesizer synthesizer(states, config);
+  synthesizer.Initialize(model, population, 0, rng);
+  int64_t t = 1;
+  for (auto _ : state) {
+    synthesizer.Step(model, population, t++, rng);
+  }
+  state.SetComplexityN(population);
+}
+BENCHMARK(BM_SynthesizerStep)->Range(1000, 64000)->Complexity(benchmark::oN);
+
+void BM_SynthesizerStepThreads(benchmark::State& state) {
+  // The paper's future-work acceleration: parallel synthesis. Sweep worker
+  // threads at a fixed large population.
+  const int threads = static_cast<int>(state.range(0));
+  const uint32_t population = 64000;
+  const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 10);
+  const StateSpace states(grid);
+  GlobalMobilityModel model(states);
+  Rng rng(9);
+  std::vector<double> f(states.size());
+  for (double& x : f) x = rng.UniformDouble() * 0.01;
+  model.ReplaceAll(f);
+  SynthesizerConfig config;
+  config.lambda = 50.0;
+  config.num_threads = threads;
+  Synthesizer synthesizer(states, config);
+  synthesizer.Initialize(model, population, 0, rng);
+  int64_t t = 1;
+  for (auto _ : state) {
+    synthesizer.Step(model, population, t++, rng);
+  }
+}
+BENCHMARK(BM_SynthesizerStepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GridLocate(benchmark::State& state) {
+  const Grid grid(BoundingBox{0.0, 0.0, 30000.0, 30000.0}, 18);
+  Rng rng(7);
+  Point p{rng.UniformDouble(0, 30000), rng.UniformDouble(0, 30000)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.Locate(p));
+    p.x += 1.0;
+    if (p.x > 30000.0) p.x = 0.0;
+  }
+}
+BENCHMARK(BM_GridLocate);
+
+void BM_Jsd(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> p(d), q(d);
+  for (size_t i = 0; i < d; ++i) {
+    p[i] = rng.UniformDouble();
+    q[i] = rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JensenShannonDivergence(p, q));
+  }
+}
+BENCHMARK(BM_Jsd)->Range(64, 4096);
+
+}  // namespace
+}  // namespace retrasyn
+
+BENCHMARK_MAIN();

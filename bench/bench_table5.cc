@@ -1,0 +1,79 @@
+// Table V reproduction: component efficiency of RetraSyn_p — mean
+// per-timestamp wall-clock seconds spent in (i) user-side computation
+// (perturbation), (ii) mobility model construction (aggregation/estimation),
+// (iii) the DMU mechanism, and (iv) real-time synthesis, per dataset.
+//
+// Expected shape (paper SV-E Table V): synthesis dominates (O(|T_syn|) work),
+// everything else is sub-millisecond; totals stay far below the inter-
+// timestamp interval, so real-time operation is comfortable.
+//
+// Pass --per_user=true to time the real per-user OUE protocol instead of the
+// distribution-exact aggregate simulation (slower; closer to the paper's
+// user-side numbers).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace retrasyn {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  const bool per_user = flags.GetBool("per_user", false);
+
+  std::printf(
+      "=== Table V: component efficiency of RetraSyn_p (eps=%.1f, w=%d, "
+      "K=%u, %s collection) ===\n",
+      options.epsilon, options.window, options.grid_k,
+      per_user ? "per-user" : "aggregate-simulated");
+
+  TablePrinter table({"procedure", "T-Drive-like", "Oldenburg-like",
+                      "SanJoaquin-like"});
+  std::vector<std::vector<double>> columns;  // [dataset][component]
+
+  for (DatasetKind kind : {DatasetKind::kTDriveLike,
+                           DatasetKind::kOldenburgLike,
+                           DatasetKind::kSanJoaquinLike}) {
+    const NamedDataset dataset = Prepare(kind, options);
+    RetraSynConfig config;
+    config.epsilon = options.epsilon;
+    config.window = options.window;
+    config.division = DivisionStrategy::kPopulation;
+    config.allocation.kind = AllocationKind::kAdaptive;
+    config.lambda = dataset.average_length;
+    config.collection_mode =
+        per_user ? CollectionMode::kPerUser : CollectionMode::kAggregateSim;
+    config.seed = options.seed + 7;
+    RetraSynEngine engine(dataset.prepared->states(), config);
+    for (int64_t t = 0; t < dataset.prepared->horizon(); ++t) {
+      engine.Observe(dataset.prepared->feeder().Batch(t));
+    }
+    const ComponentTimes& times = engine.component_times();
+    columns.push_back({times.user_side.Mean(), times.model_construction.Mean(),
+                       times.dmu.Mean(), times.synthesis.Mean(),
+                       times.TotalMeanPerTimestamp()});
+  }
+
+  const char* rows[] = {"User-side Computation", "Mobility Model Construction",
+                        "Dynamic Mobility Update", "Real-time Synthesis",
+                        "Total"};
+  for (int r = 0; r < 5; ++r) {
+    table.AddRow({rows[r], FormatDouble(columns[0][r], 6),
+                  FormatDouble(columns[1][r], 6),
+                  FormatDouble(columns[2][r], 6)});
+  }
+  std::printf("(mean seconds per timestamp)\n");
+  table.Print();
+  MaybeWriteCsv(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace retrasyn
+
+int main(int argc, char** argv) { return retrasyn::bench::Run(argc, argv); }

@@ -1,0 +1,56 @@
+// Mechanism auditing: before deploying an LDP pipeline, verify empirically
+// that the perturbation actually provides the privacy it claims (Def. 1) —
+// implementation bugs in flip probabilities or RNG usage silently weaken the
+// guarantee and are invisible in utility metrics.
+//
+// The audit perturbs two fixed neighboring inputs many times, estimates the
+// worst-case output likelihood ratio, and compares it against the analytic
+// epsilon bound. OUE and GRR are tight mechanisms, so a correct
+// implementation converges to the bound from below; exceeding it beyond
+// statistical error indicates a leak.
+//
+// Run:  ./build/examples/audit_mechanism [--trials=200000]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "ldp/audit.h"
+
+using namespace retrasyn;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t trials =
+      static_cast<uint64_t>(flags.GetInt("trials", 200000));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
+
+  std::printf("auditing frequency oracles with %llu trials per input...\n\n",
+              static_cast<unsigned long long>(trials));
+  std::printf("%-10s %-8s %-12s %-12s %-10s %s\n", "mechanism", "eps",
+              "empirical", "bound", "std.err", "verdict");
+
+  for (double eps : {0.5, 1.0, 2.0}) {
+    const LdpAuditResult oue = AuditOue(eps, 16, trials, rng);
+    std::printf("%-10s %-8.1f %-12.4f %-12.4f %-10.4f %s\n", "OUE", eps,
+                oue.empirical_log_ratio, oue.analytic_bound,
+                oue.standard_error,
+                oue.ConsistentWithBound() ? "consistent" : "LEAK?");
+    const LdpAuditResult grr = AuditGrr(eps, 16, trials, rng);
+    std::printf("%-10s %-8.1f %-12.4f %-12.4f %-10.4f %s\n", "GRR", eps,
+                grr.empirical_log_ratio, grr.analytic_bound,
+                grr.standard_error,
+                grr.ConsistentWithBound() ? "consistent" : "LEAK?");
+  }
+
+  std::printf(
+      "\ndemonstration of a detected violation: OUE run at eps=2.0 but "
+      "audited against a (false) claim of eps=0.5:\n");
+  LdpAuditResult overspend = AuditOue(2.0, 16, trials, rng);
+  overspend.analytic_bound = 0.5;
+  std::printf("  empirical %.4f vs claimed %.4f -> %s\n",
+              overspend.empirical_log_ratio, overspend.analytic_bound,
+              overspend.ConsistentWithBound() ? "consistent (BUG)"
+                                              : "violation detected");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace retrasyn {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(Trim(line.substr(start)));
+      break;
+    }
+    fields.push_back(Trim(line.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    rows.push_back(SplitCsvLine(trimmed));
+  }
+  return rows;
+}
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open CSV file for writing: " + path);
+  }
+  return CsvWriter(f);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(',', file_);
+    std::fputs(fields[i].c_str(), file_);
+  }
+  std::fputc('\n', file_);
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("failed to close CSV file");
+  return Status::OK();
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,54 @@
+// Minimal CSV reading/writing for trajectory-stream import/export and bench
+// result dumps. Handles plain comma-separated numeric/text fields (no quoting
+// dialects — the trajectory formats used here never need them).
+
+#ifndef RETRASYN_COMMON_CSV_H_
+#define RETRASYN_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace retrasyn {
+
+/// \brief Splits one CSV line on commas, trimming surrounding whitespace.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// \brief Reads an entire CSV file into rows of fields. Lines that are empty
+/// or start with '#' are skipped.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// \brief Incremental CSV writer.
+class CsvWriter {
+ public:
+  /// Opens \p path for writing, truncating any existing file.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  CsvWriter(CsvWriter&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  CsvWriter& operator=(CsvWriter&& other) noexcept {
+    if (this != &other) {
+      Close();
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  ~CsvWriter();
+
+  void WriteRow(const std::vector<std::string>& fields);
+  Status Close();
+
+ private:
+  explicit CsvWriter(FILE* f) : file_(f) {}
+  FILE* file_ = nullptr;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_COMMON_CSV_H_

@@ -1,0 +1,38 @@
+// Tiny --key=value argument parser shared by the bench and example binaries.
+// Not a general-purpose flags library: just enough to parameterize
+// experiments (--scale, --seed, --epsilon, ...) with typed accessors and
+// defaults.
+
+#ifndef RETRASYN_COMMON_FLAGS_H_
+#define RETRASYN_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace retrasyn {
+
+class Flags {
+ public:
+  /// Parses argv of the form --key=value (or --key value). Unrecognized
+  /// positional arguments are collected in positional().
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_COMMON_FLAGS_H_

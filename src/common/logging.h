@@ -1,0 +1,37 @@
+// Lightweight check macros. RETRASYN_CHECK is always on (invariants whose
+// violation means a programming bug); RETRASYN_DCHECK compiles out in release
+// builds and guards hot paths.
+
+#ifndef RETRASYN_COMMON_LOGGING_H_
+#define RETRASYN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RETRASYN_CHECK(cond)                                                    \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,   \
+                   #cond);                                                      \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (false)
+
+#define RETRASYN_CHECK_MSG(cond, msg)                                           \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,        \
+                   __LINE__, #cond, msg);                                       \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define RETRASYN_DCHECK(cond) \
+  do {                        \
+  } while (false)
+#else
+#define RETRASYN_DCHECK(cond) RETRASYN_CHECK(cond)
+#endif
+
+#endif  // RETRASYN_COMMON_LOGGING_H_

@@ -1,0 +1,111 @@
+// Status / Result<T> error handling in the Arrow/RocksDB idiom: fallible
+// operations (I/O, config validation, parsing) return a Status or Result<T>
+// instead of throwing. Hot paths never allocate a Status for the OK case.
+
+#ifndef RETRASYN_COMMON_STATUS_H_
+#define RETRASYN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace retrasyn {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK and carries no allocation; error
+/// statuses hold a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only where an
+  /// error indicates a programming bug rather than an environmental failure.
+  void CheckOK() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // nullptr == OK
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Returns the value, aborting with the error message if this holds an error.
+  T ValueOrDie() && {
+    if (!ok()) status().CheckOK();
+    return std::get<T>(std::move(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define RETRASYN_RETURN_NOT_OK(expr)                \
+  do {                                              \
+    ::retrasyn::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_COMMON_STATUS_H_

@@ -1,0 +1,94 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+const char* AllocationKindName(AllocationKind kind) {
+  switch (kind) {
+    case AllocationKind::kAdaptive:
+      return "Adaptive";
+    case AllocationKind::kUniform:
+      return "Uniform";
+    case AllocationKind::kSample:
+      return "Sample";
+    case AllocationKind::kRandom:
+      return "Random";
+  }
+  return "Unknown";
+}
+
+PortionAllocator::PortionAllocator(const AllocationConfig& config, int window,
+                                   uint32_t domain_size)
+    : config_(config), window_(window), domain_size_(domain_size) {
+  RETRASYN_CHECK(window >= 1);
+  RETRASYN_CHECK(config.kappa >= 1);
+  RETRASYN_CHECK(domain_size >= 1);
+}
+
+double PortionAllocator::Portion(int64_t t) const {
+  switch (config_.kind) {
+    case AllocationKind::kUniform:
+      return 1.0 / window_;
+    case AllocationKind::kSample:
+      return (t % window_ == 0) ? 1.0 : 0.0;
+    case AllocationKind::kRandom:
+      return 0.0;
+    case AllocationKind::kAdaptive:
+      break;
+  }
+  if (rounds_recorded_ == 0) {
+    // Initialization round (Alg. 1 line 2): 1/w of the users/budget.
+    return 1.0 / window_;
+  }
+  const double dev = ComputeDeviation();
+  const double ratio = MeanSignificantRatio();
+  const double p = (config_.alpha / window_) * (1.0 - ratio) * std::log1p(dev);
+  const double floor =
+      config_.min_portion < 0.0 ? 0.5 / window_ : config_.min_portion;
+  return std::clamp(p, std::min(floor, config_.max_portion),
+                    config_.max_portion);
+}
+
+void PortionAllocator::RecordRound(const std::vector<double>& collected_freqs,
+                                   size_t num_significant) {
+  RETRASYN_CHECK(collected_freqs.size() == domain_size_);
+  freq_history_.push_back(collected_freqs);
+  while (freq_history_.size() > static_cast<size_t>(config_.kappa) + 1) {
+    freq_history_.pop_front();
+  }
+  ratio_history_.push_back(static_cast<double>(num_significant) /
+                           static_cast<double>(domain_size_));
+  while (ratio_history_.size() > static_cast<size_t>(config_.kappa)) {
+    ratio_history_.pop_front();
+  }
+  ++rounds_recorded_;
+}
+
+double PortionAllocator::ComputeDeviation() const {
+  // Eq. 9: deviation of the latest snapshot f^{t-1} from the mean of the
+  // kappa snapshots preceding it, summed (in absolute value) over states.
+  if (freq_history_.size() < 2) return 0.0;
+  const std::vector<double>& latest = freq_history_.back();
+  const size_t prior = freq_history_.size() - 1;  // <= kappa
+  double dev = 0.0;
+  for (uint32_t s = 0; s < domain_size_; ++s) {
+    double mean = 0.0;
+    for (size_t i = 0; i < prior; ++i) mean += freq_history_[i][s];
+    mean /= static_cast<double>(prior);
+    dev += std::abs(latest[s] - mean);
+  }
+  return dev;
+}
+
+double PortionAllocator::MeanSignificantRatio() const {
+  if (ratio_history_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : ratio_history_) sum += r;
+  return sum / static_cast<double>(ratio_history_.size());
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,92 @@
+// Adaptive allocation strategy (paper SIII-E).
+//
+// Both division strategies are driven by a per-timestamp *portion* p_t:
+//  * budget division spends   eps_t = p_t * (remaining budget in window);
+//  * population division samples p_t * |active users| reporters (full eps).
+//
+// The adaptive portion (Eq. 10) combines the stream's recent deviation
+// (Eq. 9) with the recent rate of significant transitions:
+//
+//   p_t = min{ (alpha / w) * (1 - mean_kappa(|S*_i| / |S|)) * ln(Dev_t + 1),
+//              p_max }
+//
+// Dev_t is computed with absolute deviations of the model's frequency history
+// (a signed sum would telescope toward zero; see DESIGN.md interpretation
+// notes). Uniform and Sample are the data-independent strategies of SIII-E;
+// Random (population only) lets each user pick a uniform report slot within
+// their current window and is scheduled inside the engine.
+
+#ifndef RETRASYN_CORE_ALLOCATION_H_
+#define RETRASYN_CORE_ALLOCATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace retrasyn {
+
+enum class AllocationKind {
+  kAdaptive,
+  kUniform,
+  kSample,
+  kRandom,  ///< population division only: per-user random slot in the window
+};
+
+const char* AllocationKindName(AllocationKind kind);
+
+struct AllocationConfig {
+  AllocationKind kind = AllocationKind::kAdaptive;
+  double alpha = 8.0;     ///< paper experimental setting
+  int kappa = 5;          ///< number of recent timestamps considered
+  double max_portion = 0.6;
+  /// Probe floor for the adaptive portion. Eq. 10 alone can reach p = 0 on a
+  /// steady stream; since Dev is computed from the model's own history, a
+  /// zero portion would then freeze the model permanently (no collection ->
+  /// no observed change -> p stays 0). A small exploration floor keeps the
+  /// curator probing. Negative means "auto": 1 / (2w), half the uniform rate.
+  double min_portion = -1.0;
+};
+
+/// \brief Computes per-timestamp allocation portions and tracks the histories
+/// behind Eq. 9-10.
+class PortionAllocator {
+ public:
+  PortionAllocator(const AllocationConfig& config, int window,
+                   uint32_t domain_size);
+
+  /// Portion for timestamp \p t. The first collection round always uses 1/w
+  /// (Alg. 1 line 2). For kRandom this returns 0; the engine schedules users
+  /// individually.
+  double Portion(int64_t t) const;
+
+  /// Records one collection round: the freshly collected frequency estimates
+  /// (the f^k of Eq. 9 — the curator's per-timestamp view of the stream,
+  /// noise included) and the number of significant transitions DMU selected.
+  /// Call only on rounds where a collection actually happened; skipped
+  /// timestamps leave the history unchanged.
+  void RecordRound(const std::vector<double>& collected_freqs,
+                   size_t num_significant);
+
+  /// Eq. 9 deviation over the recorded history (exposed for tests).
+  double ComputeDeviation() const;
+
+  /// Mean of |S*_i| / |S| over the last kappa recorded rounds.
+  double MeanSignificantRatio() const;
+
+  const AllocationConfig& config() const { return config_; }
+
+ private:
+  AllocationConfig config_;
+  int window_;
+  uint32_t domain_size_;
+  int64_t rounds_recorded_ = 0;
+  /// Most-recent-last model snapshots; at most kappa + 1 retained.
+  std::deque<std::vector<double>> freq_history_;
+  /// Most-recent-last |S*|/|S| ratios; at most kappa retained.
+  std::deque<double> ratio_history_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CORE_ALLOCATION_H_

@@ -1,0 +1,62 @@
+#include "core/dmu.h"
+
+#include "common/logging.h"
+#include "ldp/frequency_oracle.h"
+
+namespace retrasyn {
+
+DmuDecision SelectSignificantTransitions(
+    const std::vector<double>& model_freqs,
+    const std::vector<double>& collected_freqs, double epsilon,
+    uint64_t num_reports) {
+  RETRASYN_CHECK(model_freqs.size() == collected_freqs.size());
+  DmuDecision decision;
+  decision.update_error = OueFrequencyVariance(epsilon, num_reports);
+  for (uint32_t s = 0; s < model_freqs.size(); ++s) {
+    const double bias = collected_freqs[s] - model_freqs[s];
+    const double approx_error = bias * bias;
+    if (approx_error > decision.update_error) {
+      decision.selected.push_back(s);
+      decision.objective += decision.update_error;
+    } else {
+      decision.objective += approx_error;
+    }
+  }
+  return decision;
+}
+
+DmuDecision SelectSignificantTransitionsBruteForce(
+    const std::vector<double>& model_freqs,
+    const std::vector<double>& collected_freqs, double epsilon,
+    uint64_t num_reports) {
+  RETRASYN_CHECK(model_freqs.size() == collected_freqs.size());
+  const uint32_t d = static_cast<uint32_t>(model_freqs.size());
+  RETRASYN_CHECK_MSG(d <= 20, "brute force only supports tiny domains");
+  const double var = OueFrequencyVariance(epsilon, num_reports);
+
+  DmuDecision best;
+  best.update_error = var;
+  double best_obj = -1.0;
+  for (uint64_t mask = 0; mask < (1ULL << d); ++mask) {
+    double obj = 0.0;
+    for (uint32_t s = 0; s < d; ++s) {
+      if (mask & (1ULL << s)) {
+        obj += var;
+      } else {
+        const double bias = collected_freqs[s] - model_freqs[s];
+        obj += bias * bias;
+      }
+    }
+    if (best_obj < 0.0 || obj < best_obj) {
+      best_obj = obj;
+      best.selected.clear();
+      for (uint32_t s = 0; s < d; ++s) {
+        if (mask & (1ULL << s)) best.selected.push_back(s);
+      }
+      best.objective = obj;
+    }
+  }
+  return best;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,53 @@
+// Dynamic Mobility Update mechanism (paper SIII-C).
+//
+// At each collection round the curator decides, per transition state, whether
+// to overwrite the model entry with the fresh (noisy) estimate or keep the
+// current approximation. The total introduced error (Eq. 7),
+//
+//   Err = sum_s x_s * Var_OUE(eps_t, n_t) + sum_s (1 - x_s)(f~_s - f^_s)^2,
+//
+// is separable across states, so the exact minimizer is the per-state rule
+// "select s iff the (estimated) approximation bias exceeds the perturbation
+// variance". States so selected are the paper's *significant transitions*.
+
+#ifndef RETRASYN_CORE_DMU_H_
+#define RETRASYN_CORE_DMU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/state_space.h"
+
+namespace retrasyn {
+
+struct DmuDecision {
+  /// States to update with the fresh estimates (S* in the paper).
+  std::vector<StateId> selected;
+  /// Total error of the chosen selection under the Eq. 7 objective.
+  double objective = 0.0;
+  /// Per-report variance term used for the decision.
+  double update_error = 0.0;
+};
+
+/// \brief Picks the significant transitions for one collection round.
+///
+/// \param model_freqs     current model frequencies f~ (size |S|)
+/// \param collected_freqs fresh noisy estimates f^  (size |S|)
+/// \param epsilon         per-report budget of this round
+/// \param num_reports     number of reporting users this round
+DmuDecision SelectSignificantTransitions(
+    const std::vector<double>& model_freqs,
+    const std::vector<double>& collected_freqs, double epsilon,
+    uint64_t num_reports);
+
+/// \brief Exhaustive minimizer of the Eq. 7 objective (2^|S| subsets); only
+/// feasible for tiny state spaces. Used by tests to certify that the
+/// separable rule above is the exact optimum.
+DmuDecision SelectSignificantTransitionsBruteForce(
+    const std::vector<double>& model_freqs,
+    const std::vector<double>& collected_freqs, double epsilon,
+    uint64_t num_reports);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CORE_DMU_H_

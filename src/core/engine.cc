@@ -1,0 +1,252 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/dmu.h"
+
+namespace retrasyn {
+
+// Budget-division rounds below this epsilon are skipped outright: the OUE
+// estimator's denominator p - q = 1/2 - 1/(e^eps + 1) vanishes as eps -> 0,
+// so a microscopic budget yields numerically explosive pure noise (and at
+// eps < ~1e-16, exact 0/0 NaNs). Skipping lets the window recover instead.
+constexpr double kMinRoundEpsilon = 1e-4;
+
+const char* DivisionStrategyName(DivisionStrategy division) {
+  switch (division) {
+    case DivisionStrategy::kBudget:
+      return "b";
+    case DivisionStrategy::kPopulation:
+      return "p";
+  }
+  return "?";
+}
+
+RetraSynEngine::RetraSynEngine(const StateSpace& states,
+                               const RetraSynConfig& config)
+    : states_(&states),
+      config_(config),
+      rng_(config.seed),
+      collector_(states.size(), config.collection_mode, config.oracle),
+      model_(states),
+      synthesizer_(states,
+                   SynthesizerConfig{config.lambda, config.use_eq,
+                                     config.use_eq, !config.use_eq}),
+      allocator_(config.allocation, config.window, states.size()),
+      ledger_(config.window, config.epsilon),
+      tracker_(config.window) {
+  RETRASYN_CHECK(config.epsilon > 0.0);
+  RETRASYN_CHECK(config.window >= 1);
+  RETRASYN_CHECK_MSG(
+      config.allocation.kind != AllocationKind::kRandom ||
+          config.division == DivisionStrategy::kPopulation,
+      "the Random allocation strategy is population-division only");
+}
+
+std::string RetraSynEngine::name() const {
+  std::string base = "RetraSyn";
+  if (!config_.use_dmu) base = "AllUpdate";
+  if (!config_.use_eq) base = "NoEQ";
+  base += DivisionStrategyName(config_.division);
+  base += "-";
+  base += AllocationKindName(config_.allocation.kind);
+  return base;
+}
+
+bool RetraSynEngine::ObservationEligible(const UserObservation& obs) const {
+  if (!config_.use_eq && (obs.is_enter || obs.is_quit)) return false;
+  return true;
+}
+
+std::vector<uint32_t> RetraSynEngine::PrepareEligible(
+    const TimestampBatch& batch) {
+  const int64_t t = batch.t;
+  // Register arrivals as active (Alg. 1 line 7).
+  for (const UserObservation& obs : batch.observations) {
+    if (obs.is_enter) {
+      status_[obs.user_index] = UserStatus::kActive;
+      if (config_.allocation.kind == AllocationKind::kRandom) {
+        report_slot_[obs.user_index] =
+            t + static_cast<int64_t>(rng_.UniformInt(
+                    static_cast<uint64_t>(config_.window)));
+      }
+    }
+  }
+  // Recycle users whose report is now outside the window (Alg. 1 line 9).
+  while (!reported_at_.empty() &&
+         reported_at_.front().first <= t - config_.window) {
+    for (uint32_t user : reported_at_.front().second) {
+      auto it = status_.find(user);
+      if (it != status_.end() && it->second == UserStatus::kInactive) {
+        it->second = UserStatus::kActive;
+        if (config_.allocation.kind == AllocationKind::kRandom) {
+          report_slot_[user] =
+              t + static_cast<int64_t>(rng_.UniformInt(
+                      static_cast<uint64_t>(config_.window)));
+        }
+      }
+    }
+    reported_at_.pop_front();
+  }
+  // Eligible = present in this batch, status active, and within the
+  // engine's observable state set.
+  std::vector<uint32_t> eligible;
+  eligible.reserve(batch.observations.size());
+  for (uint32_t i = 0; i < batch.observations.size(); ++i) {
+    const UserObservation& obs = batch.observations[i];
+    if (!ObservationEligible(obs)) continue;
+    auto it = status_.find(obs.user_index);
+    if (it == status_.end() || it->second != UserStatus::kActive) continue;
+    eligible.push_back(i);
+  }
+  return eligible;
+}
+
+std::vector<uint32_t> RetraSynEngine::ChooseReporters(
+    const TimestampBatch& batch, const std::vector<uint32_t>& eligible) {
+  const int64_t t = batch.t;
+  if (config_.allocation.kind == AllocationKind::kRandom) {
+    std::vector<uint32_t> chosen;
+    for (uint32_t i : eligible) {
+      auto it = report_slot_.find(batch.observations[i].user_index);
+      if (it != report_slot_.end() && it->second == t) chosen.push_back(i);
+    }
+    return chosen;
+  }
+  const double p = allocator_.Portion(t);
+  const uint32_t k = static_cast<uint32_t>(
+      std::llround(p * static_cast<double>(eligible.size())));
+  if (k == 0) return {};
+  if (k >= eligible.size()) return eligible;
+  std::vector<uint32_t> picks = rng_.SampleWithoutReplacement(
+      static_cast<uint32_t>(eligible.size()), k);
+  std::vector<uint32_t> chosen;
+  chosen.reserve(picks.size());
+  for (uint32_t p_idx : picks) chosen.push_back(eligible[p_idx]);
+  return chosen;
+}
+
+void RetraSynEngine::CommitStatuses(const TimestampBatch& batch,
+                                    const std::vector<uint32_t>& chosen) {
+  const int64_t t = batch.t;
+  std::vector<uint32_t> reported_users;
+  reported_users.reserve(chosen.size());
+  for (uint32_t i : chosen) {
+    const uint32_t user = batch.observations[i].user_index;
+    status_[user] = UserStatus::kInactive;
+    reported_users.push_back(user);
+    tracker_.RecordReport(user, t);
+  }
+  if (!reported_users.empty()) {
+    reported_at_.emplace_back(t, std::move(reported_users));
+  }
+  // Quitting users never report again (Alg. 1 line 8); this overrides the
+  // inactive mark for quitters that were chosen this round.
+  for (const UserObservation& obs : batch.observations) {
+    if (obs.is_quit) {
+      status_[obs.user_index] = UserStatus::kQuitted;
+      report_slot_.erase(obs.user_index);
+    }
+  }
+}
+
+void RetraSynEngine::Observe(const TimestampBatch& batch) {
+  const int64_t t = batch.t;
+
+  // --- Reporting set & per-report budget --------------------------------
+  std::vector<StateId> report_states;
+  double eps_round = 0.0;
+  if (config_.division == DivisionStrategy::kPopulation) {
+    const std::vector<uint32_t> eligible = PrepareEligible(batch);
+    const std::vector<uint32_t> chosen = ChooseReporters(batch, eligible);
+    report_states.reserve(chosen.size());
+    for (uint32_t i : chosen) {
+      report_states.push_back(batch.observations[i].state);
+    }
+    CommitStatuses(batch, chosen);
+    eps_round = config_.epsilon;
+    ledger_.Record(t, 0.0);  // keep the ledger clock advancing
+  } else {
+    for (const UserObservation& obs : batch.observations) {
+      if (ObservationEligible(obs)) report_states.push_back(obs.state);
+    }
+    double eps_t = 0.0;
+    if (!report_states.empty()) {
+      switch (config_.allocation.kind) {
+        case AllocationKind::kUniform:
+          eps_t = config_.epsilon / config_.window;
+          break;
+        case AllocationKind::kSample:
+          eps_t = (t % config_.window == 0) ? config_.epsilon : 0.0;
+          break;
+        case AllocationKind::kAdaptive:
+          eps_t = allocator_.Portion(t) * ledger_.RemainingAt(t);
+          break;
+        case AllocationKind::kRandom:
+          RETRASYN_CHECK_MSG(false, "unreachable: Random is population-only");
+      }
+      eps_t = std::min(eps_t, ledger_.RemainingAt(t));
+    }
+    if (!(eps_t >= kMinRoundEpsilon)) {  // also rejects NaN
+      eps_t = 0.0;
+      report_states.clear();
+    }
+    ledger_.Record(t, report_states.empty() ? 0.0 : eps_t);
+    eps_round = eps_t;
+  }
+
+  // --- LDP collection ----------------------------------------------------
+  CollectTimings timings;
+  CollectionResult result =
+      collector_.Collect(report_states, eps_round, rng_, &timings);
+  times_.user_side.Add(timings.user_side_seconds);
+  if (result.num_reports > 0) {
+    Stopwatch postprocess_watch;
+    ApplyPostprocess(config_.postprocess, result.frequencies, 1.0);
+    timings.aggregation_seconds += postprocess_watch.ElapsedSeconds();
+  }
+  times_.model_construction.Add(timings.aggregation_seconds);
+  total_reports_ += result.num_reports;
+
+  // --- Model update (DMU, SIII-C) ----------------------------------------
+  Stopwatch dmu_watch;
+  size_t num_significant = 0;
+  if (result.num_reports > 0) {
+    if (!collected_once_ || !config_.use_dmu) {
+      // Full replacement (initialization / AllUpdate): no DMU selection took
+      // place, so no significant-transition count enters the Eq. 10 history.
+      model_.ReplaceAll(result.frequencies);
+      collected_once_ = true;
+    } else {
+      const DmuDecision decision = SelectSignificantTransitions(
+          model_.frequencies(), result.frequencies, eps_round,
+          result.num_reports);
+      model_.UpdateStates(decision.selected, result.frequencies);
+      num_significant = decision.selected.size();
+    }
+  }
+  times_.dmu.Add(dmu_watch.ElapsedSeconds());
+  if (config_.allocation.kind == AllocationKind::kAdaptive &&
+      result.num_reports > 0) {
+    allocator_.RecordRound(result.frequencies, num_significant);
+  }
+
+  // --- Real-time synthesis (SIII-D) --------------------------------------
+  Stopwatch syn_watch;
+  if (model_.initialized()) {
+    if (!synthesizer_.initialized()) {
+      synthesizer_.Initialize(model_, batch.num_active, t, rng_);
+    } else {
+      synthesizer_.Step(model_, batch.num_active, t, rng_);
+    }
+  }
+  times_.synthesis.Add(syn_watch.ElapsedSeconds());
+}
+
+CellStreamSet RetraSynEngine::Finish(int64_t num_timestamps) {
+  return synthesizer_.Finish(num_timestamps);
+}
+
+}  // namespace retrasyn

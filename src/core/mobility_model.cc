@@ -1,0 +1,91 @@
+#include "core/mobility_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+GlobalMobilityModel::GlobalMobilityModel(const StateSpace& states)
+    : states_(&states), freq_(states.size(), 0.0) {}
+
+void GlobalMobilityModel::ReplaceAll(const std::vector<double>& frequencies) {
+  RETRASYN_CHECK(frequencies.size() == freq_.size());
+  for (uint32_t i = 0; i < freq_.size(); ++i) {
+    freq_[i] = std::max(0.0, frequencies[i]);
+  }
+  initialized_ = true;
+}
+
+void GlobalMobilityModel::UpdateStates(const std::vector<StateId>& selected,
+                                       const std::vector<double>& frequencies) {
+  RETRASYN_CHECK(frequencies.size() == freq_.size());
+  for (StateId s : selected) {
+    RETRASYN_DCHECK(s < freq_.size());
+    freq_[s] = std::max(0.0, frequencies[s]);
+  }
+  initialized_ = true;
+}
+
+std::vector<double> GlobalMobilityModel::MoveAndQuitDistribution(
+    CellId from) const {
+  const Grid& grid = states_->grid();
+  const auto& nbrs = grid.Neighbors(from);
+  std::vector<double> dist(nbrs.size() + 1, 0.0);
+  double total = 0.0;
+  const StateId offset = states_->MoveOffset(from);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    const double f = std::max(0.0, freq_[offset + i]);
+    dist[i] = f;
+    total += f;
+  }
+  const double quit = std::max(0.0, freq_[states_->QuitIndex(from)]);
+  dist[nbrs.size()] = quit;
+  total += quit;
+  if (total <= 0.0) return dist;  // all zeros: caller decides the fallback
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+double GlobalMobilityModel::QuitProbability(CellId from) const {
+  const auto& nbrs = states_->grid().Neighbors(from);
+  double total = 0.0;
+  const StateId offset = states_->MoveOffset(from);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    total += std::max(0.0, freq_[offset + i]);
+  }
+  const double quit = std::max(0.0, freq_[states_->QuitIndex(from)]);
+  total += quit;
+  if (total <= 0.0) return 0.0;
+  return quit / total;
+}
+
+std::vector<double> GlobalMobilityModel::EnterDistribution() const {
+  const uint32_t num_cells = states_->num_cells();
+  std::vector<double> dist(num_cells, 0.0);
+  double total = 0.0;
+  for (CellId c = 0; c < num_cells; ++c) {
+    const double f = std::max(0.0, freq_[states_->EnterIndex(c)]);
+    dist[c] = f;
+    total += f;
+  }
+  if (total <= 0.0) return dist;
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+std::vector<double> GlobalMobilityModel::QuitDistribution() const {
+  const uint32_t num_cells = states_->num_cells();
+  std::vector<double> dist(num_cells, 0.0);
+  double total = 0.0;
+  for (CellId c = 0; c < num_cells; ++c) {
+    const double f = std::max(0.0, freq_[states_->QuitIndex(c)]);
+    dist[c] = f;
+    total += f;
+  }
+  if (total <= 0.0) return dist;
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+}  // namespace retrasyn

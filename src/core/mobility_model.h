@@ -1,0 +1,72 @@
+// Global mobility model (paper SIII-B, Eq. 6).
+//
+// The model stores one estimated frequency per transition state: the fraction
+// of the reporting population currently in that state. Frequencies — not
+// conditional probabilities — are the stored quantity because the DMU
+// mechanism (Eq. 7) compares stored and freshly-collected frequencies
+// directly. The three distributions of Eq. 6 are derived views:
+//
+//   Pr(m_ij)      = f_ij / (sum_{x in N(i)} f_ix + f_iQ)
+//   Pr(quit | i)  = f_iQ / (sum_{x in N(i)} f_ix + f_iQ)
+//   Pr(e_i)       = f_Ei / sum_x f_Ex
+//   Pr(q_j)       = f_jQ / sum_x f_xQ
+//
+// The f_iQ term in the movement denominator is the paper's authenticity
+// modification: a synthetic trajectory standing at cell i can terminate with
+// the probability real users quit there.
+
+#ifndef RETRASYN_CORE_MOBILITY_MODEL_H_
+#define RETRASYN_CORE_MOBILITY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/state_space.h"
+
+namespace retrasyn {
+
+class GlobalMobilityModel {
+ public:
+  explicit GlobalMobilityModel(const StateSpace& states);
+
+  const StateSpace& states() const { return *states_; }
+
+  /// Replaces every state's frequency (used at initialization and by the
+  /// AllUpdate ablation). Negative estimates are clamped to zero.
+  void ReplaceAll(const std::vector<double>& frequencies);
+
+  /// Selectively updates the given states with the corresponding entries of
+  /// \p frequencies, leaving all other states unchanged (the DMU update).
+  void UpdateStates(const std::vector<StateId>& selected,
+                    const std::vector<double>& frequencies);
+
+  double frequency(StateId s) const { return freq_[s]; }
+  const std::vector<double>& frequencies() const { return freq_; }
+  bool initialized() const { return initialized_; }
+
+  /// Movement distribution out of cell \p from: probabilities parallel to
+  /// grid.Neighbors(from), plus the quit probability as the final element
+  /// (Eq. 6 with the f_iQ denominator term, so the vector sums to 1 when any
+  /// mass exists). Returns all-zeros when the cell has no observed mass.
+  std::vector<double> MoveAndQuitDistribution(CellId from) const;
+
+  /// Quit probability at cell \p from: f_iQ / (sum_neighbors + f_iQ).
+  double QuitProbability(CellId from) const;
+
+  /// Entering distribution over all cells (Pr(e_i)); all-zeros when the model
+  /// has no entering mass.
+  std::vector<double> EnterDistribution() const;
+
+  /// Quitting distribution over all cells (Pr(q_j)); all-zeros when the model
+  /// has no quitting mass.
+  std::vector<double> QuitDistribution() const;
+
+ private:
+  const StateSpace* states_;
+  std::vector<double> freq_;
+  bool initialized_ = false;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CORE_MOBILITY_MODEL_H_

@@ -1,0 +1,78 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace retrasyn {
+
+namespace {
+constexpr char kMagic[] = "retrasyn-mobility-model";
+constexpr int kVersion = 1;
+}  // namespace
+
+Status SaveMobilityModel(const GlobalMobilityModel& model,
+                         const std::string& path) {
+  if (!model.initialized()) {
+    return Status::FailedPrecondition("model has never been updated");
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open model file for writing: " + path);
+  }
+  const StateSpace& states = model.states();
+  std::fprintf(f, "%s %d %u %u\n", kMagic, kVersion, states.grid().k(),
+               states.size());
+  for (StateId s = 0; s < states.size(); ++s) {
+    std::fprintf(f, "%.17g\n", model.frequency(s));
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("failed to close model file: " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadMobilityModel(const std::string& path, GlobalMobilityModel* model) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open model file: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("empty model file: " + path);
+  }
+  std::istringstream header_stream(header);
+  std::string magic;
+  int version = 0;
+  uint32_t k = 0, domain = 0;
+  header_stream >> magic >> version >> k >> domain;
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a mobility model file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported model version " +
+                                   std::to_string(version));
+  }
+  const StateSpace& states = model->states();
+  if (k != states.grid().k() || domain != states.size()) {
+    return Status::FailedPrecondition(
+        "model geometry mismatch: file has K=" + std::to_string(k) + ", |S|=" +
+        std::to_string(domain) + "; target has K=" +
+        std::to_string(states.grid().k()) + ", |S|=" +
+        std::to_string(states.size()));
+  }
+  std::vector<double> frequencies;
+  frequencies.reserve(domain);
+  double value;
+  while (in >> value) frequencies.push_back(value);
+  if (frequencies.size() != domain) {
+    return Status::InvalidArgument(
+        "model file truncated: expected " + std::to_string(domain) +
+        " frequencies, found " + std::to_string(frequencies.size()));
+  }
+  model->ReplaceAll(frequencies);
+  return Status::OK();
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,29 @@
+// Mobility-model persistence: lets a curator checkpoint the learned global
+// mobility model and restore it after a restart without re-spending any
+// privacy budget (the stored values are post-processed LDP outputs, Thm. 2).
+//
+// Format: a small versioned text header binding the model to its grid
+// geometry, followed by one frequency per line. Loading validates the
+// geometry so a model cannot silently be applied to a mismatched grid.
+
+#ifndef RETRASYN_CORE_MODEL_IO_H_
+#define RETRASYN_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/mobility_model.h"
+
+namespace retrasyn {
+
+/// \brief Writes the model's frequency vector with a geometry-binding header.
+Status SaveMobilityModel(const GlobalMobilityModel& model,
+                         const std::string& path);
+
+/// \brief Restores a model saved by SaveMobilityModel into \p model, which
+/// must be built over a grid with the same K and state-space size.
+Status LoadMobilityModel(const std::string& path, GlobalMobilityModel* model);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CORE_MODEL_IO_H_

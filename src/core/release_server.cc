@@ -1,0 +1,71 @@
+#include "core/release_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "metrics/histogram.h"
+
+namespace retrasyn {
+
+ReleaseServer::ReleaseServer(const Grid& grid) : grid_(&grid) {}
+
+void ReleaseServer::Ingest(const RetraSynEngine& engine) {
+  std::vector<uint32_t> density;
+  if (engine.synthesizer().initialized()) {
+    density = engine.synthesizer().LiveDensity();
+  } else {
+    density.assign(grid_->NumCells(), 0);
+  }
+  uint64_t total = 0;
+  for (uint32_t c : density) total += c;
+  active_.push_back(total);
+  density_.push_back(std::move(density));
+}
+
+const std::vector<uint32_t>& ReleaseServer::DensityAt(int64_t t) const {
+  RETRASYN_CHECK(t >= 0 && t < horizon());
+  return density_[t];
+}
+
+uint64_t ReleaseServer::ActiveAt(int64_t t) const {
+  RETRASYN_CHECK(t >= 0 && t < horizon());
+  return active_[t];
+}
+
+uint64_t ReleaseServer::RangeCount(const RangeQuery& query) const {
+  const int64_t lo = std::max<int64_t>(0, query.t_start);
+  const int64_t hi = std::min<int64_t>(horizon(), query.t_end);
+  uint64_t total = 0;
+  for (int64_t t = lo; t < hi; ++t) {
+    const auto& cells = density_[t];
+    for (uint32_t r = query.row_lo; r <= query.row_hi; ++r) {
+      for (uint32_t c = query.col_lo; c <= query.col_hi; ++c) {
+        total += cells[grid_->Cell(r, c)];
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<CellId> ReleaseServer::TopHotspots(int64_t t_start, int64_t t_end,
+                                               int k) const {
+  std::vector<double> aggregate(grid_->NumCells(), 0.0);
+  const int64_t lo = std::max<int64_t>(0, t_start);
+  const int64_t hi = std::min<int64_t>(horizon(), t_end);
+  for (int64_t t = lo; t < hi; ++t) {
+    const auto& cells = density_[t];
+    for (CellId c = 0; c < grid_->NumCells(); ++c) aggregate[c] += cells[c];
+  }
+  return TopKIndices(aggregate, k);
+}
+
+double ReleaseServer::TrailingMeanActive(int window) const {
+  RETRASYN_CHECK(window >= 1);
+  if (active_.empty()) return 0.0;
+  const int64_t lo = std::max<int64_t>(0, horizon() - window);
+  double sum = 0.0;
+  for (int64_t t = lo; t < horizon(); ++t) sum += active_[t];
+  return sum / static_cast<double>(horizon() - lo);
+}
+
+}  // namespace retrasyn

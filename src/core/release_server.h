@@ -1,0 +1,62 @@
+// Real-time downstream analytics over the private release (paper SI: traffic
+// monitoring, congestion prediction, emergency response).
+//
+// The server ingests the engine's live synthetic view once per timestamp and
+// serves location-based queries over any time window seen so far — without
+// ever touching raw user data and without consuming additional privacy
+// budget (post-processing, Thm. 2). It is the online counterpart of the
+// post-hoc DensityIndex: a consistency test certifies that its answers equal
+// the post-hoc answers computed from the finished release.
+
+#ifndef RETRASYN_CORE_RELEASE_SERVER_H_
+#define RETRASYN_CORE_RELEASE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "geo/grid.h"
+#include "metrics/queries.h"
+
+namespace retrasyn {
+
+class ReleaseServer {
+ public:
+  explicit ReleaseServer(const Grid& grid);
+
+  /// Records the engine's current live density; call once per timestamp,
+  /// right after engine.Observe(). Timestamps are implicit and sequential
+  /// from 0.
+  void Ingest(const RetraSynEngine& engine);
+
+  /// Number of ingested timestamps.
+  int64_t horizon() const { return static_cast<int64_t>(density_.size()); }
+
+  /// Released per-cell density at timestamp \p t (zeros before the engine's
+  /// first synthesis round).
+  const std::vector<uint32_t>& DensityAt(int64_t t) const;
+
+  /// Released active population at \p t.
+  uint64_t ActiveAt(int64_t t) const;
+
+  /// Points inside a spatio-temporal range query (clamped to the ingested
+  /// horizon).
+  uint64_t RangeCount(const RangeQuery& query) const;
+
+  /// The k busiest cells over [t_start, t_end), busiest first.
+  std::vector<CellId> TopHotspots(int64_t t_start, int64_t t_end,
+                                  int k) const;
+
+  /// Mean released population over the trailing \p window timestamps ending
+  /// at the latest ingested timestamp; a simple congestion baseline.
+  double TrailingMeanActive(int window) const;
+
+ private:
+  const Grid* grid_;
+  std::vector<std::vector<uint32_t>> density_;  ///< [t][cell]
+  std::vector<uint64_t> active_;                ///< per-timestamp totals
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CORE_RELEASE_SERVER_H_

@@ -1,0 +1,222 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+Synthesizer::Synthesizer(const StateSpace& states,
+                         const SynthesizerConfig& config)
+    : states_(&states), config_(config) {
+  RETRASYN_CHECK(config.lambda > 0.0);
+}
+
+std::vector<uint32_t> Synthesizer::LiveDensity() const {
+  std::vector<uint32_t> counts(states_->num_cells(), 0);
+  for (const CellStream& s : live_) ++counts[s.cells.back()];
+  return counts;
+}
+
+CellId Synthesizer::SampleStartCell(const GlobalMobilityModel& model,
+                                    Rng& rng) const {
+  const uint32_t num_cells = states_->num_cells();
+  if (!config_.random_init) {
+    const std::vector<double> enter = model.EnterDistribution();
+    const size_t cell = rng.Discrete(enter);
+    if (cell < enter.size()) return static_cast<CellId>(cell);
+  } else {
+    // No entering distribution available (NoEQ / baselines): approximate the
+    // population's spatial distribution by the movement-source marginal.
+    std::vector<double> marginal(num_cells, 0.0);
+    for (CellId c = 0; c < num_cells; ++c) {
+      const StateId offset = states_->MoveOffset(c);
+      const size_t degree = states_->grid().Neighbors(c).size();
+      for (size_t i = 0; i < degree; ++i) {
+        marginal[c] += std::max(0.0, model.frequency(offset + i));
+      }
+    }
+    const size_t cell = rng.Discrete(marginal);
+    if (cell < marginal.size()) return static_cast<CellId>(cell);
+  }
+  return static_cast<CellId>(rng.UniformInt(static_cast<uint64_t>(num_cells)));
+}
+
+CellId Synthesizer::SampleNextCell(const GlobalMobilityModel& model,
+                                   CellId from, Rng& rng) const {
+  const auto& nbrs = states_->grid().Neighbors(from);
+  std::vector<double> weights(nbrs.size());
+  const StateId offset = states_->MoveOffset(from);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    weights[i] = std::max(0.0, model.frequency(offset + static_cast<StateId>(i)));
+  }
+  const size_t pick = rng.Discrete(weights);
+  if (pick >= nbrs.size()) return from;  // no observed mass: dwell in place
+  return nbrs[pick];
+}
+
+void Synthesizer::Spawn(const GlobalMobilityModel& model, uint32_t count,
+                        int64_t t, Rng& rng) {
+  for (uint32_t i = 0; i < count; ++i) {
+    CellStream stream;
+    stream.enter_time = t;
+    stream.cells.push_back(SampleStartCell(model, rng));
+    ++total_points_;
+    live_.push_back(std::move(stream));
+  }
+}
+
+void Synthesizer::Initialize(const GlobalMobilityModel& model,
+                             uint32_t target_size, int64_t t, Rng& rng) {
+  RETRASYN_CHECK(!initialized_);
+  Spawn(model, target_size, t, rng);
+  initialized_ = true;
+}
+
+int Synthesizer::EffectiveThreads(size_t work_items) const {
+  if (config_.num_threads <= 1) return 1;
+  // Below this size, thread startup dominates any gain.
+  constexpr size_t kMinItemsPerThread = 2048;
+  const int by_work =
+      static_cast<int>(std::max<size_t>(1, work_items / kMinItemsPerThread));
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min({config_.num_threads, by_work, hw});
+}
+
+void Synthesizer::QuitPhase(const GlobalMobilityModel& model, Rng& rng) {
+  auto quits = [&](const CellStream& stream, Rng& r) {
+    const CellId at = stream.cells.back();
+    const double base = model.QuitProbability(at);
+    const double len = static_cast<double>(stream.cells.size());
+    return r.Bernoulli(std::min(1.0, len / config_.lambda * base));
+  };
+  const int threads = EffectiveThreads(live_.size());
+  std::vector<char> quit_flags(live_.size(), 0);
+  if (threads == 1) {
+    for (size_t i = 0; i < live_.size(); ++i) {
+      quit_flags[i] = quits(live_[i], rng) ? 1 : 0;
+    }
+  } else {
+    const size_t chunk = (live_.size() + threads - 1) / threads;
+    std::vector<Rng> chunk_rngs;
+    for (int c = 0; c < threads; ++c) chunk_rngs.push_back(rng.Fork());
+    std::vector<std::thread> workers;
+    for (int c = 0; c < threads; ++c) {
+      workers.emplace_back([&, c]() {
+        const size_t lo = c * chunk;
+        const size_t hi = std::min(live_.size(), lo + chunk);
+        for (size_t i = lo; i < hi; ++i) {
+          quit_flags[i] = quits(live_[i], chunk_rngs[c]) ? 1 : 0;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  std::vector<CellStream> survivors;
+  survivors.reserve(live_.size());
+  for (size_t i = 0; i < live_.size(); ++i) {
+    if (quit_flags[i]) {
+      finished_.push_back(std::move(live_[i]));
+    } else {
+      survivors.push_back(std::move(live_[i]));
+    }
+  }
+  live_ = std::move(survivors);
+}
+
+void Synthesizer::GeneratePhase(const GlobalMobilityModel& model, Rng& rng) {
+  const int threads = EffectiveThreads(live_.size());
+  if (threads == 1) {
+    for (CellStream& stream : live_) {
+      stream.cells.push_back(SampleNextCell(model, stream.cells.back(), rng));
+      ++total_points_;
+    }
+    return;
+  }
+  const size_t chunk = (live_.size() + threads - 1) / threads;
+  std::vector<Rng> chunk_rngs;
+  for (int c = 0; c < threads; ++c) chunk_rngs.push_back(rng.Fork());
+  std::vector<std::thread> workers;
+  for (int c = 0; c < threads; ++c) {
+    workers.emplace_back([&, c]() {
+      const size_t lo = c * chunk;
+      const size_t hi = std::min(live_.size(), lo + chunk);
+      for (size_t i = lo; i < hi; ++i) {
+        live_[i].cells.push_back(
+            SampleNextCell(model, live_[i].cells.back(), chunk_rngs[c]));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  total_points_ += live_.size();
+}
+
+void Synthesizer::Step(const GlobalMobilityModel& model,
+                       uint32_t target_active, int64_t t, Rng& rng) {
+  RETRASYN_CHECK(initialized_);
+  // 1. Quit phase (Eq. 8).
+  if (config_.use_quit) {
+    QuitPhase(model, rng);
+  }
+
+  // 2. Size adjustment: terminate surplus streams by the quitting
+  //    distribution at their last location; spawns are deferred until after
+  //    point generation so new streams begin at timestamp t.
+  uint32_t deficit = 0;
+  if (config_.use_size_adjustment) {
+    if (live_.size() > target_active) {
+      const std::vector<double> quit_dist = model.QuitDistribution();
+      uint32_t surplus = static_cast<uint32_t>(live_.size()) - target_active;
+      // Weighted sampling without replacement: weights are computed once and
+      // zeroed as victims are drawn; uniform fallback when no mass remains.
+      std::vector<double> weights(live_.size());
+      for (size_t i = 0; i < live_.size(); ++i) {
+        weights[i] =
+            quit_dist.empty() ? 0.0 : quit_dist[live_[i].cells.back()];
+      }
+      std::vector<size_t> victims;
+      victims.reserve(surplus);
+      for (uint32_t k = 0; k < surplus; ++k) {
+        size_t victim = rng.Discrete(weights);
+        if (victim >= weights.size()) {
+          // No mass left: pick uniformly among not-yet-chosen streams.
+          do {
+            victim = static_cast<size_t>(
+                rng.UniformInt(static_cast<uint64_t>(live_.size())));
+          } while (weights[victim] < 0.0);
+        }
+        weights[victim] = -1.0;  // mark as chosen
+        victims.push_back(victim);
+      }
+      // Remove in descending index order so swap-erase stays valid.
+      std::sort(victims.rbegin(), victims.rend());
+      for (size_t victim : victims) {
+        finished_.push_back(std::move(live_[victim]));
+        live_[victim] = std::move(live_.back());
+        live_.pop_back();
+      }
+    } else if (live_.size() < target_active) {
+      deficit = target_active - static_cast<uint32_t>(live_.size());
+    }
+  }
+
+  // 3. New point generation for survivors (Markov step).
+  GeneratePhase(model, rng);
+
+  // 4. Fill the deficit with fresh entering streams at timestamp t.
+  if (deficit > 0) Spawn(model, deficit, t, rng);
+}
+
+CellStreamSet Synthesizer::Finish(int64_t num_timestamps) {
+  CellStreamSet out(num_timestamps);
+  for (CellStream& s : finished_) out.Add(std::move(s));
+  for (CellStream& s : live_) out.Add(std::move(s));
+  finished_.clear();
+  live_.clear();
+  initialized_ = false;
+  total_points_ = 0;
+  return out;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,119 @@
+// Real-time trajectory synthesis (paper SIII-D).
+//
+// The synthesizer maintains the evolving synthetic database T_syn. Each
+// timestamp performs, in order:
+//
+//  1. Quit phase: every live synthetic stream terminates with the
+//     length-reweighted probability of Eq. 8,
+//       Pr(quit | c_i) = (len / lambda) * f_iQ / (sum_{x in N(i)} f_ix + f_iQ),
+//     so streams do not end prematurely under a pure first-order model.
+//  2. Size adjustment (paper "Size Adjustment"): surplus streams are
+//     terminated with probability proportional to the quitting distribution
+//     Q at their last cell; deficits are filled by spawning streams whose
+//     start cell is drawn from the entering distribution E.
+//  3. New point generation: each surviving stream appends a next cell from
+//     the Markov movement distribution of its current cell; fresh spawns
+//     start at their sampled entering cell.
+//
+// Doing the size adjustment *before* appending points keeps the number of
+// synthetic streams holding a location at timestamp t exactly equal to the
+// number of real active users at t, which several downstream metrics
+// (density, query counts) rely on.
+//
+// The ablation/baseline switches: use_quit=false + use_size_adjustment=false
+// + random_init=true reproduce the NoEQ variant of SV-D and the behaviour of
+// the adapted LDP-IDS baselines (streams never terminate and the population
+// is frozen at its initial size).
+
+#ifndef RETRASYN_CORE_SYNTHESIZER_H_
+#define RETRASYN_CORE_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mobility_model.h"
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+
+struct SynthesizerConfig {
+  /// Stream-length reweighting factor lambda of Eq. 8; the paper sets it to
+  /// the dataset's average trajectory length.
+  double lambda = 13.61;
+  bool use_quit = true;
+  bool use_size_adjustment = true;
+  /// NoEQ / baselines: no entering distribution is learned, so start cells
+  /// are drawn from the model's movement-source marginal (the private
+  /// estimate of where users currently are), falling back to uniform cells
+  /// when the model carries no movement mass yet.
+  bool random_init = false;
+  /// Worker threads for the quit and point-generation phases (the paper's
+  /// stated future work: "acceleration techniques (e.g., parallel
+  /// computing)"). Streams are partitioned into fixed chunks, each driven by
+  /// a deterministically forked RNG, so results are reproducible for a given
+  /// thread count (though they differ from the single-threaded stream).
+  /// 1 = serial (default); values above the hardware concurrency are
+  /// clamped.
+  int num_threads = 1;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const StateSpace& states, const SynthesizerConfig& config);
+
+  bool initialized() const { return initialized_; }
+  uint32_t num_live() const { return static_cast<uint32_t>(live_.size()); }
+  uint64_t total_points() const { return total_points_; }
+
+  /// The currently-live synthetic streams (the evolving T_syn); real-time
+  /// consumers can query this between timestamps without finishing the run.
+  const std::vector<CellStream>& live_streams() const { return live_; }
+
+  /// Per-cell counts of the live streams' current locations — the real-time
+  /// synthetic density snapshot.
+  std::vector<uint32_t> LiveDensity() const;
+
+  /// Creates the initial synthetic population of \p target_size streams at
+  /// timestamp \p t, sampling start cells from the model's entering
+  /// distribution (uniform under random_init or when E carries no mass).
+  void Initialize(const GlobalMobilityModel& model, uint32_t target_size,
+                  int64_t t, Rng& rng);
+
+  /// Advances the database to timestamp \p t (quit, size-adjust, generate).
+  /// With size adjustment enabled the live count after this call equals
+  /// \p target_active.
+  void Step(const GlobalMobilityModel& model, uint32_t target_active,
+            int64_t t, Rng& rng);
+
+  /// Closes every live stream and returns the full synthetic database over
+  /// horizon \p num_timestamps. The synthesizer is empty afterwards.
+  CellStreamSet Finish(int64_t num_timestamps);
+
+ private:
+  void Spawn(const GlobalMobilityModel& model, uint32_t count, int64_t t,
+             Rng& rng);
+  /// Eq. 8 termination sampling over all live streams; moves quitters to
+  /// finished_. Parallelized across stream chunks when configured.
+  void QuitPhase(const GlobalMobilityModel& model, Rng& rng);
+  /// Appends one sampled cell to every live stream. Parallelized across
+  /// stream chunks when configured.
+  void GeneratePhase(const GlobalMobilityModel& model, Rng& rng);
+  int EffectiveThreads(size_t work_items) const;
+  CellId SampleStartCell(const GlobalMobilityModel& model, Rng& rng) const;
+  /// Samples the next cell out of \p from via the model's movement
+  /// distribution; stays in place when the cell has no observed mass.
+  CellId SampleNextCell(const GlobalMobilityModel& model, CellId from,
+                        Rng& rng) const;
+
+  const StateSpace* states_;
+  SynthesizerConfig config_;
+  std::vector<CellStream> live_;
+  std::vector<CellStream> finished_;
+  uint64_t total_points_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CORE_SYNTHESIZER_H_

@@ -1,0 +1,86 @@
+#include "eval/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stream/hotspot_generator.h"
+#include "stream/network_generator.h"
+#include "stream/random_walk_generator.h"
+
+namespace retrasyn {
+
+namespace {
+
+uint32_t Scaled(uint32_t base, double scale) {
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::llround(base * scale)));
+}
+
+}  // namespace
+
+DatasetSpec TDriveLike(double scale, uint64_t seed) {
+  return DatasetSpec{"T-Drive-like", DatasetKind::kTDriveLike, scale, seed};
+}
+DatasetSpec OldenburgLike(double scale, uint64_t seed) {
+  return DatasetSpec{"Oldenburg-like", DatasetKind::kOldenburgLike, scale,
+                     seed};
+}
+DatasetSpec SanJoaquinLike(double scale, uint64_t seed) {
+  return DatasetSpec{"SanJoaquin-like", DatasetKind::kSanJoaquinLike, scale,
+                     seed};
+}
+DatasetSpec RandomWalkSmall(double scale, uint64_t seed) {
+  return DatasetSpec{"RandomWalk", DatasetKind::kRandomWalk, scale, seed};
+}
+
+StreamDatabase MakeDataset(const DatasetSpec& spec) {
+  Rng rng(spec.seed);
+  switch (spec.kind) {
+    case DatasetKind::kTDriveLike: {
+      HotspotGeneratorConfig config;
+      config.num_timestamps = 886;
+      config.initial_users = Scaled(3600, spec.scale);
+      config.mean_arrivals = std::max(1.0, 260.0 * spec.scale);
+      return GenerateHotspotStreams(config, rng);
+    }
+    case DatasetKind::kOldenburgLike: {
+      NetworkGeneratorConfig config;
+      config.num_timestamps = 500;
+      config.initial_objects = Scaled(10000, spec.scale);
+      config.arrivals_per_timestamp = Scaled(500, spec.scale);
+      config.quit_probability = 0.02;
+      config.network.grid_dim = 16;
+      return GenerateNetworkStreams(config, rng);
+    }
+    case DatasetKind::kSanJoaquinLike: {
+      NetworkGeneratorConfig config;
+      config.num_timestamps = 1000;
+      config.initial_objects = Scaled(10000, spec.scale);
+      config.arrivals_per_timestamp = Scaled(1000, spec.scale);
+      config.quit_probability = 0.018;
+      config.network.grid_dim = 20;
+      config.network.box = BoundingBox{0.0, 0.0, 14000.0, 14000.0};
+      return GenerateNetworkStreams(config, rng);
+    }
+    case DatasetKind::kRandomWalk: {
+      RandomWalkConfig config;
+      config.initial_users = Scaled(200, spec.scale);
+      config.mean_arrivals = std::max(1.0, 10.0 * spec.scale);
+      return GenerateRandomWalkStreams(config, rng);
+    }
+  }
+  RandomWalkConfig fallback;
+  return GenerateRandomWalkStreams(fallback, rng);
+}
+
+Result<DatasetSpec> DatasetByName(const std::string& name, double scale,
+                                  uint64_t seed) {
+  if (name == "tdrive") return TDriveLike(scale, seed);
+  if (name == "oldenburg") return OldenburgLike(scale, seed);
+  if (name == "sanjoaquin") return SanJoaquinLike(scale, seed);
+  if (name == "randomwalk") return RandomWalkSmall(scale, seed);
+  return Status::NotFound("unknown dataset: " + name +
+                          " (expected tdrive|oldenburg|sanjoaquin|randomwalk)");
+}
+
+}  // namespace retrasyn

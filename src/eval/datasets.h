@@ -1,0 +1,52 @@
+// Dataset registry for the evaluation suite. Each entry mirrors one of the
+// paper's three datasets (SV-A Table I) via the corresponding generator
+// substitute, with a `scale` knob multiplying the population so experiments
+// run at laptop scale by default and at paper scale with --scale=1:
+//
+//   T-Drive-like     886 ts, 10-min granularity; at scale 1 about 233k
+//                    streams / 3.2M points / avg length 13.6 (Table I).
+//   Oldenburg-like   500 ts; 10k initial + 500/ts arrivals at scale 1
+//                    (260k streams / ~14M points, Table I).
+//   SanJoaquin-like  1000 ts; 10k initial + 1000/ts arrivals at scale 1
+//                    (1.01M streams / ~55M points, Table I).
+
+#ifndef RETRASYN_EVAL_DATASETS_H_
+#define RETRASYN_EVAL_DATASETS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/stream_database.h"
+
+namespace retrasyn {
+
+enum class DatasetKind {
+  kTDriveLike,
+  kOldenburgLike,
+  kSanJoaquinLike,
+  kRandomWalk,  ///< small structure-free set for tests/examples
+};
+
+struct DatasetSpec {
+  std::string name;
+  DatasetKind kind = DatasetKind::kTDriveLike;
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+DatasetSpec TDriveLike(double scale, uint64_t seed = 42);
+DatasetSpec OldenburgLike(double scale, uint64_t seed = 43);
+DatasetSpec SanJoaquinLike(double scale, uint64_t seed = 44);
+DatasetSpec RandomWalkSmall(double scale, uint64_t seed = 45);
+
+/// \brief Generates the dataset described by \p spec.
+StreamDatabase MakeDataset(const DatasetSpec& spec);
+
+/// \brief Looks a dataset up by name ("tdrive", "oldenburg", "sanjoaquin",
+/// "randomwalk").
+Result<DatasetSpec> DatasetByName(const std::string& name, double scale,
+                                  uint64_t seed);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_EVAL_DATASETS_H_

@@ -1,0 +1,67 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/csv.h"
+
+namespace retrasyn {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(FILE* out) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0].rfind("--", 0) == 0) continue;
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      std::fprintf(out, "%-*s", static_cast<int>(widths[c] + 2), cell.c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_line(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string rule(total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0].rfind("--", 0) == 0) {
+      std::fprintf(out, "%s\n", rule.c_str());
+    } else {
+      print_line(row);
+    }
+  }
+}
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  auto writer_result = CsvWriter::Open(path);
+  if (!writer_result.ok()) return false;
+  CsvWriter writer = std::move(writer_result).value();
+  writer.WriteRow(headers_);
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0].rfind("--", 0) == 0) continue;
+    writer.WriteRow(row);
+  }
+  return writer.Close().ok();
+}
+
+}  // namespace retrasyn

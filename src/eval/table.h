@@ -1,0 +1,35 @@
+// Aligned-table printing for the bench binaries, so each reproduces the
+// paper's rows/series in a readable terminal format (plus optional CSV dump).
+
+#ifndef RETRASYN_EVAL_TABLE_H_
+#define RETRASYN_EVAL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace retrasyn {
+
+std::string FormatDouble(double value, int precision = 4);
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+  /// Prints the table with column alignment. A row whose first cell starts
+  /// with "--" is rendered as a separator line.
+  void Print(FILE* out = stdout) const;
+  /// Writes the table as CSV (no alignment padding, separators skipped).
+  bool WriteCsv(const std::string& path) const;
+
+  static std::vector<std::string> Separator() { return {"--"}; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_EVAL_TABLE_H_

@@ -1,0 +1,68 @@
+// Uniform K x K geospatial discretization (paper SIII-B). Continuous
+// coordinates are mapped to grid cells; the reachability constraint of the
+// mobility model ("transitions between adjacent cells") is expressed through
+// the precomputed neighbor lists here (Moore neighborhood including the cell
+// itself, clipped at the border).
+
+#ifndef RETRASYN_GEO_GRID_H_
+#define RETRASYN_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace retrasyn {
+
+using CellId = uint32_t;
+
+class Grid {
+ public:
+  /// Builds a K x K uniform grid over \p box. Requires k >= 1 and a box with
+  /// positive width and height.
+  Grid(const BoundingBox& box, uint32_t k);
+
+  uint32_t k() const { return k_; }
+  uint32_t NumCells() const { return k_ * k_; }
+  const BoundingBox& box() const { return box_; }
+
+  uint32_t Row(CellId c) const { return c / k_; }
+  uint32_t Col(CellId c) const { return c % k_; }
+  CellId Cell(uint32_t row, uint32_t col) const { return row * k_ + col; }
+
+  /// Maps a continuous point to its cell; points outside the box are clamped
+  /// to the nearest border cell.
+  CellId Locate(const Point& p) const;
+
+  /// Center of a cell in continuous coordinates.
+  Point CellCenter(CellId c) const;
+
+  /// Bounding box of a cell.
+  BoundingBox CellBounds(CellId c) const;
+
+  /// Neighbor cells of \p c including \p c itself (4, 6, or 9 cells),
+  /// in ascending CellId order.
+  const std::vector<CellId>& Neighbors(CellId c) const {
+    return neighbors_[c];
+  }
+
+  /// True when \p to lies in the Moore neighborhood of \p from (incl. itself),
+  /// i.e. the movement transition from->to satisfies the reachability
+  /// constraint.
+  bool AreNeighbors(CellId from, CellId to) const;
+
+  /// Chebyshev (L-inf) distance between two cells, in cell units. This is the
+  /// minimum number of timestamps a reachability-respecting walk needs.
+  uint32_t ChebyshevDistance(CellId a, CellId b) const;
+
+ private:
+  BoundingBox box_;
+  uint32_t k_;
+  double cell_width_;
+  double cell_height_;
+  std::vector<std::vector<CellId>> neighbors_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_GEO_GRID_H_

@@ -1,0 +1,58 @@
+// Basic planar geometry types shared across the library: continuous points
+// and axis-aligned bounding boxes.
+
+#ifndef RETRASYN_GEO_POINT_H_
+#define RETRASYN_GEO_POINT_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace retrasyn {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// \brief Axis-aligned bounding box [min_x, max_x] x [min_y, max_y].
+struct BoundingBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 1.0;
+  double max_y = 1.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Clamps \p p into the box (used when generated or imported points drift
+  /// marginally outside the declared region).
+  Point Clamp(const Point& p) const {
+    return Point{std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y)};
+  }
+
+  /// Expands the box to cover \p p.
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_GEO_POINT_H_

@@ -1,0 +1,86 @@
+#include "geo/state_space.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+StateSpace::StateSpace(const Grid& grid)
+    : grid_(&grid), num_cells_(grid.NumCells()) {
+  move_offset_.resize(num_cells_ + 1);
+  StateId offset = 0;
+  for (CellId c = 0; c < num_cells_; ++c) {
+    move_offset_[c] = offset;
+    offset += static_cast<StateId>(grid.Neighbors(c).size());
+  }
+  move_offset_[num_cells_] = offset;
+  num_move_ = offset;
+  size_ = num_move_ + 2 * num_cells_;
+
+  move_source_.resize(num_move_);
+  for (CellId c = 0; c < num_cells_; ++c) {
+    for (StateId i = move_offset_[c]; i < move_offset_[c + 1]; ++i) {
+      move_source_[i] = c;
+    }
+  }
+}
+
+StateId StateSpace::MoveIndex(CellId from, CellId to) const {
+  const auto& nbrs = grid_->Neighbors(from);
+  // Neighbor lists are sorted, <= 9 entries: binary search via lower_bound.
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+  if (it == nbrs.end() || *it != to) return kInvalidState;
+  return move_offset_[from] + static_cast<StateId>(it - nbrs.begin());
+}
+
+StateId StateSpace::Encode(const TransitionState& s) const {
+  switch (s.kind) {
+    case StateKind::kMove:
+      return MoveIndex(s.from, s.to);
+    case StateKind::kEnter:
+      return EnterIndex(s.from);
+    case StateKind::kQuit:
+      return QuitIndex(s.from);
+  }
+  return kInvalidState;
+}
+
+TransitionState StateSpace::Decode(StateId id) const {
+  RETRASYN_DCHECK(id < size_);
+  if (id < num_move_) {
+    const CellId from = move_source_[id];
+    const CellId to = grid_->Neighbors(from)[id - move_offset_[from]];
+    return TransitionState{StateKind::kMove, from, to};
+  }
+  if (id < num_move_ + num_cells_) {
+    const CellId cell = id - num_move_;
+    return TransitionState{StateKind::kEnter, cell, cell};
+  }
+  const CellId cell = id - num_move_ - num_cells_;
+  return TransitionState{StateKind::kQuit, cell, cell};
+}
+
+std::vector<StateId> StateSpace::MoveStatesFrom(CellId from) const {
+  std::vector<StateId> out;
+  out.reserve(move_offset_[from + 1] - move_offset_[from]);
+  for (StateId i = move_offset_[from]; i < move_offset_[from + 1]; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::string StateSpace::ToString(StateId id) const {
+  const TransitionState s = Decode(id);
+  switch (s.kind) {
+    case StateKind::kMove:
+      return "m(" + std::to_string(s.from) + "->" + std::to_string(s.to) + ")";
+    case StateKind::kEnter:
+      return "e(" + std::to_string(s.from) + ")";
+    case StateKind::kQuit:
+      return "q(" + std::to_string(s.from) + ")";
+  }
+  return "?";
+}
+
+}  // namespace retrasyn

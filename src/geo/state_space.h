@@ -1,0 +1,103 @@
+// Transition-state space S = {m_ij} u {e_i} u {q_j} (paper SIII-B, Def. 5).
+//
+// Movement states m_ij are restricted to the reachability constraint
+// (j in the Moore neighborhood of i, including i itself), so the state count
+// is O(9|C|) instead of |C|^2. Each state is assigned a dense index:
+//
+//   [0, num_move)                    movement states, grouped by source cell
+//   [num_move, num_move + |C|)       entering states e_i
+//   [num_move + |C|, size)           quitting states q_j
+//
+// The dense indexing is what the LDP frequency oracles encode against, so it
+// is part of the protocol surface and must remain stable for a given grid.
+
+#ifndef RETRASYN_GEO_STATE_SPACE_H_
+#define RETRASYN_GEO_STATE_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace retrasyn {
+
+using StateId = uint32_t;
+
+inline constexpr StateId kInvalidState = static_cast<StateId>(-1);
+
+enum class StateKind : uint8_t {
+  kMove = 0,   ///< m_ij: moved from cell i to adjacent cell j (possibly i==j)
+  kEnter = 1,  ///< e_i: stream begins at cell i
+  kQuit = 2,   ///< q_j: stream ends, final reported location was cell j
+};
+
+/// \brief A decoded transition state.
+struct TransitionState {
+  StateKind kind = StateKind::kMove;
+  CellId from = 0;  ///< source cell for kMove; the cell for kEnter/kQuit
+  CellId to = 0;    ///< destination cell for kMove; equals `from` otherwise
+
+  friend bool operator==(const TransitionState& a, const TransitionState& b) {
+    return a.kind == b.kind && a.from == b.from && a.to == b.to;
+  }
+};
+
+class StateSpace {
+ public:
+  explicit StateSpace(const Grid& grid);
+
+  /// Total number of states |S|.
+  uint32_t size() const { return size_; }
+  uint32_t num_move_states() const { return num_move_; }
+  uint32_t num_cells() const { return num_cells_; }
+
+  /// Dense index of movement state m_{from,to}; kInvalidState when `to` is not
+  /// reachable from `from` under the adjacency constraint.
+  StateId MoveIndex(CellId from, CellId to) const;
+
+  StateId EnterIndex(CellId cell) const { return num_move_ + cell; }
+  StateId QuitIndex(CellId cell) const { return num_move_ + num_cells_ + cell; }
+
+  /// Encodes a decoded state; kInvalidState for infeasible movement states.
+  StateId Encode(const TransitionState& s) const;
+
+  /// Decodes a dense index back into a transition state. Requires id < size().
+  TransitionState Decode(StateId id) const;
+
+  bool IsMove(StateId id) const { return id < num_move_; }
+  bool IsEnter(StateId id) const {
+    return id >= num_move_ && id < num_move_ + num_cells_;
+  }
+  bool IsQuit(StateId id) const {
+    return id >= num_move_ + num_cells_ && id < size_;
+  }
+
+  /// Dense indices of all movement states with source cell \p from, parallel
+  /// to grid.Neighbors(from).
+  std::vector<StateId> MoveStatesFrom(CellId from) const;
+
+  /// First movement-state index for source cell \p from; its movement states
+  /// occupy [MoveOffset(from), MoveOffset(from) + Neighbors(from).size()).
+  StateId MoveOffset(CellId from) const { return move_offset_[from]; }
+
+  const Grid& grid() const { return *grid_; }
+
+  /// Debug representation, e.g. "m(3->4)", "e(7)", "q(0)".
+  std::string ToString(StateId id) const;
+
+ private:
+  const Grid* grid_;
+  uint32_t num_cells_;
+  uint32_t num_move_;
+  uint32_t size_;
+  // Prefix sums of neighbor counts: movement states of cell i start at
+  // move_offset_[i]; move_offset_[num_cells_] == num_move_.
+  std::vector<StateId> move_offset_;
+  // Decode table for movement states: source cell per dense move index.
+  std::vector<CellId> move_source_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_GEO_STATE_SPACE_H_

@@ -1,0 +1,108 @@
+#include "ldp/audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ldp/frequency_oracle.h"
+
+namespace retrasyn {
+
+namespace {
+
+/// log(a/b) with Laplace-smoothed proportions and its delta-method variance.
+struct SmoothedRatio {
+  double log_ratio;
+  double variance;
+};
+
+SmoothedRatio LogRatio(uint64_t hits_num, uint64_t hits_den, uint64_t n) {
+  const double num = (static_cast<double>(hits_num) + 0.5) / (n + 1.0);
+  const double den = (static_cast<double>(hits_den) + 0.5) / (n + 1.0);
+  SmoothedRatio out;
+  out.log_ratio = std::log(num / den);
+  out.variance = (1.0 - num) / (n * num) + (1.0 - den) / (n * den);
+  return out;
+}
+
+}  // namespace
+
+double OueAnalyticLogRatio(double epsilon) { return epsilon; }
+
+LdpAuditResult AuditOue(double epsilon, uint32_t domain_size, uint64_t trials,
+                        Rng& rng) {
+  RETRASYN_CHECK(domain_size >= 2);
+  RETRASYN_CHECK(trials >= 100);
+  OueClient client(epsilon, domain_size);
+  const uint32_t x1 = 0, x2 = 1;
+  // ones[i][b] = #trials where input x_{i+1} produced bit b set, b in {0,1}.
+  uint64_t ones[2][2] = {{0, 0}, {0, 0}};
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto v1 = client.Perturb(x1, rng);
+    const auto v2 = client.Perturb(x2, rng);
+    ones[0][0] += v1[x1];
+    ones[0][1] += v1[x2];
+    ones[1][0] += v2[x1];
+    ones[1][1] += v2[x2];
+  }
+  // The two inputs differ only at bits x1 and x2; the output log ratio is the
+  // sum of the per-bit event log ratios. Maximize over the 4 joint events.
+  LdpAuditResult result;
+  result.analytic_bound = OueAnalyticLogRatio(epsilon);
+  result.trials = trials;
+  double best = -1e300;
+  double best_var = 0.0;
+  for (int b0 = 0; b0 <= 1; ++b0) {
+    for (int b1 = 0; b1 <= 1; ++b1) {
+      // Event counts for (bit x1 == b0) under each input.
+      const uint64_t n0_x1 = b0 ? ones[0][0] : trials - ones[0][0];
+      const uint64_t n0_x2 = b0 ? ones[1][0] : trials - ones[1][0];
+      const uint64_t n1_x1 = b1 ? ones[0][1] : trials - ones[0][1];
+      const uint64_t n1_x2 = b1 ? ones[1][1] : trials - ones[1][1];
+      const SmoothedRatio r0 = LogRatio(n0_x1, n0_x2, trials);
+      const SmoothedRatio r1 = LogRatio(n1_x1, n1_x2, trials);
+      const double total = r0.log_ratio + r1.log_ratio;
+      if (total > best) {
+        best = total;
+        best_var = r0.variance + r1.variance;
+      }
+    }
+  }
+  result.empirical_log_ratio = best;
+  result.standard_error = std::sqrt(best_var);
+  return result;
+}
+
+LdpAuditResult AuditGrr(double epsilon, uint32_t domain_size, uint64_t trials,
+                        Rng& rng) {
+  RETRASYN_CHECK(domain_size >= 2);
+  RETRASYN_CHECK(trials >= 100);
+  GrrClient client(epsilon, domain_size);
+  const uint32_t x1 = 0, x2 = 1;
+  // outputs[i][k] = #trials input x_{i+1} produced output k, k in {x1, x2,
+  // other}.
+  uint64_t outputs[2][3] = {{0, 0, 0}, {0, 0, 0}};
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const uint32_t o1 = client.Perturb(x1, rng);
+    const uint32_t o2 = client.Perturb(x2, rng);
+    ++outputs[0][o1 == x1 ? 0 : (o1 == x2 ? 1 : 2)];
+    ++outputs[1][o2 == x1 ? 0 : (o2 == x2 ? 1 : 2)];
+  }
+  LdpAuditResult result;
+  result.analytic_bound = epsilon;
+  result.trials = trials;
+  double best = -1e300;
+  double best_var = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    const SmoothedRatio r = LogRatio(outputs[0][k], outputs[1][k], trials);
+    if (r.log_ratio > best) {
+      best = r.log_ratio;
+      best_var = r.variance;
+    }
+  }
+  result.empirical_log_ratio = best;
+  result.standard_error = std::sqrt(best_var);
+  return result;
+}
+
+}  // namespace retrasyn

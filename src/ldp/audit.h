@@ -1,0 +1,60 @@
+// Empirical LDP auditing: machinery to *verify* (not just assume) that the
+// deployed perturbation satisfies its epsilon-LDP claim (Def. 1).
+//
+// For OUE the worst-case likelihood ratio between two neighboring inputs
+// x1 != x2 is attained by an output whose x1-bit is 1 and x2-bit is 0:
+//
+//   log P[V | x1] - log P[V | x2] = ln(p/q) + ln((1-q)/(1-p))
+//                                 = ln(0.5/q) + ln((1-q)/0.5)  =  eps,
+//
+// with p = 1/2, q = 1/(e^eps + 1) — i.e. OUE is *tight*. The audit estimates
+// per-bit response probabilities from repeated perturbations of two fixed
+// inputs and reports the empirical worst-case log ratio together with the
+// analytic bound, in the spirit of statistical DP-verification tooling. A
+// correct implementation's estimate converges to eps (never materially
+// above); a buggy perturbation (wrong flip probability, bit reuse, RNG
+// correlation across bits) shows up as an excess.
+
+#ifndef RETRASYN_LDP_AUDIT_H_
+#define RETRASYN_LDP_AUDIT_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace retrasyn {
+
+struct LdpAuditResult {
+  /// Empirical worst-case per-output-bit-pair log likelihood ratio.
+  double empirical_log_ratio = 0.0;
+  /// Analytic bound (= eps for OUE).
+  double analytic_bound = 0.0;
+  /// Standard error of the empirical estimate (delta-method, worst pair).
+  double standard_error = 0.0;
+  uint64_t trials = 0;
+
+  /// True when the empirical ratio is within \p z standard errors of the
+  /// bound (the mechanism neither leaks more than claimed nor wastes
+  /// budget).
+  bool ConsistentWithBound(double z = 4.0) const {
+    return empirical_log_ratio <= analytic_bound + z * standard_error;
+  }
+};
+
+/// \brief Analytic worst-case log ratio of the OUE mechanism; equals eps.
+double OueAnalyticLogRatio(double epsilon);
+
+/// \brief Runs \p trials perturbations of two fixed neighboring inputs
+/// through a real OueClient and estimates the worst-case log ratio over all
+/// (output-bit-value) events distinguishable between the inputs.
+LdpAuditResult AuditOue(double epsilon, uint32_t domain_size, uint64_t trials,
+                        Rng& rng);
+
+/// \brief Same audit for the GRR mechanism (analytic bound also eps:
+/// p/q = e^eps).
+LdpAuditResult AuditGrr(double epsilon, uint32_t domain_size, uint64_t trials,
+                        Rng& rng);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_LDP_AUDIT_H_

@@ -1,0 +1,61 @@
+#include "ldp/budget.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+BudgetLedger::BudgetLedger(int window, double total)
+    : window_(window), total_(total) {
+  RETRASYN_CHECK(window >= 1);
+  RETRASYN_CHECK(total > 0.0);
+}
+
+void BudgetLedger::Record(int64_t t, double epsilon) {
+  RETRASYN_CHECK(t >= last_t_);
+  last_t_ = t;
+  EvictBefore(t - window_ + 1);
+  if (epsilon > 0.0) {
+    spends_.emplace_back(t, epsilon);
+    window_sum_ += epsilon;
+  }
+  max_window_spend_ = std::max(max_window_spend_, window_sum_);
+}
+
+double BudgetLedger::SpentInWindow(int64_t t) const {
+  double sum = 0.0;
+  for (const auto& [ts, eps] : spends_) {
+    if (ts >= t - window_ + 1 && ts <= t) sum += eps;
+  }
+  return sum;
+}
+
+double BudgetLedger::RemainingAt(int64_t t) const {
+  double spent = 0.0;
+  for (const auto& [ts, eps] : spends_) {
+    if (ts >= t - window_ + 1 && ts <= t - 1) spent += eps;
+  }
+  return std::max(0.0, total_ - spent);
+}
+
+void BudgetLedger::EvictBefore(int64_t t_min) {
+  while (!spends_.empty() && spends_.front().first < t_min) {
+    window_sum_ -= spends_.front().second;
+    spends_.pop_front();
+  }
+}
+
+bool ReportWindowTracker::RecordReport(uint64_t user, int64_t t) {
+  ++num_reports_;
+  auto it = last_report_.find(user);
+  if (it != last_report_.end() && t - it->second < window_) {
+    violation_ = true;
+    it->second = t;
+    return false;
+  }
+  last_report_[user] = t;
+  return true;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,114 @@
+#include "metrics/historical.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "metrics/histogram.h"
+
+namespace retrasyn {
+
+namespace {
+
+std::vector<double> VisitCounts(const CellStreamSet& set, uint32_t num_cells) {
+  std::vector<double> counts(num_cells, 0.0);
+  for (const CellStream& s : set.streams()) {
+    for (CellId c : s.cells) ++counts[c];
+  }
+  return counts;
+}
+
+std::vector<double> TripCounts(const CellStreamSet& set, uint32_t num_cells) {
+  std::vector<double> counts(static_cast<size_t>(num_cells) * num_cells, 0.0);
+  for (const CellStream& s : set.streams()) {
+    const CellId start = s.cells.front();
+    const CellId end = s.cells.back();
+    ++counts[static_cast<size_t>(start) * num_cells + end];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double CellPopularityKendallTau(const CellStreamSet& orig,
+                                const CellStreamSet& syn, uint32_t num_cells) {
+  return KendallTauB(VisitCounts(orig, num_cells),
+                     VisitCounts(syn, num_cells));
+}
+
+double TripError(const CellStreamSet& orig, const CellStreamSet& syn,
+                 uint32_t num_cells) {
+  return JensenShannonDivergence(TripCounts(orig, num_cells),
+                                 TripCounts(syn, num_cells));
+}
+
+namespace {
+
+// Diameter of one stream: the maximum pairwise distance between the centers
+// of its *distinct* visited cells. Streams revisit cells heavily, so the
+// distinct set is small and the exact O(k^2) scan is cheap.
+double StreamDiameter(const CellStream& s, const Grid& grid) {
+  std::vector<CellId> distinct(s.cells);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  double diameter = 0.0;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    const Point a = grid.CellCenter(distinct[i]);
+    for (size_t j = i + 1; j < distinct.size(); ++j) {
+      diameter = std::max(diameter,
+                          EuclideanDistance(a, grid.CellCenter(distinct[j])));
+    }
+  }
+  return diameter;
+}
+
+}  // namespace
+
+double DiameterError(const CellStreamSet& orig, const CellStreamSet& syn,
+                     const Grid& grid, int num_buckets) {
+  RETRASYN_CHECK(num_buckets >= 1);
+  const double max_diameter =
+      EuclideanDistance(Point{grid.box().min_x, grid.box().min_y},
+                        Point{grid.box().max_x, grid.box().max_y});
+  const double width = max_diameter / num_buckets;
+  auto histogram = [&](const CellStreamSet& set) {
+    std::vector<double> h(num_buckets, 0.0);
+    for (const CellStream& s : set.streams()) {
+      int b = width <= 0.0
+                  ? 0
+                  : static_cast<int>(StreamDiameter(s, grid) / width);
+      b = std::clamp(b, 0, num_buckets - 1);
+      ++h[b];
+    }
+    return h;
+  };
+  return JensenShannonDivergence(histogram(orig), histogram(syn));
+}
+
+double LengthError(const CellStreamSet& orig, const CellStreamSet& syn,
+                   int num_buckets) {
+  RETRASYN_CHECK(num_buckets >= 1);
+  size_t max_len = 1;
+  for (const CellStream& s : orig.streams()) {
+    max_len = std::max(max_len, s.length());
+  }
+  for (const CellStream& s : syn.streams()) {
+    max_len = std::max(max_len, s.length());
+  }
+  const double bucket_width =
+      static_cast<double>(max_len) / static_cast<double>(num_buckets);
+  auto histogram = [&](const CellStreamSet& set) {
+    std::vector<double> h(num_buckets, 0.0);
+    for (const CellStream& s : set.streams()) {
+      int b = static_cast<int>(static_cast<double>(s.length() - 1) /
+                               bucket_width);
+      b = std::clamp(b, 0, num_buckets - 1);
+      ++h[b];
+    }
+    return h;
+  };
+  return JensenShannonDivergence(histogram(orig), histogram(syn));
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,42 @@
+// Historical, trajectory-level utility metrics (paper SV-B "Historical
+// Metrics"): Kendall tau on cell popularity, Trip Error on the joint
+// start/end distribution, and Length Error on the stream-length distribution.
+// These operate on entire released streams, which is exactly what the
+// synthesis-based release enables and histogram-style baselines cannot serve.
+
+#ifndef RETRASYN_METRICS_HISTORICAL_H_
+#define RETRASYN_METRICS_HISTORICAL_H_
+
+#include <cstdint>
+
+#include "geo/grid.h"
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+
+/// \brief Kendall tau-b between the per-cell total visit counts of the two
+/// sets (popularity-ranking agreement; higher is better, in [-1, 1]).
+double CellPopularityKendallTau(const CellStreamSet& orig,
+                                const CellStreamSet& syn, uint32_t num_cells);
+
+/// \brief JSD between the joint (start cell, end cell) trip distributions.
+double TripError(const CellStreamSet& orig, const CellStreamSet& syn,
+                 uint32_t num_cells);
+
+/// \brief JSD between stream-length histograms. Lengths are measured in
+/// reports per stream and bucketed into \p num_buckets equal-width bins over
+/// the combined observed range.
+double LengthError(const CellStreamSet& orig, const CellStreamSet& syn,
+                   int num_buckets = 20);
+
+/// \brief JSD between trajectory-diameter histograms (AdaTrace / LDPTrace
+/// lineage, the predecessors the paper builds on). A stream's diameter is
+/// the largest distance between any two of its cell centers; computed on the
+/// cells' row/col lattice via the bounding box of visited cells, bucketed
+/// into \p num_buckets equal-width bins.
+double DiameterError(const CellStreamSet& orig, const CellStreamSet& syn,
+                     const Grid& grid, int num_buckets = 20);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_METRICS_HISTORICAL_H_

@@ -1,0 +1,83 @@
+#include "metrics/patterns.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+PatternKey PackPattern(const CellId* cells, int len) {
+  RETRASYN_DCHECK(len >= 2 && len <= kMaxPatternLength);
+  PatternKey key = static_cast<PatternKey>(len);
+  for (int i = 0; i < len; ++i) {
+    RETRASYN_DCHECK(cells[i] < kMaxPatternCells);
+    key = (key << 12) | cells[i];
+  }
+  return key;
+}
+
+std::vector<CellId> UnpackPattern(PatternKey key) {
+  // The length tag sits above len * 12 bits of payload.
+  int len = 0;
+  for (int cand = 2; cand <= kMaxPatternLength; ++cand) {
+    if ((key >> (12 * cand)) == static_cast<PatternKey>(cand)) len = cand;
+  }
+  RETRASYN_CHECK(len != 0);
+  std::vector<CellId> cells(len);
+  for (int i = len - 1; i >= 0; --i) {
+    cells[i] = static_cast<CellId>(key & 0xfff);
+    key >>= 12;
+  }
+  return cells;
+}
+
+std::vector<PatternKey> TopPatterns(const CellStreamSet& set, int64_t t_start,
+                                    int64_t t_end, int min_len, int max_len,
+                                    size_t top_n) {
+  RETRASYN_CHECK(min_len >= 2 && max_len <= kMaxPatternLength &&
+                 min_len <= max_len);
+  std::unordered_map<PatternKey, uint32_t> counts;
+  for (const CellStream& s : set.streams()) {
+    const int64_t lo = std::max(t_start, s.enter_time);
+    const int64_t hi = std::min(t_end, s.end_time());
+    if (hi - lo < min_len) continue;
+    const CellId* cells = s.cells.data() + (lo - s.enter_time);
+    const int span = static_cast<int>(hi - lo);
+    for (int len = min_len; len <= max_len; ++len) {
+      for (int i = 0; i + len <= span; ++i) {
+        ++counts[PackPattern(cells + i, len)];
+      }
+    }
+  }
+  std::vector<std::pair<PatternKey, uint32_t>> entries(counts.begin(),
+                                                       counts.end());
+  const size_t keep = std::min(top_n, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + keep, entries.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  std::vector<PatternKey> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(entries[i].first);
+  return out;
+}
+
+double PatternSetF1(const std::vector<PatternKey>& a,
+                    const std::vector<PatternKey>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const std::unordered_set<PatternKey> sa(a.begin(), a.end());
+  size_t hits = 0;
+  for (PatternKey k : b) {
+    if (sa.count(k) > 0) ++hits;
+  }
+  const double precision = static_cast<double>(hits) / b.size();
+  const double recall = static_cast<double>(hits) / a.size();
+  if (precision + recall <= 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+}  // namespace retrasyn

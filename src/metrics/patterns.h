@@ -1,0 +1,44 @@
+// Mobility-pattern mining (paper SV-B "Pattern F1"): a pattern is an ordered
+// sequence of consecutive cells; the metric compares the top-N most frequent
+// patterns of the synthetic and original sets within a time window.
+//
+// Patterns of length 2..5 are packed into a uint64 key (12 bits per cell plus
+// a length tag), which requires the grid to have at most 4096 cells — ample
+// for the paper's K <= 18.
+
+#ifndef RETRASYN_METRICS_PATTERNS_H_
+#define RETRASYN_METRICS_PATTERNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+
+using PatternKey = uint64_t;
+
+inline constexpr int kMaxPatternLength = 5;
+inline constexpr uint32_t kMaxPatternCells = 1u << 12;
+
+/// \brief Packs a consecutive-cell window into a key. Requires
+/// 2 <= len <= kMaxPatternLength and all cells < kMaxPatternCells.
+PatternKey PackPattern(const CellId* cells, int len);
+
+/// \brief Unpacks a key back into its cell sequence (for debugging/tests).
+std::vector<CellId> UnpackPattern(PatternKey key);
+
+/// \brief The top_n most frequent patterns of length [min_len, max_len]
+/// occurring inside [t_start, t_end) across all streams, most frequent first
+/// (ties by smaller key).
+std::vector<PatternKey> TopPatterns(const CellStreamSet& set, int64_t t_start,
+                                    int64_t t_end, int min_len, int max_len,
+                                    size_t top_n);
+
+/// \brief F1 overlap of two top-pattern sets.
+double PatternSetF1(const std::vector<PatternKey>& a,
+                    const std::vector<PatternKey>& b);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_METRICS_PATTERNS_H_

@@ -1,0 +1,105 @@
+#include "metrics/queries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+DensityIndex::DensityIndex(const CellStreamSet& set, const Grid& grid)
+    : k_(grid.k()) {
+  const int64_t horizon = set.num_timestamps();
+  counts_.assign(horizon, std::vector<uint32_t>(grid.NumCells(), 0));
+  for (const CellStream& s : set.streams()) {
+    for (int64_t t = s.enter_time; t < s.end_time(); ++t) {
+      ++counts_[t][s.At(t)];
+    }
+  }
+  // Per-timestamp 2D prefix sums over the (k x k) cell lattice:
+  // prefix[t][(r+1)*(k+1) + (c+1)] = sum of counts in rows<=r, cols<=c.
+  prefix_.assign(horizon, std::vector<uint64_t>((k_ + 1) * (k_ + 1), 0));
+  totals_.assign(horizon, 0);
+  const uint32_t stride = k_ + 1;
+  for (int64_t t = 0; t < horizon; ++t) {
+    auto& pre = prefix_[t];
+    const auto& cnt = counts_[t];
+    for (uint32_t r = 0; r < k_; ++r) {
+      for (uint32_t c = 0; c < k_; ++c) {
+        pre[(r + 1) * stride + (c + 1)] =
+            cnt[r * k_ + c] + pre[r * stride + (c + 1)] +
+            pre[(r + 1) * stride + c] - pre[r * stride + c];
+      }
+    }
+    totals_[t] = pre[k_ * stride + k_];
+  }
+}
+
+std::vector<double> DensityIndex::AggregateDensity(int64_t t_start,
+                                                   int64_t t_end) const {
+  std::vector<double> out(counts_.empty() ? 0 : counts_[0].size(), 0.0);
+  const int64_t lo = std::max<int64_t>(0, t_start);
+  const int64_t hi = std::min<int64_t>(num_timestamps(), t_end);
+  for (int64_t t = lo; t < hi; ++t) {
+    const auto& cnt = counts_[t];
+    for (size_t c = 0; c < cnt.size(); ++c) out[c] += cnt[c];
+  }
+  return out;
+}
+
+uint64_t DensityIndex::CountAt(int64_t t, uint32_t row_lo, uint32_t row_hi,
+                               uint32_t col_lo, uint32_t col_hi) const {
+  const uint32_t stride = k_ + 1;
+  const auto& pre = prefix_[t];
+  return pre[(row_hi + 1) * stride + (col_hi + 1)] -
+         pre[row_lo * stride + (col_hi + 1)] -
+         pre[(row_hi + 1) * stride + col_lo] + pre[row_lo * stride + col_lo];
+}
+
+uint64_t DensityIndex::Count(const RangeQuery& query) const {
+  RETRASYN_DCHECK(query.row_hi < k_ && query.col_hi < k_);
+  uint64_t total = 0;
+  const int64_t lo = std::max<int64_t>(0, query.t_start);
+  const int64_t hi = std::min<int64_t>(num_timestamps(), query.t_end);
+  for (int64_t t = lo; t < hi; ++t) {
+    total += CountAt(t, query.row_lo, query.row_hi, query.col_lo, query.col_hi);
+  }
+  return total;
+}
+
+uint64_t DensityIndex::TotalPointsIn(int64_t t_start, int64_t t_end) const {
+  uint64_t total = 0;
+  const int64_t lo = std::max<int64_t>(0, t_start);
+  const int64_t hi = std::min<int64_t>(num_timestamps(), t_end);
+  for (int64_t t = lo; t < hi; ++t) total += totals_[t];
+  return total;
+}
+
+std::vector<RangeQuery> GenerateRandomQueries(const Grid& grid,
+                                              int64_t horizon, int64_t phi,
+                                              int count, Rng& rng) {
+  RETRASYN_CHECK(phi >= 1);
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  const uint32_t k = grid.k();
+  const uint32_t max_edge = std::max<uint32_t>(1, k / 2);
+  const int64_t max_start = std::max<int64_t>(0, horizon - phi);
+  for (int i = 0; i < count; ++i) {
+    RangeQuery q;
+    const uint32_t h = static_cast<uint32_t>(rng.UniformInt(1, max_edge));
+    const uint32_t w = static_cast<uint32_t>(rng.UniformInt(1, max_edge));
+    q.row_lo = static_cast<uint32_t>(
+        rng.UniformInt(static_cast<uint64_t>(k - h + 1)));
+    q.col_lo = static_cast<uint32_t>(
+        rng.UniformInt(static_cast<uint64_t>(k - w + 1)));
+    q.row_hi = q.row_lo + h - 1;
+    q.col_hi = q.col_lo + w - 1;
+    q.t_start = max_start == 0
+                    ? 0
+                    : rng.UniformInt(0, max_start);
+    q.t_end = q.t_start + phi;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,70 @@
+// Spatio-temporal range queries (paper SV-B "Query Error") and the density
+// index that answers them in O(time-range) via per-timestamp 2D prefix sums.
+
+#ifndef RETRASYN_METRICS_QUERIES_H_
+#define RETRASYN_METRICS_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+
+/// \brief A rectangular cell region crossed with a timestamp range
+/// [t_start, t_end).
+struct RangeQuery {
+  uint32_t row_lo = 0;
+  uint32_t row_hi = 0;  ///< inclusive
+  uint32_t col_lo = 0;
+  uint32_t col_hi = 0;  ///< inclusive
+  int64_t t_start = 0;
+  int64_t t_end = 0;    ///< exclusive
+};
+
+/// \brief Per-timestamp per-cell point counts with 2D prefix sums; answers
+/// density lookups and rectangle counts for a CellStreamSet.
+class DensityIndex {
+ public:
+  DensityIndex(const CellStreamSet& set, const Grid& grid);
+
+  int64_t num_timestamps() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+
+  /// Raw per-cell counts at timestamp \p t.
+  const std::vector<uint32_t>& DensityAt(int64_t t) const {
+    return counts_[t];
+  }
+
+  /// Cell counts aggregated over [t_start, t_end) (clamped to the horizon).
+  std::vector<double> AggregateDensity(int64_t t_start, int64_t t_end) const;
+
+  /// Number of points inside the query region over its time range.
+  uint64_t Count(const RangeQuery& query) const;
+
+  /// Total points in a time range (for the query-error sanity bound).
+  uint64_t TotalPointsIn(int64_t t_start, int64_t t_end) const;
+
+ private:
+  uint64_t CountAt(int64_t t, uint32_t row_lo, uint32_t row_hi,
+                   uint32_t col_lo, uint32_t col_hi) const;
+
+  uint32_t k_;
+  std::vector<std::vector<uint32_t>> counts_;   ///< [t][cell]
+  std::vector<std::vector<uint64_t>> prefix_;   ///< [t][(k+1)*(k+1)] 2D sums
+  std::vector<uint64_t> totals_;                ///< points per timestamp
+};
+
+/// \brief Samples \p count random queries: rectangle edges uniform in
+/// [1, max(1, K/2)] cells, position uniform, time window of length \p phi
+/// placed uniformly in [0, horizon - phi].
+std::vector<RangeQuery> GenerateRandomQueries(const Grid& grid,
+                                              int64_t horizon, int64_t phi,
+                                              int count, Rng& rng);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_METRICS_QUERIES_H_

@@ -1,0 +1,108 @@
+#include "metrics/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "metrics/histogram.h"
+#include "metrics/patterns.h"
+
+namespace retrasyn {
+
+double AverageDensityError(const DensityIndex& orig, const DensityIndex& syn) {
+  RETRASYN_CHECK(orig.num_timestamps() == syn.num_timestamps());
+  const int64_t horizon = orig.num_timestamps();
+  if (horizon == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t t = 0; t < horizon; ++t) {
+    total += JensenShannonDivergence(orig.DensityAt(t), syn.DensityAt(t));
+  }
+  return total / static_cast<double>(horizon);
+}
+
+double AverageQueryError(const DensityIndex& orig, const DensityIndex& syn,
+                         const Grid& grid, const StreamingMetricsConfig& config,
+                         Rng& rng) {
+  const std::vector<RangeQuery> queries = GenerateRandomQueries(
+      grid, orig.num_timestamps(), config.phi, config.num_queries, rng);
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  for (const RangeQuery& q : queries) {
+    const double o = static_cast<double>(orig.Count(q));
+    const double s = static_cast<double>(syn.Count(q));
+    const double sanity =
+        config.sanity_fraction *
+        static_cast<double>(orig.TotalPointsIn(q.t_start, q.t_end));
+    const double denom = std::max(o, std::max(sanity, 1.0));
+    total += std::abs(o - s) / denom;
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+double AverageHotspotNdcg(const DensityIndex& orig, const DensityIndex& syn,
+                          const StreamingMetricsConfig& config, Rng& rng) {
+  const int64_t horizon = orig.num_timestamps();
+  const int64_t max_start = std::max<int64_t>(0, horizon - config.phi);
+  if (config.num_hotspot_ranges <= 0) return 0.0;
+  double total = 0.0;
+  for (int i = 0; i < config.num_hotspot_ranges; ++i) {
+    const int64_t t0 = max_start == 0 ? 0 : rng.UniformInt(0, max_start);
+    const std::vector<double> rel = orig.AggregateDensity(t0, t0 + config.phi);
+    const std::vector<double> pred = syn.AggregateDensity(t0, t0 + config.phi);
+    const std::vector<uint32_t> ranking = TopKIndices(pred, config.hotspot_k);
+    total += NdcgAtK(rel, ranking, config.hotspot_k);
+  }
+  return total / static_cast<double>(config.num_hotspot_ranges);
+}
+
+TransitionIndex::TransitionIndex(const CellStreamSet& set,
+                                 const StateSpace& states) {
+  const int64_t horizon = set.num_timestamps();
+  counts_.assign(horizon, std::vector<uint32_t>(states.num_move_states(), 0));
+  const Grid& grid = states.grid();
+  for (const CellStream& s : set.streams()) {
+    for (int64_t t = s.enter_time + 1; t < s.end_time(); ++t) {
+      const CellId from = s.At(t - 1);
+      const CellId to = s.At(t);
+      if (!grid.AreNeighbors(from, to)) continue;  // cannot be encoded
+      const StateId id = states.MoveIndex(from, to);
+      RETRASYN_DCHECK(id != kInvalidState);
+      ++counts_[t][id];
+    }
+  }
+}
+
+double AverageTransitionError(const TransitionIndex& orig,
+                              const TransitionIndex& syn) {
+  RETRASYN_CHECK(orig.num_timestamps() == syn.num_timestamps());
+  const int64_t horizon = orig.num_timestamps();
+  // Timestamp 0 has no incoming transitions on either side; skip it.
+  if (horizon <= 1) return 0.0;
+  double total = 0.0;
+  for (int64_t t = 1; t < horizon; ++t) {
+    total +=
+        JensenShannonDivergence(orig.TransitionsAt(t), syn.TransitionsAt(t));
+  }
+  return total / static_cast<double>(horizon - 1);
+}
+
+double AveragePatternF1(const CellStreamSet& orig, const CellStreamSet& syn,
+                        const StreamingMetricsConfig& config, Rng& rng) {
+  const int64_t horizon = orig.num_timestamps();
+  const int64_t max_start = std::max<int64_t>(0, horizon - config.phi);
+  if (config.num_pattern_ranges <= 0) return 0.0;
+  double total = 0.0;
+  for (int i = 0; i < config.num_pattern_ranges; ++i) {
+    const int64_t t0 = max_start == 0 ? 0 : rng.UniformInt(0, max_start);
+    const std::vector<PatternKey> po =
+        TopPatterns(orig, t0, t0 + config.phi, config.pattern_min_len,
+                    config.pattern_max_len, config.pattern_top_n);
+    const std::vector<PatternKey> ps =
+        TopPatterns(syn, t0, t0 + config.phi, config.pattern_min_len,
+                    config.pattern_max_len, config.pattern_top_n);
+    total += PatternSetF1(po, ps);
+  }
+  return total / static_cast<double>(config.num_pattern_ranges);
+}
+
+}  // namespace retrasyn

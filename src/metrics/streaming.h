@@ -1,0 +1,80 @@
+// Streaming utility metrics (paper SV-B): global level (Density Error,
+// Query Error, Hotspot NDCG) and semantic level (Transition Error,
+// Pattern F1). All metrics compare the original discretized streams with the
+// released synthetic streams; randomized metrics (queries, time ranges) take
+// an explicit RNG so evaluations are reproducible and identical across the
+// methods being compared.
+
+#ifndef RETRASYN_METRICS_STREAMING_H_
+#define RETRASYN_METRICS_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/state_space.h"
+#include "metrics/queries.h"
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+
+struct StreamingMetricsConfig {
+  /// Evaluation time range size phi (paper Table II; default 10).
+  int64_t phi = 10;
+  int num_queries = 100;
+  int num_hotspot_ranges = 100;
+  int hotspot_k = 10;  ///< NDCG@n_h with n_h = 10
+  int num_pattern_ranges = 100;
+  int pattern_min_len = 2;
+  int pattern_max_len = 3;
+  size_t pattern_top_n = 100;
+  /// Sanity bound for query error: max(true, fraction * points-in-range).
+  double sanity_fraction = 0.01;
+};
+
+/// \brief Mean per-timestamp JSD between original and synthetic density
+/// distributions.
+double AverageDensityError(const DensityIndex& orig, const DensityIndex& syn);
+
+/// \brief Mean relative error of random spatio-temporal range queries with
+/// the sanity bound of the synthesis literature.
+double AverageQueryError(const DensityIndex& orig, const DensityIndex& syn,
+                         const Grid& grid, const StreamingMetricsConfig& config,
+                         Rng& rng);
+
+/// \brief Mean NDCG@k of the synthetic top-k hotspot ranking over random time
+/// ranges of length phi.
+double AverageHotspotNdcg(const DensityIndex& orig, const DensityIndex& syn,
+                          const StreamingMetricsConfig& config, Rng& rng);
+
+/// \brief Per-timestamp movement-transition histograms of a stream set
+/// (dense over the movement-state domain), used by the transition error.
+class TransitionIndex {
+ public:
+  TransitionIndex(const CellStreamSet& set, const StateSpace& states);
+
+  int64_t num_timestamps() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+  /// Movement-state counts for transitions arriving at timestamp \p t.
+  const std::vector<uint32_t>& TransitionsAt(int64_t t) const {
+    return counts_[t];
+  }
+
+ private:
+  std::vector<std::vector<uint32_t>> counts_;
+};
+
+/// \brief Mean per-timestamp JSD between original and synthetic transition
+/// distributions.
+double AverageTransitionError(const TransitionIndex& orig,
+                              const TransitionIndex& syn);
+
+/// \brief Mean F1 between the top-N frequent mobility patterns of the two
+/// sets over random time ranges of length phi.
+double AveragePatternF1(const CellStreamSet& orig, const CellStreamSet& syn,
+                        const StreamingMetricsConfig& config, Rng& rng);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_METRICS_STREAMING_H_

@@ -1,0 +1,77 @@
+// Discretized trajectory streams: the representation both the original data
+// (after grid mapping) and the synthetic database share, and the one all
+// utility metrics consume.
+
+#ifndef RETRASYN_STREAM_CELL_STREAM_H_
+#define RETRASYN_STREAM_CELL_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "geo/grid.h"
+
+namespace retrasyn {
+
+struct CellStream {
+  int64_t enter_time = 0;
+  std::vector<CellId> cells;  ///< one cell per timestamp from enter_time
+
+  int64_t end_time() const {
+    return enter_time + static_cast<int64_t>(cells.size());
+  }
+  bool ActiveAt(int64_t t) const { return t >= enter_time && t < end_time(); }
+  CellId At(int64_t t) const { return cells[t - enter_time]; }
+  size_t length() const { return cells.size(); }
+};
+
+/// \brief A set of discretized streams over a fixed horizon, with O(1)
+/// active-count lookups.
+class CellStreamSet {
+ public:
+  CellStreamSet() = default;
+  explicit CellStreamSet(int64_t num_timestamps)
+      : num_timestamps_(num_timestamps) {
+    RETRASYN_CHECK(num_timestamps >= 1);
+    active_count_.assign(num_timestamps, 0);
+  }
+
+  void Add(CellStream stream) {
+    RETRASYN_CHECK(!stream.cells.empty());
+    RETRASYN_CHECK(stream.enter_time >= 0);
+    RETRASYN_CHECK(stream.end_time() <= num_timestamps_);
+    total_points_ += stream.cells.size();
+    for (int64_t t = stream.enter_time; t < stream.end_time(); ++t) {
+      ++active_count_[t];
+    }
+    streams_.push_back(std::move(stream));
+  }
+
+  const std::vector<CellStream>& streams() const { return streams_; }
+  int64_t num_timestamps() const { return num_timestamps_; }
+  uint64_t TotalPoints() const { return total_points_; }
+
+  uint32_t ActiveCount(int64_t t) const {
+    if (t < 0 || t >= num_timestamps_) return 0;
+    return active_count_[t];
+  }
+
+  /// Per-cell point counts at timestamp \p t.
+  std::vector<uint32_t> DensityCounts(uint32_t num_cells, int64_t t) const {
+    std::vector<uint32_t> counts(num_cells, 0);
+    for (const CellStream& s : streams_) {
+      if (s.ActiveAt(t)) ++counts[s.At(t)];
+    }
+    return counts;
+  }
+
+ private:
+  int64_t num_timestamps_ = 0;
+  std::vector<CellStream> streams_;
+  std::vector<uint32_t> active_count_;
+  uint64_t total_points_ = 0;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_STREAM_CELL_STREAM_H_

@@ -1,0 +1,73 @@
+#include "stream/feeder.h"
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+StreamFeeder::StreamFeeder(const StreamDatabase& db, const Grid& grid,
+                           const StateSpace& states)
+    : cell_streams_(db.num_timestamps()) {
+  const int64_t horizon = db.num_timestamps();
+  batches_.resize(horizon);
+  for (int64_t t = 0; t < horizon; ++t) {
+    batches_[t].t = t;
+    batches_[t].num_active = db.ActiveCount(t);
+  }
+  num_users_ = static_cast<uint32_t>(db.streams().size());
+
+  for (uint32_t idx = 0; idx < db.streams().size(); ++idx) {
+    const UserStream& s = db.streams()[idx];
+    // Discretize.
+    CellStream cs;
+    cs.enter_time = s.enter_time;
+    cs.cells.reserve(s.points.size());
+    for (const Point& p : s.points) cs.cells.push_back(grid.Locate(p));
+
+    // Enter observation.
+    {
+      UserObservation obs;
+      obs.user_index = idx;
+      obs.state = states.EnterIndex(cs.cells.front());
+      obs.is_enter = true;
+      batches_[s.enter_time].observations.push_back(obs);
+    }
+    // Movement observations. If a raw movement violates the adjacency
+    // constraint (possible for very fast objects or coarse grids), it is
+    // clamped to the nearest reachable neighbor cell -- the protocol can only
+    // encode feasible transitions.
+    for (int64_t t = s.enter_time + 1; t < s.end_time(); ++t) {
+      const CellId prev = cs.cells[t - 1 - s.enter_time];
+      CellId cur = cs.cells[t - s.enter_time];
+      if (!grid.AreNeighbors(prev, cur)) {
+        // Clamp to the neighbor of `prev` closest (Chebyshev) to `cur`.
+        CellId best = prev;
+        uint32_t best_d = grid.ChebyshevDistance(prev, cur);
+        for (CellId nbr : grid.Neighbors(prev)) {
+          const uint32_t d = grid.ChebyshevDistance(nbr, cur);
+          if (d < best_d) {
+            best_d = d;
+            best = nbr;
+          }
+        }
+        cur = best;
+        cs.cells[t - s.enter_time] = cur;
+      }
+      UserObservation obs;
+      obs.user_index = idx;
+      obs.state = states.MoveIndex(prev, cur);
+      RETRASYN_DCHECK(obs.state != kInvalidState);
+      batches_[t].observations.push_back(obs);
+    }
+    // Quit observation at end_time (if within horizon).
+    if (s.end_time() < horizon) {
+      UserObservation obs;
+      obs.user_index = idx;
+      obs.state = states.QuitIndex(cs.cells.back());
+      obs.is_quit = true;
+      batches_[s.end_time()].observations.push_back(obs);
+    }
+    cell_streams_.Add(std::move(cs));
+  }
+}
+
+}  // namespace retrasyn

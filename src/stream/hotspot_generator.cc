@@ -1,0 +1,139 @@
+#include "stream/hotspot_generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+namespace {
+
+struct Hotspot {
+  Point center;
+  double base_weight;
+  double amplitude;  ///< strength of the daily modulation
+  double phase;      ///< fraction of a day by which the peak is shifted
+};
+
+/// Attractiveness of hotspot \p h at timestamp \p t.
+double WeightAt(const Hotspot& h, int64_t t, int64_t day_length) {
+  const double day_fraction =
+      static_cast<double>(t % day_length) / static_cast<double>(day_length);
+  const double cycle = std::sin(2.0 * M_PI * (day_fraction - h.phase));
+  return h.base_weight * std::max(0.05, 1.0 + h.amplitude * cycle);
+}
+
+struct Taxi {
+  Point position;
+  Point destination;
+  bool dwelling = false;
+  UserStream stream;
+};
+
+}  // namespace
+
+StreamDatabase GenerateHotspotStreams(const HotspotGeneratorConfig& config,
+                                      Rng& rng) {
+  RETRASYN_CHECK(config.num_hotspots >= 2);
+  StreamDatabase db(config.box, config.num_timestamps);
+
+  // Lay hotspots out with distinct phases: roughly half peak in the morning
+  // (residential origins), half in the evening (business districts), so the
+  // global transition distribution swings over the day like commuter traffic.
+  std::vector<Hotspot> hotspots;
+  hotspots.reserve(config.num_hotspots);
+  for (uint32_t h = 0; h < config.num_hotspots; ++h) {
+    Hotspot spot;
+    spot.center = Point{
+        rng.UniformDouble(config.box.min_x + 0.1 * config.box.Width(),
+                          config.box.max_x - 0.1 * config.box.Width()),
+        rng.UniformDouble(config.box.min_y + 0.1 * config.box.Height(),
+                          config.box.max_y - 0.1 * config.box.Height())};
+    spot.base_weight = rng.UniformDouble(0.5, 1.5);
+    spot.amplitude = rng.UniformDouble(0.3, 0.9);
+    spot.phase = (h % 2 == 0) ? rng.UniformDouble(0.25, 0.4)    // day peak
+                              : rng.UniformDouble(0.75, 0.95);  // night peak
+    hotspots.push_back(spot);
+  }
+
+  auto sample_near_hotspot = [&](int64_t t) {
+    std::vector<double> weights(hotspots.size());
+    for (size_t h = 0; h < hotspots.size(); ++h) {
+      weights[h] = WeightAt(hotspots[h], t, config.day_length);
+    }
+    size_t h = rng.Discrete(weights);
+    if (h >= hotspots.size()) h = 0;
+    const Point p{
+        hotspots[h].center.x + rng.Gaussian(0.0, config.hotspot_sigma),
+        hotspots[h].center.y + rng.Gaussian(0.0, config.hotspot_sigma)};
+    return config.box.Clamp(p);
+  };
+
+  std::vector<Taxi> live;
+  uint64_t next_id = 0;
+
+  auto spawn = [&](int64_t t) {
+    Taxi taxi;
+    taxi.position = sample_near_hotspot(t);
+    taxi.destination = sample_near_hotspot(t);
+    taxi.stream.user_id = next_id++;
+    taxi.stream.enter_time = t;
+    taxi.stream.points.push_back(taxi.position);
+    live.push_back(std::move(taxi));
+  };
+
+  for (uint32_t i = 0; i < config.initial_users; ++i) spawn(0);
+
+  for (int64_t t = 1; t < config.num_timestamps; ++t) {
+    std::vector<Taxi> survivors;
+    survivors.reserve(live.size());
+    for (Taxi& taxi : live) {
+      if (rng.Bernoulli(config.quit_probability)) {
+        db.Add(std::move(taxi.stream));
+        continue;
+      }
+      if (taxi.dwelling) {
+        taxi.dwelling = false;
+        taxi.destination = sample_near_hotspot(t);
+      } else {
+        const double dist = EuclideanDistance(taxi.position, taxi.destination);
+        const double step = rng.UniformDouble(config.min_step, config.max_step);
+        if (dist <= step) {
+          taxi.position = taxi.destination;
+          if (rng.Bernoulli(config.dwell_probability)) {
+            taxi.dwelling = true;
+          } else {
+            taxi.destination = sample_near_hotspot(t);
+          }
+        } else {
+          // Step toward the destination with perpendicular noise.
+          const double ux = (taxi.destination.x - taxi.position.x) / dist;
+          const double uy = (taxi.destination.y - taxi.position.y) / dist;
+          const double noise = rng.Gaussian(0.0, config.route_noise);
+          taxi.position = config.box.Clamp(
+              Point{taxi.position.x + ux * step - uy * noise,
+                    taxi.position.y + uy * step + ux * noise});
+        }
+      }
+      taxi.stream.points.push_back(taxi.position);
+      survivors.push_back(std::move(taxi));
+    }
+    live = std::move(survivors);
+
+    // Arrivals follow the same daily cycle as hotspot demand (more taxis in
+    // daytime).
+    const double day_fraction = static_cast<double>(t % config.day_length) /
+                                static_cast<double>(config.day_length);
+    const double modulation =
+        1.0 + 0.6 * std::sin(2.0 * M_PI * (day_fraction - 0.3));
+    const double lambda = std::max(0.0, config.mean_arrivals * modulation);
+    const uint64_t arrivals = rng.Binomial(
+        static_cast<uint64_t>(std::ceil(lambda * 2.0)), 0.5);  // ~Poisson
+    for (uint64_t i = 0; i < arrivals; ++i) spawn(t);
+  }
+  for (Taxi& taxi : live) db.Add(std::move(taxi.stream));
+  return db;
+}
+
+}  // namespace retrasyn

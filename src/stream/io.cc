@@ -1,0 +1,176 @@
+#include "stream/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace retrasyn {
+
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Result<StreamDatabase> LoadStreamDatabaseCsv(const std::string& path,
+                                             const ImportOptions& options) {
+  auto rows_result = ReadCsvFile(path);
+  if (!rows_result.ok()) return rows_result.status();
+  const auto& rows = rows_result.value();
+  if (rows.empty()) return Status::InvalidArgument("empty trajectory CSV: " + path);
+
+  if (options.time_granularity < 1) {
+    return Status::InvalidArgument("time_granularity must be >= 1");
+  }
+
+  struct Report {
+    int64_t t;
+    Point p;
+  };
+  std::map<int64_t, std::vector<Report>> per_user;
+  BoundingBox inferred;
+  bool first_point = true;
+  int64_t min_raw_t = INT64_MAX;
+
+  size_t start_row = 0;
+  {
+    double unused;
+    const bool header = options.skip_header ||
+                        (!rows[0].empty() && !ParseDouble(rows[0][0], &unused));
+    if (header) start_row = 1;
+  }
+
+  for (size_t r = start_row; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 4) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     ": expected user_id,timestamp,x,y");
+    }
+    int64_t user, t;
+    double x, y;
+    if (!ParseInt(row[0], &user) || !ParseInt(row[1], &t) ||
+        !ParseDouble(row[2], &x) || !ParseDouble(row[3], &y)) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     ": unparsable field");
+    }
+    if (t < 0 && !options.align_to_zero) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     ": negative timestamp");
+    }
+    const Point p{x, y};
+    if (first_point) {
+      inferred = BoundingBox{x, y, x, y};
+      first_point = false;
+    } else {
+      inferred.Extend(p);
+    }
+    min_raw_t = std::min(min_raw_t, t);
+    per_user[user].push_back(Report{t, p});
+  }
+
+  // Raw-time alignment and discretization (paper SV-A preprocessing). Sorting
+  // by raw time first makes "earliest report per bin wins" well-defined.
+  const int64_t offset = options.align_to_zero ? min_raw_t : 0;
+  int64_t max_t = -1;
+  for (auto& [user, reports] : per_user) {
+    std::sort(reports.begin(), reports.end(),
+              [](const Report& a, const Report& b) { return a.t < b.t; });
+    for (Report& rep : reports) {
+      rep.t = (rep.t - offset) / options.time_granularity;
+      max_t = std::max(max_t, rep.t);
+    }
+  }
+
+  BoundingBox box = options.box.value_or(inferred);
+  if (box.Width() <= 0.0) box.max_x = box.min_x + 1.0;
+  if (box.Height() <= 0.0) box.max_y = box.min_y + 1.0;
+  const int64_t horizon = options.num_timestamps.value_or(max_t + 1);
+  if (horizon < 1) return Status::InvalidArgument("empty time horizon");
+
+  StreamDatabase db(box, horizon);
+  uint64_t next_id = 0;
+  for (auto& [user, reports] : per_user) {
+    std::stable_sort(reports.begin(), reports.end(),
+                     [](const Report& a, const Report& b) { return a.t < b.t; });
+    UserStream current;
+    current.user_id = next_id;
+    for (const Report& rep : reports) {
+      if (rep.t >= horizon) break;
+      if (current.points.empty()) {
+        current.enter_time = rep.t;
+        current.points.push_back(rep.p);
+        continue;
+      }
+      const int64_t expected = current.end_time();
+      if (rep.t == expected - 1) continue;  // duplicate timestamp: keep first
+      if (rep.t == expected) {
+        current.points.push_back(rep.p);
+        continue;
+      }
+      // Gap: close the current run as its own stream and start a new one.
+      db.Add(std::move(current));
+      current = UserStream{};
+      current.user_id = ++next_id;
+      current.enter_time = rep.t;
+      current.points.push_back(rep.p);
+    }
+    if (!current.points.empty()) {
+      db.Add(std::move(current));
+    }
+    ++next_id;
+  }
+  return db;
+}
+
+Status WriteStreamDatabaseCsv(const StreamDatabase& db,
+                              const std::string& path) {
+  auto writer_result = CsvWriter::Open(path);
+  if (!writer_result.ok()) return writer_result.status();
+  CsvWriter writer = std::move(writer_result).value();
+  writer.WriteRow({"user_id", "timestamp", "x", "y"});
+  for (const UserStream& s : db.streams()) {
+    for (int64_t t = s.enter_time; t < s.end_time(); ++t) {
+      const Point& p = s.At(t);
+      writer.WriteRow({std::to_string(s.user_id), std::to_string(t),
+                       std::to_string(p.x), std::to_string(p.y)});
+    }
+  }
+  return writer.Close();
+}
+
+Status WriteCellStreamsCsv(const CellStreamSet& set, const Grid& grid,
+                           const std::string& path) {
+  auto writer_result = CsvWriter::Open(path);
+  if (!writer_result.ok()) return writer_result.status();
+  CsvWriter writer = std::move(writer_result).value();
+  writer.WriteRow({"stream_id", "timestamp", "cell", "center_x", "center_y"});
+  for (size_t i = 0; i < set.streams().size(); ++i) {
+    const CellStream& s = set.streams()[i];
+    for (int64_t t = s.enter_time; t < s.end_time(); ++t) {
+      const CellId c = s.At(t);
+      const Point center = grid.CellCenter(c);
+      writer.WriteRow({std::to_string(i), std::to_string(t), std::to_string(c),
+                       std::to_string(center.x), std::to_string(center.y)});
+    }
+  }
+  return writer.Close();
+}
+
+}  // namespace retrasyn

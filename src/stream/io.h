@@ -1,0 +1,57 @@
+// Trajectory-stream import/export.
+//
+// On-disk format: CSV rows `user_id,timestamp,x,y` (header optional, lines
+// starting with '#' ignored). The importer performs the paper's preprocessing
+// (SV-A): reports are grouped per user, sorted by timestamp, de-duplicated,
+// and runs separated by timestamp gaps are split into independent streams
+// with quit/enter events at the seams.
+
+#ifndef RETRASYN_STREAM_IO_H_
+#define RETRASYN_STREAM_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "geo/grid.h"
+#include "stream/cell_stream.h"
+#include "stream/stream_database.h"
+
+namespace retrasyn {
+
+struct ImportOptions {
+  /// When set, overrides the bounding box inferred from the data.
+  std::optional<BoundingBox> box;
+  /// When set, overrides the horizon inferred as (max timestamp + 1).
+  std::optional<int64_t> num_timestamps;
+  /// Whether the first row is a header to skip (auto-detected when the first
+  /// field of the first row is not numeric).
+  bool skip_header = false;
+  /// Raw-time discretization: timestamps are divided by this value to form
+  /// collection timestamps — the paper's T-Drive preprocessing ("transform
+  /// the time dimension into 886 timestamps with a granularity of 10
+  /// minutes" = 600 with epoch-second inputs). 1 keeps timestamps as-is.
+  /// When several reports of one user land in the same bin, the earliest is
+  /// kept.
+  int64_t time_granularity = 1;
+  /// Subtract the smallest observed timestamp before discretization, so
+  /// absolute epoch times map to a zero-based horizon.
+  bool align_to_zero = false;
+};
+
+/// \brief Loads a stream database from CSV, splitting on reporting gaps.
+Result<StreamDatabase> LoadStreamDatabaseCsv(const std::string& path,
+                                             const ImportOptions& options = {});
+
+/// \brief Writes a stream database as `user_id,timestamp,x,y` rows.
+Status WriteStreamDatabaseCsv(const StreamDatabase& db,
+                              const std::string& path);
+
+/// \brief Writes discretized (e.g. synthetic) streams as
+/// `stream_id,timestamp,cell,center_x,center_y` rows.
+Status WriteCellStreamsCsv(const CellStreamSet& set, const Grid& grid,
+                           const std::string& path);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_STREAM_IO_H_

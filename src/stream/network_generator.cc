@@ -1,0 +1,143 @@
+#include "stream/network_generator.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+namespace {
+
+/// A moving object's route-following state.
+struct MovingObject {
+  std::vector<uint32_t> route;  ///< node sequence
+  size_t edge_index = 0;        ///< index into route of the edge's source node
+  double along = 0.0;           ///< distance progressed on the current edge
+  bool done = false;
+
+  /// Current continuous position, interpolated along the active edge.
+  Point PositionOn(const RoadNetwork& net) const {
+    const Point& a = net.NodePosition(route[edge_index]);
+    if (edge_index + 1 >= route.size()) return a;
+    const Point& b = net.NodePosition(route[edge_index + 1]);
+    const double len = EuclideanDistance(a, b);
+    const double f = len <= 0.0 ? 0.0 : along / len;
+    return Point{a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+  }
+};
+
+/// Looks up the edge (speed/length) between consecutive route nodes.
+const RoadNetwork::Edge* FindEdge(const RoadNetwork& net, uint32_t from,
+                                  uint32_t to) {
+  for (const auto& e : net.EdgesFrom(from)) {
+    if (e.to == to) return &e;
+  }
+  return nullptr;
+}
+
+/// Advances the object by `seconds` of travel time; sets done when the route
+/// end is reached.
+void Advance(MovingObject& obj, const RoadNetwork& net, double seconds) {
+  double budget = seconds;
+  while (budget > 0.0 && obj.edge_index + 1 < obj.route.size()) {
+    const RoadNetwork::Edge* edge =
+        FindEdge(net, obj.route[obj.edge_index], obj.route[obj.edge_index + 1]);
+    RETRASYN_DCHECK(edge != nullptr);
+    const double remaining = edge->length - obj.along;
+    const double step = edge->speed * budget;
+    if (step < remaining) {
+      obj.along += step;
+      budget = 0.0;
+    } else {
+      budget -= remaining / edge->speed;
+      ++obj.edge_index;
+      obj.along = 0.0;
+    }
+  }
+  if (obj.edge_index + 1 >= obj.route.size()) obj.done = true;
+}
+
+/// Samples a route with at least min_nodes nodes (retry a few times, then
+/// accept whatever Dijkstra returns).
+std::vector<uint32_t> SampleRoute(const RoadNetwork& net, uint32_t min_nodes,
+                                  Rng& rng, uint32_t start_node = UINT32_MAX) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const uint32_t src = start_node != UINT32_MAX
+                             ? start_node
+                             : static_cast<uint32_t>(rng.UniformInt(
+                                   static_cast<uint64_t>(net.num_nodes())));
+    uint32_t dst = static_cast<uint32_t>(
+        rng.UniformInt(static_cast<uint64_t>(net.num_nodes())));
+    if (dst == src) continue;
+    std::vector<uint32_t> route = net.ShortestPath(src, dst);
+    if (route.size() >= min_nodes) return route;
+  }
+  // Fall back to any non-trivial route.
+  const uint32_t src = start_node != UINT32_MAX ? start_node : 0;
+  for (uint32_t dst = 0; dst < net.num_nodes(); ++dst) {
+    if (dst == src) continue;
+    std::vector<uint32_t> route = net.ShortestPath(src, dst);
+    if (route.size() >= 2) return route;
+  }
+  return {src};
+}
+
+}  // namespace
+
+StreamDatabase GenerateNetworkStreams(const NetworkGeneratorConfig& config,
+                                      Rng& rng) {
+  const RoadNetwork net = RoadNetwork::Generate(config.network, rng);
+  StreamDatabase db(config.network.box, config.num_timestamps);
+
+  struct LiveStream {
+    MovingObject object;
+    UserStream stream;
+  };
+  std::vector<LiveStream> live;
+  uint64_t next_id = 0;
+
+  auto spawn = [&](int64_t t) {
+    LiveStream ls;
+    ls.object.route = SampleRoute(net, config.min_route_nodes, rng);
+    ls.stream.user_id = next_id++;
+    ls.stream.enter_time = t;
+    ls.stream.points.push_back(ls.object.PositionOn(net));
+    live.push_back(std::move(ls));
+  };
+
+  for (uint32_t i = 0; i < config.initial_objects; ++i) spawn(0);
+
+  for (int64_t t = 1; t < config.num_timestamps; ++t) {
+    // Advance every live object and decide quitting.
+    std::vector<LiveStream> survivors;
+    survivors.reserve(live.size());
+    for (LiveStream& ls : live) {
+      Advance(ls.object, net, config.timestamp_interval_seconds);
+      bool quits = rng.Bernoulli(config.quit_probability);
+      if (ls.object.done && !quits) {
+        if (rng.Bernoulli(config.trip_chain_probability)) {
+          // Chain a new trip from the reached destination.
+          const uint32_t here = ls.object.route.back();
+          ls.object = MovingObject{};
+          ls.object.route =
+              SampleRoute(net, config.min_route_nodes, rng, here);
+          if (ls.object.route.size() < 2) quits = true;
+        } else {
+          quits = true;
+        }
+      }
+      if (quits) {
+        db.Add(std::move(ls.stream));
+      } else {
+        ls.stream.points.push_back(ls.object.PositionOn(net));
+        survivors.push_back(std::move(ls));
+      }
+    }
+    live = std::move(survivors);
+    for (uint32_t i = 0; i < config.arrivals_per_timestamp; ++i) spawn(t);
+  }
+  for (LiveStream& ls : live) db.Add(std::move(ls.stream));
+  return db;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,54 @@
+#include "stream/random_walk_generator.h"
+
+#include <cmath>
+#include <vector>
+
+namespace retrasyn {
+
+StreamDatabase GenerateRandomWalkStreams(const RandomWalkConfig& config,
+                                         Rng& rng) {
+  StreamDatabase db(config.box, config.num_timestamps);
+
+  struct Walker {
+    Point position;
+    UserStream stream;
+  };
+  std::vector<Walker> live;
+  uint64_t next_id = 0;
+
+  auto spawn = [&](int64_t t) {
+    Walker w;
+    w.position = Point{rng.UniformDouble(config.box.min_x, config.box.max_x),
+                       rng.UniformDouble(config.box.min_y, config.box.max_y)};
+    w.stream.user_id = next_id++;
+    w.stream.enter_time = t;
+    w.stream.points.push_back(w.position);
+    live.push_back(std::move(w));
+  };
+
+  for (uint32_t i = 0; i < config.initial_users; ++i) spawn(0);
+
+  for (int64_t t = 1; t < config.num_timestamps; ++t) {
+    std::vector<Walker> survivors;
+    survivors.reserve(live.size());
+    for (Walker& w : live) {
+      if (rng.Bernoulli(config.quit_probability)) {
+        db.Add(std::move(w.stream));
+        continue;
+      }
+      w.position = config.box.Clamp(
+          Point{w.position.x + rng.Gaussian(0.0, config.step_sigma),
+                w.position.y + rng.Gaussian(0.0, config.step_sigma)});
+      w.stream.points.push_back(w.position);
+      survivors.push_back(std::move(w));
+    }
+    live = std::move(survivors);
+    const uint64_t arrivals = rng.Binomial(
+        static_cast<uint64_t>(std::ceil(config.mean_arrivals * 2.0)), 0.5);
+    for (uint64_t i = 0; i < arrivals; ++i) spawn(t);
+  }
+  for (Walker& w : live) db.Add(std::move(w.stream));
+  return db;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,30 @@
+// Minimal Gaussian random-walk stream generator. Used by tests (fast,
+// structure-free data) and as the simplest example workload; the paper-shaped
+// workloads live in hotspot_generator.h and network_generator.h.
+
+#ifndef RETRASYN_STREAM_RANDOM_WALK_GENERATOR_H_
+#define RETRASYN_STREAM_RANDOM_WALK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "stream/stream_database.h"
+
+namespace retrasyn {
+
+struct RandomWalkConfig {
+  BoundingBox box{0.0, 0.0, 1000.0, 1000.0};
+  int64_t num_timestamps = 100;
+  uint32_t initial_users = 200;
+  double mean_arrivals = 10.0;
+  double quit_probability = 0.05;
+  /// Standard deviation of each coordinate step (distance units).
+  double step_sigma = 40.0;
+};
+
+StreamDatabase GenerateRandomWalkStreams(const RandomWalkConfig& config,
+                                         Rng& rng);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_STREAM_RANDOM_WALK_GENERATOR_H_

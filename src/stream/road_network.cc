@@ -1,0 +1,159 @@
+#include "stream/road_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+void RoadNetwork::AddBidirectionalEdge(uint32_t a, uint32_t b, double speed) {
+  if (a == b) return;
+  const double length = EuclideanDistance(nodes_[a], nodes_[b]);
+  adjacency_[a].push_back(Edge{b, length, speed});
+  adjacency_[b].push_back(Edge{a, length, speed});
+  ++num_edges_;
+}
+
+RoadNetwork RoadNetwork::Generate(const RoadNetworkConfig& config, Rng& rng) {
+  RETRASYN_CHECK(config.grid_dim >= 2);
+  RETRASYN_CHECK(config.speed_classes.size() == config.speed_weights.size());
+  RoadNetwork net;
+  net.box_ = config.box;
+  const uint32_t g = config.grid_dim;
+  const double sx = config.box.Width() / (g - 1);
+  const double sy = config.box.Height() / (g - 1);
+
+  net.nodes_.reserve(static_cast<size_t>(g) * g);
+  for (uint32_t r = 0; r < g; ++r) {
+    for (uint32_t c = 0; c < g; ++c) {
+      Point p{config.box.min_x + c * sx, config.box.min_y + r * sy};
+      p.x += rng.UniformDouble(-config.jitter, config.jitter) * sx;
+      p.y += rng.UniformDouble(-config.jitter, config.jitter) * sy;
+      net.nodes_.push_back(config.box.Clamp(p));
+    }
+  }
+  net.adjacency_.resize(net.nodes_.size());
+
+  auto node_at = [g](uint32_t r, uint32_t c) { return r * g + c; };
+  auto pick_speed = [&]() {
+    const size_t idx = rng.Discrete(config.speed_weights);
+    return config.speed_classes[idx < config.speed_classes.size() ? idx : 0];
+  };
+
+  for (uint32_t r = 0; r < g; ++r) {
+    for (uint32_t c = 0; c < g; ++c) {
+      if (c + 1 < g && rng.Bernoulli(config.edge_keep_prob)) {
+        net.AddBidirectionalEdge(node_at(r, c), node_at(r, c + 1), pick_speed());
+      }
+      if (r + 1 < g && rng.Bernoulli(config.edge_keep_prob)) {
+        net.AddBidirectionalEdge(node_at(r, c), node_at(r + 1, c), pick_speed());
+      }
+      if (r + 1 < g && c + 1 < g && rng.Bernoulli(config.diagonal_prob)) {
+        net.AddBidirectionalEdge(node_at(r, c), node_at(r + 1, c + 1),
+                                 pick_speed());
+      }
+    }
+  }
+
+  // Patch connectivity: BFS-label components, then chain every secondary
+  // component to the main one through its lexicographically first node's
+  // nearest main-component node.
+  std::vector<int32_t> component(net.nodes_.size(), -1);
+  int32_t num_components = 0;
+  for (uint32_t start = 0; start < net.nodes_.size(); ++start) {
+    if (component[start] != -1) continue;
+    const int32_t label = num_components++;
+    std::queue<uint32_t> frontier;
+    frontier.push(start);
+    component[start] = label;
+    while (!frontier.empty()) {
+      const uint32_t u = frontier.front();
+      frontier.pop();
+      for (const Edge& e : net.adjacency_[u]) {
+        if (component[e.to] == -1) {
+          component[e.to] = label;
+          frontier.push(e.to);
+        }
+      }
+    }
+  }
+  for (int32_t label = 1; label < num_components; ++label) {
+    uint32_t member = 0;
+    while (component[member] != label) ++member;
+    uint32_t nearest = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t v = 0; v < net.nodes_.size(); ++v) {
+      if (component[v] != 0) continue;
+      const double d = EuclideanDistance(net.nodes_[member], net.nodes_[v]);
+      if (d < best) {
+        best = d;
+        nearest = v;
+      }
+    }
+    net.AddBidirectionalEdge(member, nearest, pick_speed());
+    // Relabel the absorbed component as main.
+    for (uint32_t v = 0; v < net.nodes_.size(); ++v) {
+      if (component[v] == label) component[v] = 0;
+    }
+  }
+  RETRASYN_CHECK(net.IsConnected());
+  return net;
+}
+
+std::vector<uint32_t> RoadNetwork::ShortestPath(uint32_t src,
+                                                uint32_t dst) const {
+  RETRASYN_DCHECK(src < num_nodes() && dst < num_nodes());
+  if (src == dst) return {src};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_nodes(), kInf);
+  std::vector<uint32_t> parent(num_nodes(), UINT32_MAX);
+  using QueueEntry = std::pair<double, uint32_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const Edge& e : adjacency_[u]) {
+      const double nd = d + e.travel_time();
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        parent[e.to] = u;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return {};
+  std::vector<uint32_t> path;
+  for (uint32_t v = dst; v != UINT32_MAX; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  RETRASYN_DCHECK(path.front() == src);
+  return path;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<uint32_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    const uint32_t u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[u]) {
+      if (!seen[e.to]) {
+        seen[e.to] = 1;
+        ++count;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return count == nodes_.size();
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,80 @@
+// Synthetic road network: the substrate for the Brinkhoff-style
+// network-constrained moving-object generator (paper SV-A uses Brinkhoff's
+// generator on the Oldenburg and San Joaquin road maps; we generate a random
+// planar road graph with the same structural properties instead — see
+// DESIGN.md "Substitutions").
+//
+// Construction: nodes are placed on a jittered g x g lattice over the region;
+// lattice edges are kept with a configurable probability and a few diagonals
+// are added; every edge gets a speed class (residential / arterial /
+// highway). The graph is then patched to be strongly connected (edges are
+// bidirectional) so every source/destination pair admits a route.
+
+#ifndef RETRASYN_STREAM_ROAD_NETWORK_H_
+#define RETRASYN_STREAM_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace retrasyn {
+
+struct RoadNetworkConfig {
+  BoundingBox box{0.0, 0.0, 10000.0, 10000.0};
+  /// Nodes form a grid_dim x grid_dim jittered lattice.
+  uint32_t grid_dim = 16;
+  /// Fraction of a lattice spacing by which node positions are jittered.
+  double jitter = 0.3;
+  /// Probability of keeping each lattice edge.
+  double edge_keep_prob = 0.92;
+  /// Probability of adding each diagonal shortcut.
+  double diagonal_prob = 0.12;
+  /// Speed classes in distance-units per second (defaults ~30/50/90 km/h in
+  /// meters); each edge is assigned one class at random with the given
+  /// weights.
+  std::vector<double> speed_classes{8.3, 13.9, 25.0};
+  std::vector<double> speed_weights{0.5, 0.35, 0.15};
+};
+
+class RoadNetwork {
+ public:
+  struct Edge {
+    uint32_t to = 0;
+    double length = 0.0;  ///< euclidean length in distance units
+    double speed = 0.0;   ///< distance units per second
+    double travel_time() const { return length / speed; }
+  };
+
+  /// Generates a random connected network per \p config.
+  static RoadNetwork Generate(const RoadNetworkConfig& config, Rng& rng);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  const Point& NodePosition(uint32_t node) const { return nodes_[node]; }
+  const std::vector<Edge>& EdgesFrom(uint32_t node) const {
+    return adjacency_[node];
+  }
+  const BoundingBox& box() const { return box_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Fastest route (Dijkstra over travel time) from \p src to \p dst as a
+  /// node sequence including both endpoints. Empty only if src == dst is
+  /// false and no route exists, which Generate() precludes.
+  std::vector<uint32_t> ShortestPath(uint32_t src, uint32_t dst) const;
+
+  /// True when an undirected BFS from node 0 reaches every node.
+  bool IsConnected() const;
+
+ private:
+  void AddBidirectionalEdge(uint32_t a, uint32_t b, double speed);
+
+  BoundingBox box_;
+  std::vector<Point> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_STREAM_ROAD_NETWORK_H_

@@ -1,0 +1,37 @@
+#include "stream/stream_database.h"
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+StreamDatabase::StreamDatabase(const BoundingBox& box, int64_t num_timestamps)
+    : box_(box), num_timestamps_(num_timestamps) {
+  RETRASYN_CHECK(num_timestamps >= 1);
+  active_count_.assign(num_timestamps, 0);
+}
+
+void StreamDatabase::Add(UserStream stream) {
+  RETRASYN_CHECK(!stream.points.empty());
+  RETRASYN_CHECK(stream.enter_time >= 0);
+  RETRASYN_CHECK(stream.end_time() <= num_timestamps_);
+  total_points_ += stream.points.size();
+  for (int64_t t = stream.enter_time; t < stream.end_time(); ++t) {
+    ++active_count_[t];
+  }
+  streams_.push_back(std::move(stream));
+}
+
+uint32_t StreamDatabase::ActiveCount(int64_t t) const {
+  if (t < 0 || t >= num_timestamps_) return 0;
+  return active_count_[t];
+}
+
+StreamDatabase StreamDatabase::Subsample(double fraction, Rng& rng) const {
+  StreamDatabase out(box_, num_timestamps_);
+  for (const UserStream& s : streams_) {
+    if (rng.Bernoulli(fraction)) out.Add(s);
+  }
+  return out;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,70 @@
+// Trajectory stream data model (paper SII-C, Def. 4).
+//
+// A UserStream is one user's run of consecutive location reports: it enters
+// at some timestamp and reports exactly one continuous point per timestamp
+// until it quits. Streams with reporting gaps are represented as several
+// UserStreams (the importer splits them, matching the paper's preprocessing:
+// "for trajectories including non-adjacent timestamps, we add quitting events
+// and split them into multiple streams").
+
+#ifndef RETRASYN_STREAM_STREAM_DATABASE_H_
+#define RETRASYN_STREAM_STREAM_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace retrasyn {
+
+struct UserStream {
+  uint64_t user_id = 0;
+  int64_t enter_time = 0;      ///< timestamp of the first report
+  std::vector<Point> points;   ///< one point per timestamp from enter_time
+
+  /// One past the last reporting timestamp.
+  int64_t end_time() const {
+    return enter_time + static_cast<int64_t>(points.size());
+  }
+  bool ActiveAt(int64_t t) const { return t >= enter_time && t < end_time(); }
+  const Point& At(int64_t t) const { return points[t - enter_time]; }
+};
+
+/// \brief A collection of user trajectory streams over a fixed horizon.
+class StreamDatabase {
+ public:
+  StreamDatabase() = default;
+  StreamDatabase(const BoundingBox& box, int64_t num_timestamps);
+
+  /// Adds a stream; it must be non-empty and fit within [0, num_timestamps).
+  void Add(UserStream stream);
+
+  const std::vector<UserStream>& streams() const { return streams_; }
+  const BoundingBox& box() const { return box_; }
+  int64_t num_timestamps() const { return num_timestamps_; }
+
+  uint64_t TotalPoints() const { return total_points_; }
+  double AverageLength() const {
+    return streams_.empty()
+               ? 0.0
+               : static_cast<double>(total_points_) / streams_.size();
+  }
+  /// Number of streams reporting a location at timestamp \p t.
+  uint32_t ActiveCount(int64_t t) const;
+
+  /// Uniformly keeps approximately \p fraction of the streams (used by the
+  /// scalability experiment, Fig. 7). Deterministic given the RNG state.
+  StreamDatabase Subsample(double fraction, Rng& rng) const;
+
+ private:
+  BoundingBox box_;
+  int64_t num_timestamps_ = 0;
+  std::vector<UserStream> streams_;
+  std::vector<uint32_t> active_count_;
+  uint64_t total_points_ = 0;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_STREAM_STREAM_DATABASE_H_

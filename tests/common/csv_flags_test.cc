@@ -1,0 +1,116 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/flags.h"
+
+namespace retrasyn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, SplitBasic) {
+  const auto fields = SplitCsvLine("a, b ,c,,d");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+  EXPECT_EQ(fields[3], "");
+  EXPECT_EQ(fields[4], "d");
+}
+
+TEST(CsvTest, SplitSingleField) {
+  const auto fields = SplitCsvLine("solo");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "solo");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.csv");
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    CsvWriter w = std::move(writer).value();
+    w.WriteRow({"h1", "h2"});
+    w.WriteRow({"1", "2.5"});
+    w.WriteRow({"3", "x"});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[1][1], "2.5");
+  EXPECT_EQ(rows.value()[2][1], "x");
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment\n\n1,2\n   \n3,4\n", f);
+  std::fclose(f);
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto rows = ReadCsvFile("/nonexistent/dir/missing.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIOError);
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--epsilon=1.5", "--name=tdrive"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("epsilon", 0.0), 1.5);
+  EXPECT_EQ(flags.GetString("name", ""), "tdrive");
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--window", "30"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("window", 0), 30);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags = Flags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 17), 17);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 0.25), 0.25);
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "input.csv", "--k=6", "more"};
+  Flags flags = Flags::Parse(4, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "more");
+  EXPECT_EQ(flags.GetInt("k", 0), 6);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Flags flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,155 @@
+#include "core/allocation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace retrasyn {
+namespace {
+
+AllocationConfig MakeConfig(AllocationKind kind) {
+  AllocationConfig config;
+  config.kind = kind;
+  return config;
+}
+
+TEST(AllocationTest, UniformPortionIsOneOverW) {
+  PortionAllocator alloc(MakeConfig(AllocationKind::kUniform), 20, 10);
+  for (int64_t t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(alloc.Portion(t), 1.0 / 20.0);
+  }
+}
+
+TEST(AllocationTest, SampleFiresAtWindowStartsOnly) {
+  PortionAllocator alloc(MakeConfig(AllocationKind::kSample), 10, 10);
+  for (int64_t t = 0; t < 40; ++t) {
+    EXPECT_DOUBLE_EQ(alloc.Portion(t), t % 10 == 0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(AllocationTest, RandomReturnsZeroPortion) {
+  // Random scheduling happens per-user in the engine; the portion is unused.
+  PortionAllocator alloc(MakeConfig(AllocationKind::kRandom), 10, 10);
+  EXPECT_DOUBLE_EQ(alloc.Portion(5), 0.0);
+}
+
+TEST(AllocationTest, AdaptiveFirstRoundIsOneOverW) {
+  PortionAllocator alloc(MakeConfig(AllocationKind::kAdaptive), 25, 10);
+  EXPECT_DOUBLE_EQ(alloc.Portion(0), 1.0 / 25.0);
+}
+
+TEST(AllocationTest, DeviationZeroWithShortHistory) {
+  PortionAllocator alloc(MakeConfig(AllocationKind::kAdaptive), 10, 4);
+  EXPECT_DOUBLE_EQ(alloc.ComputeDeviation(), 0.0);
+  alloc.RecordRound({0.1, 0.2, 0.3, 0.4}, 2);
+  EXPECT_DOUBLE_EQ(alloc.ComputeDeviation(), 0.0);  // needs >= 2 snapshots
+}
+
+TEST(AllocationTest, DeviationMatchesHandComputation) {
+  PortionAllocator alloc(MakeConfig(AllocationKind::kAdaptive), 10, 2);
+  alloc.RecordRound({0.5, 0.5}, 0);
+  alloc.RecordRound({0.7, 0.1}, 0);
+  // Dev = |0.7 - 0.5| + |0.1 - 0.5| = 0.6
+  EXPECT_NEAR(alloc.ComputeDeviation(), 0.6, 1e-12);
+  alloc.RecordRound({0.6, 0.3}, 0);
+  // Prior mean = ((0.5+0.7)/2, (0.5+0.1)/2) = (0.6, 0.3): Dev = 0.
+  EXPECT_NEAR(alloc.ComputeDeviation(), 0.0, 1e-12);
+}
+
+TEST(AllocationTest, SteadyStreamFallsBackToProbeFloor) {
+  // When the model never changes, Dev = 0 and the portion drops to the probe
+  // floor 1/(2w) instead of starving collection entirely.
+  PortionAllocator alloc(MakeConfig(AllocationKind::kAdaptive), 10, 3);
+  for (int i = 0; i < 8; ++i) alloc.RecordRound({0.2, 0.3, 0.5}, 0);
+  EXPECT_DOUBLE_EQ(alloc.Portion(8), 0.05);
+}
+
+TEST(AllocationTest, ExplicitMinPortionOverridesAuto) {
+  AllocationConfig config = MakeConfig(AllocationKind::kAdaptive);
+  config.min_portion = 0.0;  // disable the probe floor entirely
+  PortionAllocator alloc(config, 10, 3);
+  for (int i = 0; i < 8; ++i) alloc.RecordRound({0.2, 0.3, 0.5}, 0);
+  EXPECT_DOUBLE_EQ(alloc.Portion(8), 0.0);
+}
+
+TEST(AllocationTest, VolatileStreamGetsLargerPortion) {
+  PortionAllocator steady(MakeConfig(AllocationKind::kAdaptive), 10, 2);
+  PortionAllocator volatile_alloc(MakeConfig(AllocationKind::kAdaptive), 10, 2);
+  for (int i = 0; i < 6; ++i) {
+    steady.RecordRound({0.5, 0.5}, 0);
+    volatile_alloc.RecordRound(
+        {i % 2 == 0 ? 0.9 : 0.1, i % 2 == 0 ? 0.1 : 0.9}, 0);
+  }
+  EXPECT_GT(volatile_alloc.Portion(6), steady.Portion(6));
+}
+
+TEST(AllocationTest, PortionCappedAtMaxPortion) {
+  AllocationConfig config = MakeConfig(AllocationKind::kAdaptive);
+  config.max_portion = 0.6;
+  config.alpha = 1000.0;  // would explode without the cap
+  PortionAllocator alloc(config, 5, 2);
+  alloc.RecordRound({0.0, 1.0}, 0);
+  alloc.RecordRound({1.0, 0.0}, 0);
+  EXPECT_DOUBLE_EQ(alloc.Portion(2), 0.6);
+}
+
+TEST(AllocationTest, HighSignificantRatioShrinksPortion) {
+  // Eq. 10's (1 - mean |S*|/|S|) factor: many recent significant transitions
+  // signal rapid change ahead, so the portion is reduced to avoid premature
+  // exhaustion.
+  PortionAllocator low_ratio(MakeConfig(AllocationKind::kAdaptive), 10, 4);
+  PortionAllocator high_ratio(MakeConfig(AllocationKind::kAdaptive), 10, 4);
+  std::vector<double> a{0.9, 0.1, 0.0, 0.0};
+  std::vector<double> b{0.1, 0.9, 0.0, 0.0};
+  for (int i = 0; i < 6; ++i) {
+    low_ratio.RecordRound(i % 2 == 0 ? a : b, 0);
+    high_ratio.RecordRound(i % 2 == 0 ? a : b, 4);
+  }
+  EXPECT_GT(low_ratio.Portion(6), high_ratio.Portion(6));
+  // Ratio 1 zeroes Eq. 10's factor; only the probe floor remains.
+  EXPECT_DOUBLE_EQ(high_ratio.Portion(6), 0.05);
+}
+
+TEST(AllocationTest, LargerWindowSmallerPortion) {
+  PortionAllocator small_w(MakeConfig(AllocationKind::kAdaptive), 10, 2);
+  PortionAllocator large_w(MakeConfig(AllocationKind::kAdaptive), 50, 2);
+  for (int i = 0; i < 6; ++i) {
+    const std::vector<double> f{i % 2 == 0 ? 0.8 : 0.2,
+                                i % 2 == 0 ? 0.2 : 0.8};
+    small_w.RecordRound(f, 0);
+    large_w.RecordRound(f, 0);
+  }
+  EXPECT_GT(small_w.Portion(6), large_w.Portion(6));
+}
+
+TEST(AllocationTest, HistoryBoundedByKappa) {
+  AllocationConfig config = MakeConfig(AllocationKind::kAdaptive);
+  config.kappa = 3;
+  PortionAllocator alloc(config, 10, 1);
+  // Ancient history must stop influencing the deviation.
+  for (int i = 0; i < 100; ++i) alloc.RecordRound({1.0}, 0);
+  for (int i = 0; i < 10; ++i) alloc.RecordRound({0.5}, 0);
+  EXPECT_NEAR(alloc.ComputeDeviation(), 0.0, 1e-12);
+}
+
+TEST(AllocationTest, MeanSignificantRatio) {
+  AllocationConfig config = MakeConfig(AllocationKind::kAdaptive);
+  config.kappa = 2;
+  PortionAllocator alloc(config, 10, 10);
+  alloc.RecordRound(std::vector<double>(10, 0.1), 10);  // evicted later
+  alloc.RecordRound(std::vector<double>(10, 0.1), 2);
+  alloc.RecordRound(std::vector<double>(10, 0.1), 4);
+  // Last kappa=2 ratios: 0.2, 0.4.
+  EXPECT_NEAR(alloc.MeanSignificantRatio(), 0.3, 1e-12);
+}
+
+TEST(AllocationKindNameTest, Names) {
+  EXPECT_STREQ(AllocationKindName(AllocationKind::kAdaptive), "Adaptive");
+  EXPECT_STREQ(AllocationKindName(AllocationKind::kUniform), "Uniform");
+  EXPECT_STREQ(AllocationKindName(AllocationKind::kSample), "Sample");
+  EXPECT_STREQ(AllocationKindName(AllocationKind::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace retrasyn

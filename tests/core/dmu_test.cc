@@ -1,0 +1,109 @@
+#include "core/dmu.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ldp/frequency_oracle.h"
+
+namespace retrasyn {
+namespace {
+
+TEST(DmuTest, SelectsStatesWithLargeBias) {
+  const double eps = 1.0;
+  const uint64_t n = 1000;
+  const double var = OueFrequencyVariance(eps, n);
+  const double big = std::sqrt(var) * 3.0;
+  const double small = std::sqrt(var) * 0.3;
+
+  std::vector<double> model{0.1, 0.2, 0.3, 0.4};
+  std::vector<double> fresh{0.1 + big, 0.2 + small, 0.3 - big, 0.4};
+  const DmuDecision d = SelectSignificantTransitions(model, fresh, eps, n);
+  EXPECT_EQ(d.selected, (std::vector<StateId>{0, 2}));
+  EXPECT_NEAR(d.update_error, var, 1e-15);
+}
+
+TEST(DmuTest, NoSelectionWhenModelMatches) {
+  std::vector<double> model{0.25, 0.25, 0.25, 0.25};
+  const DmuDecision d =
+      SelectSignificantTransitions(model, model, 1.0, 1000);
+  EXPECT_TRUE(d.selected.empty());
+  EXPECT_DOUBLE_EQ(d.objective, 0.0);
+}
+
+TEST(DmuTest, EverythingSelectedWhenNoiseIsTiny) {
+  // Huge population -> negligible perturbation variance -> any deviation is
+  // worth updating.
+  std::vector<double> model{0.0, 0.0, 0.0};
+  std::vector<double> fresh{0.1, 0.2, 0.3};
+  const DmuDecision d =
+      SelectSignificantTransitions(model, fresh, 2.0, 100000000);
+  EXPECT_EQ(d.selected.size(), 3u);
+}
+
+TEST(DmuTest, NothingSelectedWhenNoiseDominates) {
+  // Tiny population -> huge variance -> approximating always wins.
+  std::vector<double> model{0.0, 0.5};
+  std::vector<double> fresh{0.1, 0.4};
+  const DmuDecision d = SelectSignificantTransitions(model, fresh, 0.1, 2);
+  EXPECT_TRUE(d.selected.empty());
+}
+
+TEST(DmuTest, ObjectiveAccountsBothTerms) {
+  const double eps = 1.0;
+  const uint64_t n = 500;
+  const double var = OueFrequencyVariance(eps, n);
+  std::vector<double> model{0.0, 0.0};
+  const double big = std::sqrt(var) * 2.0;
+  const double small = std::sqrt(var) * 0.5;
+  std::vector<double> fresh{big, small};
+  const DmuDecision d = SelectSignificantTransitions(model, fresh, eps, n);
+  // State 0 selected (cost var), state 1 approximated (cost small^2).
+  EXPECT_NEAR(d.objective, var + small * small, 1e-12);
+}
+
+TEST(DmuTest, MoreBudgetSelectsMore) {
+  // Higher epsilon shrinks Err_upd, so the significant set can only grow.
+  Rng rng(1);
+  std::vector<double> model(32), fresh(32);
+  for (size_t i = 0; i < model.size(); ++i) {
+    model[i] = rng.UniformDouble() * 0.1;
+    fresh[i] = model[i] + rng.Gaussian(0.0, 0.03);
+  }
+  const auto lo = SelectSignificantTransitions(model, fresh, 0.5, 500);
+  const auto hi = SelectSignificantTransitions(model, fresh, 2.0, 500);
+  EXPECT_GE(hi.selected.size(), lo.selected.size());
+  // lo's selection is a subset of hi's.
+  for (StateId s : lo.selected) {
+    EXPECT_TRUE(std::find(hi.selected.begin(), hi.selected.end(), s) !=
+                hi.selected.end());
+  }
+}
+
+class DmuBruteForceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DmuBruteForceTest, SeparableRuleIsExactMinimizer) {
+  // Property: the per-state rule must attain the same objective as the
+  // exhaustive 2^d search on random instances.
+  Rng rng(GetParam());
+  const uint32_t d = 10;
+  std::vector<double> model(d), fresh(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    model[i] = rng.UniformDouble() * 0.3;
+    fresh[i] = rng.UniformDouble() * 0.3;
+  }
+  const double eps = 0.5 + rng.UniformDouble() * 1.5;
+  const uint64_t n = 50 + rng.UniformInt(uint64_t{2000});
+  const DmuDecision fast = SelectSignificantTransitions(model, fresh, eps, n);
+  const DmuDecision brute =
+      SelectSignificantTransitionsBruteForce(model, fresh, eps, n);
+  EXPECT_NEAR(fast.objective, brute.objective, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DmuBruteForceTest,
+                         testing::Range(uint64_t{0}, uint64_t{20}));
+
+}  // namespace
+}  // namespace retrasyn

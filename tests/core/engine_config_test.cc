@@ -1,0 +1,173 @@
+// Tests for engine configuration surfaces added on top of Algorithm 1:
+// estimate post-processing, the adaptive probe floor, and the live synthetic
+// view used by real-time consumers.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "stream/hotspot_generator.h"
+#include "stream/random_walk_generator.h"
+
+namespace retrasyn {
+namespace {
+
+struct Fixture {
+  Fixture() : grid(BoundingBox{0.0, 0.0, 1000.0, 1000.0}, 4), states(grid) {
+    RandomWalkConfig config;
+    config.num_timestamps = 50;
+    config.initial_users = 200;
+    config.mean_arrivals = 12.0;
+    Rng rng(21);
+    db = GenerateRandomWalkStreams(config, rng);
+    feeder = std::make_unique<StreamFeeder>(db, grid, states);
+  }
+  Grid grid;
+  StateSpace states;
+  StreamDatabase db;
+  std::unique_ptr<StreamFeeder> feeder;
+};
+
+RetraSynConfig BaseConfig() {
+  RetraSynConfig config;
+  config.epsilon = 1.0;
+  config.window = 10;
+  config.division = DivisionStrategy::kPopulation;
+  config.lambda = 12.0;
+  config.seed = 4;
+  return config;
+}
+
+TEST(EngineConfigTest, PostprocessModesAllRun) {
+  const Fixture fx;
+  for (Postprocess pp :
+       {Postprocess::kNone, Postprocess::kClip, Postprocess::kNormSub}) {
+    RetraSynConfig config = BaseConfig();
+    config.postprocess = pp;
+    RetraSynEngine engine(fx.states, config);
+    for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+      engine.Observe(fx.feeder->Batch(t));
+    }
+    const CellStreamSet syn = engine.Finish(fx.feeder->num_timestamps());
+    EXPECT_GT(syn.TotalPoints(), 0u) << static_cast<int>(pp);
+  }
+}
+
+TEST(EngineConfigTest, NormSubFullReplaceModelMassIsOne) {
+  // Under norm-sub every collected round's vector sums to 1; with full
+  // replacement (AllUpdate) the model therefore carries exactly unit mass
+  // after every collection. (With DMU, states from different rounds mix and
+  // the global mass is no longer constrained.)
+  const Fixture fx;
+  RetraSynConfig config = BaseConfig();
+  config.postprocess = Postprocess::kNormSub;
+  config.use_dmu = false;
+  RetraSynEngine engine(fx.states, config);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    if (!engine.model().initialized()) continue;
+    double mass = 0.0;
+    for (double f : engine.model().frequencies()) mass += f;
+    EXPECT_NEAR(mass, 1.0, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(EngineConfigTest, ClipModelIsNonNegative) {
+  const Fixture fx;
+  RetraSynConfig config = BaseConfig();
+  config.postprocess = Postprocess::kClip;
+  RetraSynEngine engine(fx.states, config);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+  }
+  for (double f : engine.model().frequencies()) {
+    EXPECT_GE(f, 0.0);
+  }
+}
+
+TEST(EngineConfigTest, ZeroMinPortionCanStarve) {
+  // With the probe floor disabled, the adaptive strategy may legally stop
+  // collecting; the engine must stay well-defined (model frozen, synthesis
+  // continues).
+  const Fixture fx;
+  RetraSynConfig config = BaseConfig();
+  config.allocation.min_portion = 0.0;
+  RetraSynEngine engine(fx.states, config);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+  }
+  const CellStreamSet syn = engine.Finish(fx.feeder->num_timestamps());
+  EXPECT_GT(syn.streams().size(), 0u);
+  EXPECT_FALSE(engine.report_tracker().HasViolation());
+}
+
+TEST(EngineConfigTest, LiveViewTracksActivePopulation) {
+  const Fixture fx;
+  RetraSynEngine engine(fx.states, BaseConfig());
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    if (!engine.synthesizer().initialized()) continue;
+    // Live density sums to the live stream count, which matches the real
+    // active population under size adjustment.
+    const std::vector<uint32_t> density = engine.synthesizer().LiveDensity();
+    uint64_t total = 0;
+    for (uint32_t c : density) total += c;
+    EXPECT_EQ(total, engine.synthesizer().num_live());
+    EXPECT_EQ(engine.synthesizer().num_live(), fx.db.ActiveCount(t));
+    // Live streams end at the current timestamp.
+    for (const CellStream& s : engine.synthesizer().live_streams()) {
+      EXPECT_EQ(s.end_time(), t + 1);
+    }
+  }
+}
+
+TEST(EngineConfigTest, BudgetAdaptiveSurvivesLargeWindowDepletion) {
+  // Regression: with a large window the adaptive budget split can drive the
+  // remaining window budget toward zero; rounds below the minimum meaningful
+  // epsilon must be skipped (historically this produced 0/0 NaN estimates
+  // through the vanishing OUE denominator and aborted).
+  const Fixture fx;
+  RetraSynConfig config = BaseConfig();
+  config.division = DivisionStrategy::kBudget;
+  config.window = 50;
+  RetraSynEngine engine(fx.states, config);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+  }
+  EXPECT_LE(engine.budget_ledger().MaxWindowSpend(), config.epsilon + 1e-9);
+  for (double f : engine.model().frequencies()) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+  const CellStreamSet syn = engine.Finish(fx.feeder->num_timestamps());
+  EXPECT_GT(syn.TotalPoints(), 0u);
+}
+
+TEST(EngineConfigTest, LambdaControlsSyntheticLengths) {
+  // Larger lambda suppresses the Eq. 8 quit probability, yielding longer
+  // synthetic streams on data with real churn.
+  HotspotGeneratorConfig data_config;
+  data_config.num_timestamps = 120;
+  data_config.initial_users = 600;
+  data_config.mean_arrivals = 45.0;
+  Rng rng(31);
+  const StreamDatabase db = GenerateHotspotStreams(data_config, rng);
+  const Grid grid(db.box(), 4);
+  const StateSpace states(grid);
+  const StreamFeeder feeder(db, grid, states);
+
+  auto mean_length = [&](double lambda) {
+    RetraSynConfig config = BaseConfig();
+    config.lambda = lambda;
+    RetraSynEngine engine(states, config);
+    for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
+      engine.Observe(feeder.Batch(t));
+    }
+    const CellStreamSet syn = engine.Finish(feeder.num_timestamps());
+    return static_cast<double>(syn.TotalPoints()) / syn.streams().size();
+  };
+  EXPECT_LT(mean_length(3.0), mean_length(60.0));
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,225 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/random_walk_generator.h"
+
+namespace retrasyn {
+namespace {
+
+struct EngineFixture {
+  EngineFixture(int64_t horizon = 60, uint32_t users = 150, uint64_t seed = 7)
+      : grid(BoundingBox{0.0, 0.0, 1000.0, 1000.0}, 4), states(grid) {
+    RandomWalkConfig config;
+    config.num_timestamps = horizon;
+    config.initial_users = users;
+    config.mean_arrivals = users / 15.0;
+    config.quit_probability = 0.04;
+    Rng rng(seed);
+    db = GenerateRandomWalkStreams(config, rng);
+    feeder = std::make_unique<StreamFeeder>(db, grid, states);
+  }
+
+  void Run(RetraSynEngine& engine) const {
+    for (int64_t t = 0; t < feeder->num_timestamps(); ++t) {
+      engine.Observe(feeder->Batch(t));
+    }
+  }
+
+  Grid grid;
+  StateSpace states;
+  StreamDatabase db;
+  std::unique_ptr<StreamFeeder> feeder;
+};
+
+RetraSynConfig BaseConfig(DivisionStrategy division, AllocationKind kind) {
+  RetraSynConfig config;
+  config.epsilon = 1.0;
+  config.window = 10;
+  config.division = division;
+  config.allocation.kind = kind;
+  config.lambda = 12.0;
+  config.seed = 3;
+  return config;
+}
+
+struct StrategyParam {
+  DivisionStrategy division;
+  AllocationKind allocation;
+};
+
+class EngineStrategyTest : public testing::TestWithParam<StrategyParam> {};
+
+TEST_P(EngineStrategyTest, RunsAndProducesValidSynthetic) {
+  const EngineFixture fx;
+  RetraSynEngine engine(fx.states,
+                        BaseConfig(GetParam().division, GetParam().allocation));
+  fx.Run(engine);
+  const CellStreamSet syn = engine.Finish(fx.feeder->num_timestamps());
+  EXPECT_GT(syn.streams().size(), 0u);
+  for (const CellStream& s : syn.streams()) {
+    EXPECT_GE(s.enter_time, 0);
+    EXPECT_LE(s.end_time(), fx.feeder->num_timestamps());
+    for (size_t i = 1; i < s.cells.size(); ++i) {
+      EXPECT_TRUE(fx.grid.AreNeighbors(s.cells[i - 1], s.cells[i]));
+    }
+  }
+}
+
+TEST_P(EngineStrategyTest, WEventGuaranteeHolds) {
+  const EngineFixture fx;
+  const RetraSynConfig config =
+      BaseConfig(GetParam().division, GetParam().allocation);
+  RetraSynEngine engine(fx.states, config);
+  fx.Run(engine);
+  if (GetParam().division == DivisionStrategy::kBudget) {
+    // No sliding window may spend more than epsilon.
+    EXPECT_LE(engine.budget_ledger().MaxWindowSpend(), config.epsilon + 1e-9);
+  } else {
+    // No user may report twice within a window.
+    EXPECT_FALSE(engine.report_tracker().HasViolation());
+    EXPECT_GT(engine.total_reports(), 0u);
+  }
+}
+
+TEST_P(EngineStrategyTest, SyntheticSizeTracksRealActiveCounts) {
+  const EngineFixture fx;
+  RetraSynEngine engine(fx.states,
+                        BaseConfig(GetParam().division, GetParam().allocation));
+  fx.Run(engine);
+  const CellStreamSet syn = engine.Finish(fx.feeder->num_timestamps());
+  // With enter/quit modeling on, the active counts must match exactly from
+  // the first collection onwards.
+  for (int64_t t = 1; t < fx.feeder->num_timestamps(); ++t) {
+    EXPECT_EQ(syn.ActiveCount(t), fx.db.ActiveCount(t)) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, EngineStrategyTest,
+    testing::Values(
+        StrategyParam{DivisionStrategy::kBudget, AllocationKind::kAdaptive},
+        StrategyParam{DivisionStrategy::kBudget, AllocationKind::kUniform},
+        StrategyParam{DivisionStrategy::kBudget, AllocationKind::kSample},
+        StrategyParam{DivisionStrategy::kPopulation, AllocationKind::kAdaptive},
+        StrategyParam{DivisionStrategy::kPopulation, AllocationKind::kUniform},
+        StrategyParam{DivisionStrategy::kPopulation, AllocationKind::kSample},
+        StrategyParam{DivisionStrategy::kPopulation, AllocationKind::kRandom}),
+    [](const testing::TestParamInfo<StrategyParam>& info) {
+      return std::string(DivisionStrategyName(info.param.division)) + "_" +
+             AllocationKindName(info.param.allocation);
+    });
+
+TEST(EngineTest, NamesEncodeVariant) {
+  const EngineFixture fx(10, 20);
+  {
+    RetraSynEngine e(fx.states, BaseConfig(DivisionStrategy::kPopulation,
+                                           AllocationKind::kAdaptive));
+    EXPECT_EQ(e.name(), "RetraSynp-Adaptive");
+  }
+  {
+    RetraSynConfig c =
+        BaseConfig(DivisionStrategy::kBudget, AllocationKind::kUniform);
+    c.use_dmu = false;
+    RetraSynEngine e(fx.states, c);
+    EXPECT_EQ(e.name(), "AllUpdateb-Uniform");
+  }
+  {
+    RetraSynConfig c =
+        BaseConfig(DivisionStrategy::kPopulation, AllocationKind::kAdaptive);
+    c.use_eq = false;
+    RetraSynEngine e(fx.states, c);
+    EXPECT_EQ(e.name(), "NoEQp-Adaptive");
+  }
+}
+
+TEST(EngineTest, NoEqVariantFreezesPopulationAndNeverTerminates) {
+  const EngineFixture fx;
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kPopulation, AllocationKind::kAdaptive);
+  config.use_eq = false;
+  RetraSynEngine engine(fx.states, config);
+  fx.Run(engine);
+  const CellStreamSet syn = engine.Finish(fx.feeder->num_timestamps());
+  // All synthetic streams share one enter time and survive to the horizon.
+  ASSERT_GT(syn.streams().size(), 0u);
+  const int64_t t0 = syn.streams()[0].enter_time;
+  for (const CellStream& s : syn.streams()) {
+    EXPECT_EQ(s.enter_time, t0);
+    EXPECT_EQ(s.end_time(), fx.feeder->num_timestamps());
+  }
+}
+
+TEST(EngineTest, AllUpdateVariantStillSatisfiesPrivacyDiscipline) {
+  const EngineFixture fx;
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kBudget, AllocationKind::kAdaptive);
+  config.use_dmu = false;
+  RetraSynEngine engine(fx.states, config);
+  fx.Run(engine);
+  EXPECT_LE(engine.budget_ledger().MaxWindowSpend(), config.epsilon + 1e-9);
+}
+
+TEST(EngineTest, PerUserCollectionModeWorks) {
+  const EngineFixture fx(30, 60);
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kPopulation, AllocationKind::kUniform);
+  config.collection_mode = CollectionMode::kPerUser;
+  RetraSynEngine engine(fx.states, config);
+  fx.Run(engine);
+  const CellStreamSet syn = engine.Finish(30);
+  EXPECT_GT(syn.TotalPoints(), 0u);
+  EXPECT_FALSE(engine.report_tracker().HasViolation());
+}
+
+TEST(EngineTest, DeterministicGivenSeed) {
+  const EngineFixture fx(40, 80);
+  auto run_once = [&]() {
+    RetraSynEngine engine(fx.states, BaseConfig(DivisionStrategy::kPopulation,
+                                                AllocationKind::kAdaptive));
+    for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+      engine.Observe(fx.feeder->Batch(t));
+    }
+    return engine.Finish(fx.feeder->num_timestamps());
+  };
+  const CellStreamSet a = run_once();
+  const CellStreamSet b = run_once();
+  ASSERT_EQ(a.streams().size(), b.streams().size());
+  for (size_t i = 0; i < a.streams().size(); ++i) {
+    EXPECT_EQ(a.streams()[i].enter_time, b.streams()[i].enter_time);
+    EXPECT_EQ(a.streams()[i].cells, b.streams()[i].cells);
+  }
+}
+
+TEST(EngineTest, ComponentTimesAccumulate) {
+  const EngineFixture fx(30, 60);
+  RetraSynEngine engine(fx.states, BaseConfig(DivisionStrategy::kPopulation,
+                                              AllocationKind::kAdaptive));
+  fx.Run(engine);
+  const ComponentTimes& times = engine.component_times();
+  EXPECT_EQ(times.synthesis.count(), 30);
+  EXPECT_GE(times.TotalMeanPerTimestamp(), 0.0);
+}
+
+TEST(EngineTest, ReportsNeverExceedOnePerUserPerWindow) {
+  // Also exercised with the Sample strategy where all users report at window
+  // boundaries -- the recycling path must line up exactly.
+  const EngineFixture fx(55, 120);
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kPopulation, AllocationKind::kSample);
+  RetraSynEngine engine(fx.states, config);
+  fx.Run(engine);
+  EXPECT_FALSE(engine.report_tracker().HasViolation());
+  EXPECT_GT(engine.total_reports(), 0u);
+}
+
+TEST(EngineTest, RandomAllocationRejectedForBudgetDivision) {
+  const EngineFixture fx(10, 20);
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kBudget, AllocationKind::kRandom);
+  EXPECT_DEATH(RetraSynEngine(fx.states, config), "population-division only");
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,167 @@
+#include "core/release_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/random_walk_generator.h"
+
+namespace retrasyn {
+namespace {
+
+struct ServerFixture {
+  ServerFixture() : grid(BoundingBox{0.0, 0.0, 1000.0, 1000.0}, 4),
+                    states(grid) {
+    RandomWalkConfig config;
+    config.num_timestamps = 60;
+    config.initial_users = 250;
+    config.mean_arrivals = 15.0;
+    Rng rng(41);
+    db = GenerateRandomWalkStreams(config, rng);
+    feeder = std::make_unique<StreamFeeder>(db, grid, states);
+  }
+
+  RetraSynConfig EngineConfig() const {
+    RetraSynConfig config;
+    config.epsilon = 1.0;
+    config.window = 10;
+    config.division = DivisionStrategy::kPopulation;
+    config.lambda = 12.0;
+    config.seed = 6;
+    return config;
+  }
+
+  Grid grid;
+  StateSpace states;
+  StreamDatabase db;
+  std::unique_ptr<StreamFeeder> feeder;
+};
+
+TEST(ReleaseServerTest, LiveAnswersMatchPostHocRelease) {
+  // The online server's per-timestamp answers must equal what the post-hoc
+  // DensityIndex computes from the finished release — the consistency that
+  // makes "query the live view" legitimate.
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    server.Ingest(engine);
+  }
+  const CellStreamSet released = engine.Finish(fx.feeder->num_timestamps());
+  const DensityIndex post_hoc(released, fx.grid);
+
+  ASSERT_EQ(server.horizon(), fx.feeder->num_timestamps());
+  for (int64_t t = 0; t < server.horizon(); ++t) {
+    EXPECT_EQ(server.DensityAt(t), post_hoc.DensityAt(t)) << "t=" << t;
+    EXPECT_EQ(server.ActiveAt(t), post_hoc.TotalPointsIn(t, t + 1))
+        << "t=" << t;
+  }
+}
+
+TEST(ReleaseServerTest, RangeCountsMatchPostHoc) {
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    server.Ingest(engine);
+  }
+  const CellStreamSet released = engine.Finish(fx.feeder->num_timestamps());
+  const DensityIndex post_hoc(released, fx.grid);
+
+  Rng qrng(9);
+  const auto queries =
+      GenerateRandomQueries(fx.grid, server.horizon(), 8, 40, qrng);
+  for (const RangeQuery& q : queries) {
+    EXPECT_EQ(server.RangeCount(q), post_hoc.Count(q));
+  }
+}
+
+TEST(ReleaseServerTest, TopHotspotsMatchAggregateDensity) {
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    server.Ingest(engine);
+  }
+  const CellStreamSet released = engine.Finish(fx.feeder->num_timestamps());
+  const DensityIndex post_hoc(released, fx.grid);
+
+  const auto hotspots = server.TopHotspots(10, 30, 5);
+  ASSERT_EQ(hotspots.size(), 5u);
+  const std::vector<double> agg = post_hoc.AggregateDensity(10, 30);
+  // The reported hotspots are sorted by aggregate density.
+  for (size_t i = 1; i < hotspots.size(); ++i) {
+    EXPECT_GE(agg[hotspots[i - 1]], agg[hotspots[i]]);
+  }
+  // And the first one is a global maximum.
+  for (CellId c = 0; c < fx.grid.NumCells(); ++c) {
+    EXPECT_LE(agg[c], agg[hotspots[0]] + 1e-9);
+  }
+}
+
+TEST(ReleaseServerTest, PreInitializationTimestampsAreZero) {
+  // If ingestion starts before the engine's first synthesis round, those
+  // timestamps report zero density rather than garbage.
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  server.Ingest(engine);  // before any Observe
+  EXPECT_EQ(server.ActiveAt(0), 0u);
+  EXPECT_EQ(server.horizon(), 1);
+}
+
+TEST(ReleaseServerTest, TrailingMeanActive) {
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  for (int64_t t = 0; t < 20; ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    server.Ingest(engine);
+  }
+  const double mean5 = server.TrailingMeanActive(5);
+  double expected = 0.0;
+  for (int64_t t = 15; t < 20; ++t) {
+    expected += static_cast<double>(server.ActiveAt(t));
+  }
+  expected /= 5.0;
+  EXPECT_DOUBLE_EQ(mean5, expected);
+  // Window larger than history falls back to the full mean.
+  EXPECT_GT(server.TrailingMeanActive(1000), 0.0);
+}
+
+TEST(PrivacyExtremesTest, WindowOneIsEventLevel) {
+  // w = 1 degenerates to event-level LDP (paper SII-B): every user may
+  // report at every timestamp under population division.
+  const ServerFixture fx;
+  RetraSynConfig config = fx.EngineConfig();
+  config.window = 1;
+  RetraSynEngine engine(fx.states, config);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+  }
+  EXPECT_FALSE(engine.report_tracker().HasViolation());
+  // With w = 1 and recycling every timestamp, the engine can use a large
+  // share of all observations.
+  EXPECT_GT(engine.total_reports(),
+            fx.feeder->cell_streams().TotalPoints() / 4);
+}
+
+TEST(PrivacyExtremesTest, WindowEqualToHorizonIsUserLevel) {
+  // w = stream horizon: each user reports at most once over the whole run —
+  // user-level LDP on the finite stream.
+  const ServerFixture fx;
+  RetraSynConfig config = fx.EngineConfig();
+  config.window = static_cast<int>(fx.feeder->num_timestamps());
+  RetraSynEngine engine(fx.states, config);
+  for (int64_t t = 0; t < fx.feeder->num_timestamps(); ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+  }
+  EXPECT_FALSE(engine.report_tracker().HasViolation());
+  // No user may appear twice: total reports <= number of users.
+  EXPECT_LE(engine.total_reports(), fx.db.streams().size());
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,61 @@
+#include "eval/table.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace retrasyn {
+namespace {
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.123456, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(1.0, 1), "1.0");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+  EXPECT_EQ(FormatDouble(3.14159, 6), "3.141590");
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow(TablePrinter::Separator());
+  table.AddRow({"a-much-longer-name", "2"});
+
+  const std::string path = testing::TempDir() + "/table_print.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  table.Print(f);
+  std::fclose(f);
+
+  auto rows = ReadCsvFile(path);  // no commas: one field per line
+  ASSERT_TRUE(rows.ok());
+  // header + rule + row + rule (separator) + row = 5 lines
+  ASSERT_EQ(rows.value().size(), 5u);
+  EXPECT_NE(rows.value()[0][0].find("name"), std::string::npos);
+  EXPECT_NE(rows.value()[0][0].find("value"), std::string::npos);
+  EXPECT_NE(rows.value()[4][0].find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvDumpSkipsSeparators) {
+  TablePrinter table({"h1", "h2"});
+  table.AddRow({"a", "b"});
+  table.AddRow(TablePrinter::Separator());
+  table.AddRow({"c", "d"});
+  const std::string path = testing::TempDir() + "/table_dump.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);  // header + 2 data rows
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(rows.value()[2], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(TablePrinterTest, CsvToBadPathFails) {
+  TablePrinter table({"h"});
+  EXPECT_FALSE(table.WriteCsv("/no/such/dir/table.csv"));
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,56 @@
+#include "ldp/audit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace retrasyn {
+namespace {
+
+TEST(AuditTest, OueAnalyticBoundIsEpsilon) {
+  EXPECT_DOUBLE_EQ(OueAnalyticLogRatio(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(OueAnalyticLogRatio(2.0), 2.0);
+}
+
+TEST(AuditTest, OueEmpiricalMatchesClaimedEpsilon) {
+  Rng rng(1);
+  for (double eps : {0.5, 1.0, 2.0}) {
+    const LdpAuditResult result = AuditOue(eps, 8, 200000, rng);
+    // OUE is tight: the empirical worst case converges to eps itself.
+    EXPECT_NEAR(result.empirical_log_ratio, eps,
+                5.0 * result.standard_error)
+        << "eps=" << eps;
+    EXPECT_TRUE(result.ConsistentWithBound()) << "eps=" << eps;
+  }
+}
+
+TEST(AuditTest, GrrEmpiricalMatchesClaimedEpsilon) {
+  Rng rng(2);
+  for (double eps : {0.5, 1.0, 2.0}) {
+    const LdpAuditResult result = AuditGrr(eps, 6, 200000, rng);
+    EXPECT_NEAR(result.empirical_log_ratio, eps,
+                5.0 * result.standard_error)
+        << "eps=" << eps;
+    EXPECT_TRUE(result.ConsistentWithBound()) << "eps=" << eps;
+  }
+}
+
+TEST(AuditTest, DetectsOverspentBudget) {
+  // A mechanism run with a *larger* eps than claimed must fail the audit
+  // against the smaller claimed bound: run OUE at eps = 2 and audit against
+  // a claimed bound of 0.5.
+  Rng rng(3);
+  LdpAuditResult result = AuditOue(2.0, 8, 200000, rng);
+  result.analytic_bound = 0.5;  // the (false) claim
+  EXPECT_FALSE(result.ConsistentWithBound());
+}
+
+TEST(AuditTest, StandardErrorShrinksWithTrials) {
+  Rng rng(4);
+  const LdpAuditResult small = AuditOue(1.0, 8, 1000, rng);
+  const LdpAuditResult large = AuditOue(1.0, 8, 100000, rng);
+  EXPECT_LT(large.standard_error, small.standard_error);
+}
+
+}  // namespace
+}  // namespace retrasyn

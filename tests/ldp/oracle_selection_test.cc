@@ -1,0 +1,124 @@
+// Tests for the GRR collection path and the variance-based kAuto oracle
+// selection.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ldp/aggregate.h"
+#include "ldp/frequency_oracle.h"
+
+namespace retrasyn {
+namespace {
+
+std::vector<StateId> SkewedStates(uint32_t domain, size_t n) {
+  std::vector<StateId> states;
+  states.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    states.push_back(i % 2 == 0 ? 0 : static_cast<StateId>(1 + i % (domain - 1)));
+  }
+  return states;
+}
+
+TEST(OracleSelectionTest, AutoPicksGrrForTinyDomains) {
+  // GRR wins iff d < 3 e^eps + 2.
+  TransitionCollector tiny(4, CollectionMode::kAggregateSim,
+                           OracleKind::kAuto);
+  EXPECT_EQ(tiny.EffectiveOracle(1.0), OracleKind::kGrr);
+  TransitionCollector large(1000, CollectionMode::kAggregateSim,
+                            OracleKind::kAuto);
+  EXPECT_EQ(large.EffectiveOracle(1.0), OracleKind::kOue);
+}
+
+TEST(OracleSelectionTest, AutoSwitchesWithEpsilon) {
+  // d = 30: OUE at eps = 1 (3e + 2 ~ 10.2 < 30), GRR at eps = 3
+  // (3e^3 + 2 ~ 62 > 30).
+  TransitionCollector collector(30, CollectionMode::kAggregateSim,
+                                OracleKind::kAuto);
+  EXPECT_EQ(collector.EffectiveOracle(1.0), OracleKind::kOue);
+  EXPECT_EQ(collector.EffectiveOracle(3.0), OracleKind::kGrr);
+}
+
+TEST(OracleSelectionTest, FixedKindsNeverSwitch) {
+  TransitionCollector oue(4, CollectionMode::kAggregateSim, OracleKind::kOue);
+  TransitionCollector grr(1000, CollectionMode::kAggregateSim,
+                          OracleKind::kGrr);
+  EXPECT_EQ(oue.EffectiveOracle(5.0), OracleKind::kOue);
+  EXPECT_EQ(grr.EffectiveOracle(0.1), OracleKind::kGrr);
+}
+
+class GrrCollectorModeTest : public testing::TestWithParam<CollectionMode> {};
+
+TEST_P(GrrCollectorModeTest, UnbiasedEstimates) {
+  const uint32_t domain = 12;
+  const size_t n = 30000;
+  TransitionCollector collector(domain, GetParam(), OracleKind::kGrr);
+  Rng rng(5);
+  const CollectionResult result =
+      collector.Collect(SkewedStates(domain, n), 1.0, rng);
+  ASSERT_EQ(result.num_reports, n);
+  EXPECT_NEAR(result.frequencies[0], 0.5, 0.03);
+  double total = 0.0;
+  for (double f : result.frequencies) total += f;
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, GrrCollectorModeTest,
+                         testing::Values(CollectionMode::kPerUser,
+                                         CollectionMode::kAggregateSim));
+
+TEST(GrrCollectorTest, ModesAgreeInMeanAndVariance) {
+  const uint32_t domain = 8;
+  const size_t n = 400;
+  const int rounds = 1200;
+  std::vector<StateId> states(n, 0);
+  for (size_t i = n / 4; i < n; ++i) states[i] = 1 + i % (domain - 1);
+
+  auto run = [&](CollectionMode mode, uint64_t seed, double* mean,
+                 double* var) {
+    TransitionCollector collector(domain, mode, OracleKind::kGrr);
+    Rng rng(seed);
+    double sum = 0.0, sum_sq = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const double f = collector.Collect(states, 1.0, rng).frequencies[0];
+      sum += f;
+      sum_sq += f * f;
+    }
+    *mean = sum / rounds;
+    *var = sum_sq / rounds - (*mean) * (*mean);
+  };
+  double mean_user, var_user, mean_sim, var_sim;
+  run(CollectionMode::kPerUser, 10, &mean_user, &var_user);
+  run(CollectionMode::kAggregateSim, 11, &mean_sim, &var_sim);
+  EXPECT_NEAR(mean_user, 0.25, 0.01);
+  EXPECT_NEAR(mean_sim, 0.25, 0.01);
+  EXPECT_NEAR(var_user, var_sim, 0.2 * std::max(var_user, var_sim));
+}
+
+TEST(GrrCollectorTest, VarianceWorseThanOueOnLargeDomain) {
+  // Empirical confirmation of why the paper uses OUE: on a transition-sized
+  // domain, GRR's zero-frequency estimates fluctuate more.
+  const uint32_t domain = 300;
+  const size_t n = 2000;
+  const int rounds = 400;
+  std::vector<StateId> states(n, 0);
+  auto estimate_var = [&](OracleKind kind, uint64_t seed) {
+    TransitionCollector collector(domain, CollectionMode::kAggregateSim, kind);
+    Rng rng(seed);
+    double sum = 0.0, sum_sq = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const double f =
+          collector.Collect(states, 1.0, rng).frequencies[domain - 1];
+      sum += f;
+      sum_sq += f * f;
+    }
+    const double mean = sum / rounds;
+    return sum_sq / rounds - mean * mean;
+  };
+  EXPECT_GT(estimate_var(OracleKind::kGrr, 20),
+            estimate_var(OracleKind::kOue, 21));
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,132 @@
+#include "metrics/patterns.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace retrasyn {
+namespace {
+
+TEST(PatternPackTest, RoundTrip) {
+  for (int len = 2; len <= kMaxPatternLength; ++len) {
+    std::vector<CellId> cells;
+    for (int i = 0; i < len; ++i) {
+      cells.push_back(static_cast<CellId>((i * 37 + 11) % kMaxPatternCells));
+    }
+    const PatternKey key = PackPattern(cells.data(), len);
+    EXPECT_EQ(UnpackPattern(key), cells);
+  }
+}
+
+TEST(PatternPackTest, DistinctPatternsDistinctKeys) {
+  const CellId a[] = {1, 2};
+  const CellId b[] = {2, 1};
+  const CellId c[] = {1, 2, 0};
+  EXPECT_NE(PackPattern(a, 2), PackPattern(b, 2));
+  EXPECT_NE(PackPattern(a, 2), PackPattern(c, 3));
+}
+
+TEST(PatternPackTest, ZeroCellsStillUnambiguous) {
+  const CellId z2[] = {0, 0};
+  const CellId z3[] = {0, 0, 0};
+  EXPECT_NE(PackPattern(z2, 2), PackPattern(z3, 3));
+  EXPECT_EQ(UnpackPattern(PackPattern(z2, 2)).size(), 2u);
+  EXPECT_EQ(UnpackPattern(PackPattern(z3, 3)).size(), 3u);
+}
+
+CellStreamSet RepeatedPatternSet() {
+  // 10 streams walking 1->2->3, 3 streams walking 4->5.
+  CellStreamSet set(10);
+  for (int i = 0; i < 10; ++i) {
+    CellStream s;
+    s.enter_time = 0;
+    s.cells = {1, 2, 3};
+    set.Add(std::move(s));
+  }
+  for (int i = 0; i < 3; ++i) {
+    CellStream s;
+    s.enter_time = 0;
+    s.cells = {4, 5};
+    set.Add(std::move(s));
+  }
+  return set;
+}
+
+TEST(TopPatternsTest, MostFrequentFirst) {
+  const CellStreamSet set = RepeatedPatternSet();
+  const auto top = TopPatterns(set, 0, 10, 2, 3, 10);
+  // Patterns: (1,2) x10, (2,3) x10, (1,2,3) x10, (4,5) x3.
+  ASSERT_EQ(top.size(), 4u);
+  const CellId p45[] = {4, 5};
+  EXPECT_EQ(top.back(), PackPattern(p45, 2));
+  // The three frequency-10 patterns occupy the first three slots.
+  const CellId p12[] = {1, 2};
+  EXPECT_TRUE(std::find(top.begin(), top.begin() + 3, PackPattern(p12, 2)) !=
+              top.begin() + 3);
+}
+
+TEST(TopPatternsTest, TimeWindowRestricts) {
+  CellStreamSet set(10);
+  CellStream s;
+  s.enter_time = 0;
+  s.cells = {1, 2, 3, 4, 5};
+  set.Add(std::move(s));
+  // Window [2, 5) only sees cells 3,4,5.
+  const auto top = TopPatterns(set, 2, 5, 2, 2, 10);
+  const CellId p34[] = {3, 4};
+  const CellId p45[] = {4, 5};
+  const CellId p12[] = {1, 2};
+  EXPECT_TRUE(std::find(top.begin(), top.end(), PackPattern(p34, 2)) !=
+              top.end());
+  EXPECT_TRUE(std::find(top.begin(), top.end(), PackPattern(p45, 2)) !=
+              top.end());
+  EXPECT_TRUE(std::find(top.begin(), top.end(), PackPattern(p12, 2)) ==
+              top.end());
+}
+
+TEST(TopPatternsTest, TopNTruncates) {
+  const CellStreamSet set = RepeatedPatternSet();
+  const auto top = TopPatterns(set, 0, 10, 2, 3, 2);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopPatternsTest, ShortStreamsSkipped) {
+  CellStreamSet set(5);
+  CellStream s;
+  s.enter_time = 0;
+  s.cells = {7};  // too short for any pattern
+  set.Add(std::move(s));
+  EXPECT_TRUE(TopPatterns(set, 0, 5, 2, 3, 10).empty());
+}
+
+TEST(PatternF1Test, IdenticalSetsAreOne) {
+  const CellStreamSet set = RepeatedPatternSet();
+  const auto a = TopPatterns(set, 0, 10, 2, 3, 10);
+  EXPECT_DOUBLE_EQ(PatternSetF1(a, a), 1.0);
+}
+
+TEST(PatternF1Test, DisjointSetsAreZero) {
+  const CellId p12[] = {1, 2};
+  const CellId p34[] = {3, 4};
+  EXPECT_DOUBLE_EQ(PatternSetF1({PackPattern(p12, 2)}, {PackPattern(p34, 2)}),
+                   0.0);
+}
+
+TEST(PatternF1Test, PartialOverlap) {
+  const CellId a[] = {1, 2};
+  const CellId b[] = {3, 4};
+  const CellId c[] = {5, 6};
+  // A = {a, b}, B = {b, c}: precision = recall = 1/2 -> F1 = 1/2.
+  EXPECT_DOUBLE_EQ(PatternSetF1({PackPattern(a, 2), PackPattern(b, 2)},
+                                {PackPattern(b, 2), PackPattern(c, 2)}),
+                   0.5);
+}
+
+TEST(PatternF1Test, EmptyConventions) {
+  const CellId a[] = {1, 2};
+  EXPECT_DOUBLE_EQ(PatternSetF1({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(PatternSetF1({PackPattern(a, 2)}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,95 @@
+#include "stream/stream_database.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+namespace {
+
+BoundingBox UnitBox() { return BoundingBox{0.0, 0.0, 1.0, 1.0}; }
+
+UserStream MakeStream(uint64_t id, int64_t enter, size_t length) {
+  UserStream s;
+  s.user_id = id;
+  s.enter_time = enter;
+  s.points.assign(length, Point{0.5, 0.5});
+  return s;
+}
+
+TEST(UserStreamTest, TimeAccessors) {
+  const UserStream s = MakeStream(1, 3, 4);
+  EXPECT_EQ(s.end_time(), 7);
+  EXPECT_FALSE(s.ActiveAt(2));
+  EXPECT_TRUE(s.ActiveAt(3));
+  EXPECT_TRUE(s.ActiveAt(6));
+  EXPECT_FALSE(s.ActiveAt(7));
+}
+
+TEST(StreamDatabaseTest, ActiveCountsAndTotals) {
+  StreamDatabase db(UnitBox(), 10);
+  db.Add(MakeStream(0, 0, 5));   // active 0..4
+  db.Add(MakeStream(1, 3, 4));   // active 3..6
+  db.Add(MakeStream(2, 8, 2));   // active 8..9
+  EXPECT_EQ(db.TotalPoints(), 11u);
+  EXPECT_NEAR(db.AverageLength(), 11.0 / 3.0, 1e-12);
+  EXPECT_EQ(db.ActiveCount(0), 1u);
+  EXPECT_EQ(db.ActiveCount(3), 2u);
+  EXPECT_EQ(db.ActiveCount(4), 2u);
+  EXPECT_EQ(db.ActiveCount(5), 1u);
+  EXPECT_EQ(db.ActiveCount(7), 0u);
+  EXPECT_EQ(db.ActiveCount(9), 1u);
+  EXPECT_EQ(db.ActiveCount(-1), 0u);
+  EXPECT_EQ(db.ActiveCount(10), 0u);
+}
+
+TEST(StreamDatabaseTest, SubsampleKeepsApproximateFraction) {
+  StreamDatabase db(UnitBox(), 5);
+  for (int i = 0; i < 2000; ++i) db.Add(MakeStream(i, 0, 3));
+  Rng rng(77);
+  const StreamDatabase half = db.Subsample(0.5, rng);
+  EXPECT_NEAR(half.streams().size(), 1000.0, 80.0);
+  EXPECT_EQ(half.num_timestamps(), 5);
+}
+
+TEST(StreamDatabaseTest, SubsampleExtremes) {
+  StreamDatabase db(UnitBox(), 5);
+  for (int i = 0; i < 100; ++i) db.Add(MakeStream(i, 0, 2));
+  Rng rng(78);
+  EXPECT_EQ(db.Subsample(0.0, rng).streams().size(), 0u);
+  EXPECT_EQ(db.Subsample(1.0, rng).streams().size(), 100u);
+}
+
+TEST(CellStreamTest, Accessors) {
+  CellStream s;
+  s.enter_time = 2;
+  s.cells = {4, 5, 5};
+  EXPECT_EQ(s.end_time(), 5);
+  EXPECT_TRUE(s.ActiveAt(4));
+  EXPECT_FALSE(s.ActiveAt(5));
+  EXPECT_EQ(s.At(3), 5u);
+  EXPECT_EQ(s.length(), 3u);
+}
+
+TEST(CellStreamSetTest, ActiveCountsAndDensity) {
+  CellStreamSet set(6);
+  CellStream a;
+  a.enter_time = 0;
+  a.cells = {0, 1, 2};
+  set.Add(a);
+  CellStream b;
+  b.enter_time = 1;
+  b.cells = {1, 1};
+  set.Add(b);
+  EXPECT_EQ(set.TotalPoints(), 5u);
+  EXPECT_EQ(set.ActiveCount(0), 1u);
+  EXPECT_EQ(set.ActiveCount(1), 2u);
+  EXPECT_EQ(set.ActiveCount(2), 2u);
+  EXPECT_EQ(set.ActiveCount(3), 0u);
+  const auto density = set.DensityCounts(4, 1);
+  EXPECT_EQ(density[1], 2u);  // stream a at cell 1, stream b at cell 1
+  EXPECT_EQ(density[0], 0u);
+}
+
+}  // namespace
+}  // namespace retrasyn
