@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "service/replay.h"
+#include "service/trajectory_service.h"
 
 namespace retrasyn {
 namespace bench {
@@ -48,10 +50,13 @@ int Run(int argc, char** argv) {
                                AllocationKind::kAdaptive,
                                dataset.average_length,
                                options.seed + 100 + mi);
-      for (int64_t t = 0; t < dataset.prepared->horizon(); ++t) {
-        engine->Observe(dataset.prepared->feeder().Batch(t));
-      }
-      releases.push_back(engine->Finish(dataset.prepared->horizon()));
+      auto service = TrajectoryService::CreateWithEngine(
+          dataset.prepared->states(), std::move(engine));
+      service.status().CheckOK();
+      ReplayDatabase(dataset.prepared->db(), *service.value()).CheckOK();
+      releases.push_back(service.value()
+                             ->SnapshotRelease(dataset.prepared->horizon())
+                             .ValueOrDie());
     }
 
     TablePrinter table({"phi", "method", "QueryError", "PatternF1",

@@ -17,8 +17,9 @@
 #include <string>
 
 #include "common/flags.h"
-#include "core/engine.h"
 #include "metrics/historical.h"
+#include "service/replay.h"
+#include "service/trajectory_service.h"
 #include "stream/feeder.h"
 #include "stream/io.h"
 #include "stream/network_generator.h"
@@ -65,11 +66,11 @@ int main(int argc, char** argv) {
   config.division = DivisionStrategy::kPopulation;
   config.lambda = db.AverageLength();
   config.seed = 5;
-  RetraSynEngine engine(states, config);
-  for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
-    engine.Observe(feeder.Batch(t));
-  }
-  const CellStreamSet synthetic = engine.Finish(feeder.num_timestamps());
+  auto service_or = TrajectoryService::Create(states, config);
+  service_or.status().CheckOK();
+  ReplayDatabase(db, *service_or.value()).CheckOK();
+  const CellStreamSet synthetic =
+      service_or.value()->SnapshotRelease().ValueOrDie();
 
   // Export the synthetic dataset: this file is safe to hand out; it was
   // derived only from LDP reports (post-processing, Thm. 2).

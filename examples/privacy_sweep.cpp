@@ -13,9 +13,10 @@
 #include <vector>
 
 #include "common/flags.h"
-#include "core/engine.h"
 #include "metrics/queries.h"
 #include "metrics/streaming.h"
+#include "service/replay.h"
+#include "service/trajectory_service.h"
 #include "stream/feeder.h"
 #include "stream/hotspot_generator.h"
 
@@ -31,20 +32,21 @@ struct SweepPoint {
   uint64_t reports;
 };
 
-SweepPoint RunOnce(const StreamFeeder& feeder, const Grid& grid,
-                   const StateSpace& states, double epsilon, int w,
-                   DivisionStrategy division, double lambda) {
+SweepPoint RunOnce(const StreamDatabase& db, const StreamFeeder& feeder,
+                   const Grid& grid, const StateSpace& states, double epsilon,
+                   int w, DivisionStrategy division, double lambda) {
   RetraSynConfig config;
   config.epsilon = epsilon;
   config.window = w;
   config.division = division;
   config.lambda = lambda;
   config.seed = 9;
-  RetraSynEngine engine(states, config);
-  for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
-    engine.Observe(feeder.Batch(t));
-  }
-  const CellStreamSet synthetic = engine.Finish(feeder.num_timestamps());
+  auto service_or = TrajectoryService::Create(states, config);
+  service_or.status().CheckOK();
+  TrajectoryService& service = *service_or.value();
+  ReplayDatabase(db, service).CheckOK();
+  const CellStreamSet synthetic = service.SnapshotRelease().ValueOrDie();
+  const RetraSynEngine& engine = *service.retrasyn_engine();
   const DensityIndex orig(feeder.cell_streams(), grid);
   const DensityIndex syn(synthetic, grid);
   const TransitionIndex orig_tr(feeder.cell_streams(), states);
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
     for (DivisionStrategy division :
          {DivisionStrategy::kBudget, DivisionStrategy::kPopulation}) {
       const SweepPoint p =
-          RunOnce(feeder, grid, states, eps, 20, division, lambda);
+          RunOnce(db, feeder, grid, states, eps, 20, division, lambda);
       char budget_buf[64];
       if (division == DivisionStrategy::kBudget) {
         std::snprintf(budget_buf, sizeof(budget_buf), "%.4f <= eps (%.1f)",
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-10s %-12s %s\n", "w", "density", "transition",
               "reports");
   for (int w : {10, 20, 30, 40, 50}) {
-    const SweepPoint p = RunOnce(feeder, grid, states, 1.0, w,
+    const SweepPoint p = RunOnce(db, feeder, grid, states, 1.0, w,
                                  DivisionStrategy::kPopulation, lambda);
     std::printf("%-6d %-10.4f %-12.4f %llu\n", w, p.density, p.transition,
                 static_cast<unsigned long long>(p.reports));

@@ -1,12 +1,14 @@
-// Quickstart: the full RetraSyn pipeline in ~60 lines.
+// Quickstart: the full RetraSyn pipeline in ~60 lines, driven through the
+// streaming service layer.
 //
 //   1. Generate a small synthetic trajectory stream (stand-in for data
 //      arriving from users' devices).
 //   2. Discretize the space into a K x K grid and derive the transition-state
 //      space.
-//   3. Stream the data through a RetraSyn engine: per-timestamp LDP
-//      collection (OUE), dynamic mobility update, and real-time synthesis
-//      under w-event epsilon-LDP.
+//   3. Open a TrajectoryService and replay the data through its ingestion
+//      session: per-timestamp LDP collection (OUE), dynamic mobility update,
+//      and real-time synthesis under w-event epsilon-LDP. A mid-stream
+//      snapshot shows that releases are consumable while the stream is open.
 //   4. Inspect the released synthetic database and a couple of utility
 //      metrics.
 //
@@ -15,10 +17,11 @@
 #include <cstdio>
 
 #include "common/flags.h"
-#include "core/engine.h"
 #include "metrics/historical.h"
 #include "metrics/queries.h"
 #include "metrics/streaming.h"
+#include "service/replay.h"
+#include "service/trajectory_service.h"
 #include "stream/feeder.h"
 #include "stream/hotspot_generator.h"
 
@@ -42,11 +45,11 @@ int main(int argc, char** argv) {
   // 2. Geospatial discretization and the transition-state space.
   const Grid grid(db.box(), /*k=*/6);
   const StateSpace states(grid);
-  const StreamFeeder feeder(db, grid, states);
   std::printf("grid: %u cells, state space |S| = %u\n", grid.NumCells(),
               states.size());
 
-  // 3. RetraSyn with population division + adaptive allocation.
+  // 3. RetraSyn with population division + adaptive allocation, behind the
+  //    streaming service. Create() validates the config instead of crashing.
   RetraSynConfig config;
   config.epsilon = flags.GetDouble("epsilon", 1.0);
   config.window = static_cast<int>(flags.GetInt("w", 20));
@@ -54,20 +57,32 @@ int main(int argc, char** argv) {
   config.allocation.kind = AllocationKind::kAdaptive;
   config.lambda = db.AverageLength();
   config.seed = 1;
-  RetraSynEngine engine(states, config);
-  for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
-    engine.Observe(feeder.Batch(t));
+  auto service_or = TrajectoryService::Create(states, config);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
   }
-  const CellStreamSet synthetic = engine.Finish(feeder.num_timestamps());
+  TrajectoryService& service = *service_or.value();
+
+  // Feed the database through the ingestion session (live deployments call
+  // session().Enter/Move/Quit directly as reports arrive).
+  ReplayDatabase(db, service).CheckOK();
+
+  // Releases are non-destructive: snapshot now, keep streaming later.
+  const CellStreamSet synthetic =
+      service.SnapshotRelease().ValueOrDie();
   std::printf("released: %zu synthetic streams, %llu points\n",
               synthetic.streams().size(),
               static_cast<unsigned long long>(synthetic.TotalPoints()));
+  const RetraSynEngine& engine = *service.retrasyn_engine();
   std::printf("privacy: %llu user reports, each once per w=%d window: %s\n",
               static_cast<unsigned long long>(engine.total_reports()),
               config.window,
               engine.report_tracker().HasViolation() ? "VIOLATED" : "ok");
 
-  // 4. A taste of the utility metrics.
+  // 4. A taste of the utility metrics (ground truth via the batch feeder).
+  const StreamFeeder feeder(db, grid, states);
   const DensityIndex orig_density(feeder.cell_streams(), grid);
   const DensityIndex syn_density(synthetic, grid);
   std::printf("density error (mean per-timestamp JSD): %.4f  (worst: 0.6931)\n",

@@ -284,6 +284,14 @@ void LdpIdsEngine::Observe(const TimestampBatch& batch) {
   }
 }
 
+CellStreamSet LdpIdsEngine::SnapshotRelease(int64_t num_timestamps) const {
+  return synthesizer_.Snapshot(num_timestamps);
+}
+
+std::vector<uint32_t> LdpIdsEngine::LiveDensity() const {
+  return synthesizer_.LiveDensity();  // all zeros before initialization
+}
+
 CellStreamSet LdpIdsEngine::Finish(int64_t num_timestamps) {
   return synthesizer_.Finish(num_timestamps);
 }

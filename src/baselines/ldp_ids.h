@@ -63,6 +63,8 @@ class LdpIdsEngine : public StreamReleaseEngine {
   LdpIdsEngine(const StateSpace& states, const LdpIdsConfig& config);
 
   void Observe(const TimestampBatch& batch) override;
+  CellStreamSet SnapshotRelease(int64_t num_timestamps) const override;
+  std::vector<uint32_t> LiveDensity() const override;
   CellStreamSet Finish(int64_t num_timestamps) override;
   std::string name() const override;
 

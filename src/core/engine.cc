@@ -14,6 +14,43 @@ namespace retrasyn {
 // eps < ~1e-16, exact 0/0 NaNs). Skipping lets the window recover instead.
 constexpr double kMinRoundEpsilon = 1e-4;
 
+Status RetraSynConfig::Validate() const {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "epsilon must be a positive finite privacy budget, got " +
+        std::to_string(epsilon));
+  }
+  if (window < 1) {
+    return Status::InvalidArgument(
+        "window must be at least 1 timestamp (w-event privacy), got " +
+        std::to_string(window));
+  }
+  if (!std::isfinite(lambda) || lambda <= 0.0) {
+    return Status::InvalidArgument(
+        "lambda (Eq. 8 stream-length reweighting factor) must be a positive "
+        "finite value, got " +
+        std::to_string(lambda));
+  }
+  if (allocation.kind == AllocationKind::kRandom &&
+      division != DivisionStrategy::kPopulation) {
+    return Status::InvalidArgument(
+        "the Random allocation strategy schedules per-user report slots and "
+        "is only defined under population division");
+  }
+  if (!std::isfinite(allocation.max_portion) ||
+      allocation.max_portion <= 0.0 || allocation.max_portion > 1.0) {
+    return Status::InvalidArgument(
+        "allocation.max_portion must lie in (0, 1], got " +
+        std::to_string(allocation.max_portion));
+  }
+  if (!(allocation.min_portion <= 1.0)) {  // also rejects NaN
+    return Status::InvalidArgument(
+        "allocation.min_portion must not exceed 1, got " +
+        std::to_string(allocation.min_portion));
+  }
+  return Status::OK();
+}
+
 const char* DivisionStrategyName(DivisionStrategy division) {
   switch (division) {
     case DivisionStrategy::kBudget:
@@ -37,12 +74,9 @@ RetraSynEngine::RetraSynEngine(const StateSpace& states,
       allocator_(config.allocation, config.window, states.size()),
       ledger_(config.window, config.epsilon),
       tracker_(config.window) {
-  RETRASYN_CHECK(config.epsilon > 0.0);
-  RETRASYN_CHECK(config.window >= 1);
-  RETRASYN_CHECK_MSG(
-      config.allocation.kind != AllocationKind::kRandom ||
-          config.division == DivisionStrategy::kPopulation,
-      "the Random allocation strategy is population-division only");
+  // Programmatic construction aborts on a bad config (a programming bug);
+  // service-layer callers validate first and surface the Status instead.
+  config.Validate().CheckOK();
 }
 
 std::string RetraSynEngine::name() const {
@@ -243,6 +277,14 @@ void RetraSynEngine::Observe(const TimestampBatch& batch) {
     }
   }
   times_.synthesis.Add(syn_watch.ElapsedSeconds());
+}
+
+CellStreamSet RetraSynEngine::SnapshotRelease(int64_t num_timestamps) const {
+  return synthesizer_.Snapshot(num_timestamps);
+}
+
+std::vector<uint32_t> RetraSynEngine::LiveDensity() const {
+  return synthesizer_.LiveDensity();  // all zeros before initialization
 }
 
 CellStreamSet RetraSynEngine::Finish(int64_t num_timestamps) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/allocation.h"
 #include "core/mobility_model.h"
@@ -56,8 +57,21 @@ class StreamReleaseEngine {
   /// Processes one timestamp of the input stream.
   virtual void Observe(const TimestampBatch& batch) = 0;
 
+  /// Non-destructive snapshot of the evolving synthetic database over horizon
+  /// \p num_timestamps (which must cover every timestamp observed so far).
+  /// The engine keeps running; consumers may snapshot while the stream is
+  /// still open.
+  virtual CellStreamSet SnapshotRelease(int64_t num_timestamps) const = 0;
+
+  /// Per-cell density of the live synthetic population — the real-time view
+  /// downstream sinks consume after each round. All zeros before the first
+  /// synthesis round.
+  virtual std::vector<uint32_t> LiveDensity() const = 0;
+
   /// Closes all live synthetic streams and returns the synthetic database
-  /// over the given horizon. The engine is finished afterwards.
+  /// over the given horizon. The engine is finished afterwards. Legacy
+  /// batch-pipeline entry point; prefer SnapshotRelease, which does not
+  /// consume the engine.
   virtual CellStreamSet Finish(int64_t num_timestamps) = 0;
 
   virtual std::string name() const = 0;
@@ -91,6 +105,11 @@ struct RetraSynConfig {
   /// bench_ablation for the measured trade-off.
   Postprocess postprocess = Postprocess::kClip;
   uint64_t seed = 1;
+
+  /// Rejects nonsensical configurations with a descriptive error instead of
+  /// crashing the process. TrajectoryService::Create and the engine
+  /// constructor both route through this.
+  Status Validate() const;
 };
 
 /// \brief Per-component wall-clock accumulators (paper Table V).
@@ -111,6 +130,8 @@ class RetraSynEngine : public StreamReleaseEngine {
   RetraSynEngine(const StateSpace& states, const RetraSynConfig& config);
 
   void Observe(const TimestampBatch& batch) override;
+  CellStreamSet SnapshotRelease(int64_t num_timestamps) const override;
+  std::vector<uint32_t> LiveDensity() const override;
   CellStreamSet Finish(int64_t num_timestamps) override;
   std::string name() const override;
 

@@ -7,15 +7,25 @@
 
 namespace retrasyn {
 
-ReleaseServer::ReleaseServer(const Grid& grid) : grid_(&grid) {}
+ReleaseServer::ReleaseServer(const Grid& grid)
+    : grid_(&grid), zeros_(grid.NumCells(), 0) {}
 
-void ReleaseServer::Ingest(const RetraSynEngine& engine) {
-  std::vector<uint32_t> density;
-  if (engine.synthesizer().initialized()) {
-    density = engine.synthesizer().LiveDensity();
-  } else {
-    density.assign(grid_->NumCells(), 0);
+void ReleaseServer::OnRound(const RoundRelease& round) {
+  RETRASYN_DCHECK(round.density.size() == grid_->NumCells());
+  RETRASYN_DCHECK(round.t >= horizon());  // rounds arrive in timestamp order
+  // A server subscribed mid-stream missed the earlier rounds; record them as
+  // zeros so round t always lands at index t and stale timestamps answer
+  // zero, consistent with the out-of-horizon policy.
+  while (horizon() < round.t) {
+    active_.push_back(0);
+    density_.push_back(zeros_);
   }
+  active_.push_back(round.active);
+  density_.push_back(round.density);
+}
+
+void ReleaseServer::Ingest(const StreamReleaseEngine& engine) {
+  std::vector<uint32_t> density = engine.LiveDensity();
   uint64_t total = 0;
   for (uint32_t c : density) total += c;
   active_.push_back(total);
@@ -23,23 +33,25 @@ void ReleaseServer::Ingest(const RetraSynEngine& engine) {
 }
 
 const std::vector<uint32_t>& ReleaseServer::DensityAt(int64_t t) const {
-  RETRASYN_CHECK(t >= 0 && t < horizon());
+  if (t < 0 || t >= horizon()) return zeros_;
   return density_[t];
 }
 
 uint64_t ReleaseServer::ActiveAt(int64_t t) const {
-  RETRASYN_CHECK(t >= 0 && t < horizon());
+  if (t < 0 || t >= horizon()) return 0;
   return active_[t];
 }
 
 uint64_t ReleaseServer::RangeCount(const RangeQuery& query) const {
   const int64_t lo = std::max<int64_t>(0, query.t_start);
   const int64_t hi = std::min<int64_t>(horizon(), query.t_end);
+  const uint32_t row_hi = std::min(query.row_hi, grid_->k() - 1);
+  const uint32_t col_hi = std::min(query.col_hi, grid_->k() - 1);
   uint64_t total = 0;
   for (int64_t t = lo; t < hi; ++t) {
     const auto& cells = density_[t];
-    for (uint32_t r = query.row_lo; r <= query.row_hi; ++r) {
-      for (uint32_t c = query.col_lo; c <= query.col_hi; ++c) {
+    for (uint32_t r = query.row_lo; r <= row_hi; ++r) {
+      for (uint32_t c = query.col_lo; c <= col_hi; ++c) {
         total += cells[grid_->Cell(r, c)];
       }
     }
@@ -60,8 +72,7 @@ std::vector<CellId> ReleaseServer::TopHotspots(int64_t t_start, int64_t t_end,
 }
 
 double ReleaseServer::TrailingMeanActive(int window) const {
-  RETRASYN_CHECK(window >= 1);
-  if (active_.empty()) return 0.0;
+  if (window < 1 || active_.empty()) return 0.0;
   const int64_t lo = std::max<int64_t>(0, horizon() - window);
   double sum = 0.0;
   for (int64_t t = lo; t < horizon(); ++t) sum += active_[t];

@@ -1,12 +1,18 @@
 // Real-time downstream analytics over the private release (paper SI: traffic
 // monitoring, congestion prediction, emergency response).
 //
-// The server ingests the engine's live synthetic view once per timestamp and
-// serves location-based queries over any time window seen so far — without
-// ever touching raw user data and without consuming additional privacy
-// budget (post-processing, Thm. 2). It is the online counterpart of the
-// post-hoc DensityIndex: a consistency test certifies that its answers equal
-// the post-hoc answers computed from the finished release.
+// The server is a ReleaseSink: subscribe it to a TrajectoryService and it
+// records each closed round's released density, serving location-based
+// queries over any time window seen so far — without ever touching raw user
+// data and without consuming additional privacy budget (post-processing,
+// Thm. 2). It is the online counterpart of the post-hoc DensityIndex: a
+// consistency test certifies that its answers equal the post-hoc answers
+// computed from the finished release.
+//
+// The query surface is hardened for service use: timestamps outside the
+// ingested horizon (including negative ones) answer zero/empty, and range
+// queries are clamped to the grid and horizon instead of indexing out of
+// bounds.
 
 #ifndef RETRASYN_CORE_RELEASE_SERVER_H_
 #define RETRASYN_CORE_RELEASE_SERVER_H_
@@ -15,32 +21,38 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/release_sink.h"
 #include "geo/grid.h"
 #include "metrics/queries.h"
 
 namespace retrasyn {
 
-class ReleaseServer {
+class ReleaseServer : public ReleaseSink {
  public:
   explicit ReleaseServer(const Grid& grid);
 
-  /// Records the engine's current live density; call once per timestamp,
-  /// right after engine.Observe(). Timestamps are implicit and sequential
-  /// from 0.
-  void Ingest(const RetraSynEngine& engine);
+  /// ReleaseSink: records one closed round. Rounds must arrive in timestamp
+  /// order (the service guarantees this).
+  void OnRound(const RoundRelease& round) override;
+
+  /// Legacy pull-based ingestion: records the engine's current live density;
+  /// call once per timestamp, right after engine.Observe(). Timestamps are
+  /// implicit and sequential from 0. Prefer subscribing the server to a
+  /// TrajectoryService instead.
+  void Ingest(const StreamReleaseEngine& engine);
 
   /// Number of ingested timestamps.
   int64_t horizon() const { return static_cast<int64_t>(density_.size()); }
 
-  /// Released per-cell density at timestamp \p t (zeros before the engine's
-  /// first synthesis round).
+  /// Released per-cell density at timestamp \p t. All-zero for timestamps
+  /// outside the ingested horizon (not yet ingested, or negative).
   const std::vector<uint32_t>& DensityAt(int64_t t) const;
 
-  /// Released active population at \p t.
+  /// Released active population at \p t; zero outside the ingested horizon.
   uint64_t ActiveAt(int64_t t) const;
 
   /// Points inside a spatio-temporal range query (clamped to the ingested
-  /// horizon).
+  /// horizon and the grid bounds).
   uint64_t RangeCount(const RangeQuery& query) const;
 
   /// The k busiest cells over [t_start, t_end), busiest first.
@@ -48,11 +60,13 @@ class ReleaseServer {
                                   int k) const;
 
   /// Mean released population over the trailing \p window timestamps ending
-  /// at the latest ingested timestamp; a simple congestion baseline.
+  /// at the latest ingested timestamp; a simple congestion baseline. Zero
+  /// when nothing was ingested or \p window < 1.
   double TrailingMeanActive(int window) const;
 
  private:
   const Grid* grid_;
+  std::vector<uint32_t> zeros_;                 ///< out-of-horizon answer
   std::vector<std::vector<uint32_t>> density_;  ///< [t][cell]
   std::vector<uint64_t> active_;                ///< per-timestamp totals
 };

@@ -208,6 +208,13 @@ void Synthesizer::Step(const GlobalMobilityModel& model,
   if (deficit > 0) Spawn(model, deficit, t, rng);
 }
 
+CellStreamSet Synthesizer::Snapshot(int64_t num_timestamps) const {
+  CellStreamSet out(num_timestamps);
+  for (const CellStream& s : finished_) out.Add(s);
+  for (const CellStream& s : live_) out.Add(s);
+  return out;
+}
+
 CellStreamSet Synthesizer::Finish(int64_t num_timestamps) {
   CellStreamSet out(num_timestamps);
   for (CellStream& s : finished_) out.Add(std::move(s));

@@ -86,6 +86,11 @@ class Synthesizer {
   void Step(const GlobalMobilityModel& model, uint32_t target_active,
             int64_t t, Rng& rng);
 
+  /// Non-destructive copy of the synthetic database (finished + live streams)
+  /// over horizon \p num_timestamps, which must cover every generated point
+  /// (>= the last stepped timestamp + 1). The synthesizer keeps running.
+  CellStreamSet Snapshot(int64_t num_timestamps) const;
+
   /// Closes every live stream and returns the full synthetic database over
   /// horizon \p num_timestamps. The synthesizer is empty afterwards.
   CellStreamSet Finish(int64_t num_timestamps);

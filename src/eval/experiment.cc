@@ -3,10 +3,13 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "metrics/historical.h"
+#include "service/replay.h"
+#include "service/trajectory_service.h"
 
 namespace retrasyn {
 
 PreparedDataset::PreparedDataset(const StreamDatabase& db, uint32_t grid_k) {
+  db_ = std::make_unique<StreamDatabase>(db);
   grid_ = std::make_unique<Grid>(db.box(), grid_k);
   states_ = std::make_unique<StateSpace>(*grid_);
   feeder_ = std::make_unique<StreamFeeder>(db, *grid_, *states_);
@@ -63,17 +66,19 @@ RunResult RunEngine(const PreparedDataset& dataset,
   RunResult result;
   result.engine_name = engine.name();
 
+  auto service = TrajectoryService::Attach(dataset.states(), &engine);
+  service.status().CheckOK();
+
   Stopwatch watch;
-  for (int64_t t = 0; t < dataset.horizon(); ++t) {
-    engine.Observe(dataset.feeder().Batch(t));
-  }
+  ReplayDatabase(dataset.db(), *service.value()).CheckOK();
   result.engine_seconds = watch.ElapsedSeconds();
   result.seconds_per_timestamp =
       dataset.horizon() > 0
           ? result.engine_seconds / static_cast<double>(dataset.horizon())
           : 0.0;
 
-  const CellStreamSet synthetic = engine.Finish(dataset.horizon());
+  const CellStreamSet synthetic =
+      service.value()->SnapshotRelease(dataset.horizon()).ValueOrDie();
   result.metrics =
       EvaluateMetrics(dataset, synthetic, metrics_config, metrics_seed);
 

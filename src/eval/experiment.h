@@ -31,11 +31,13 @@ struct MetricsReport {
 };
 
 /// \brief A dataset discretized against a grid, with ground-truth indices
-/// built once and shared across all engine runs of an experiment.
+/// built once and shared across all engine runs of an experiment. Keeps the
+/// raw database so runs can replay it through the streaming service layer.
 class PreparedDataset {
  public:
   PreparedDataset(const StreamDatabase& db, uint32_t grid_k);
 
+  const StreamDatabase& db() const { return *db_; }
   const Grid& grid() const { return *grid_; }
   const StateSpace& states() const { return *states_; }
   const StreamFeeder& feeder() const { return *feeder_; }
@@ -48,6 +50,7 @@ class PreparedDataset {
   double average_length() const { return average_length_; }
 
  private:
+  std::unique_ptr<StreamDatabase> db_;
   std::unique_ptr<Grid> grid_;
   std::unique_ptr<StateSpace> states_;
   std::unique_ptr<StreamFeeder> feeder_;
@@ -60,16 +63,21 @@ class PreparedDataset {
 struct RunResult {
   std::string engine_name;
   MetricsReport metrics;
-  double engine_seconds = 0.0;          ///< total time inside Observe()
+  /// Total wall-clock of the streaming run: the engine's Observe work plus
+  /// the ingestion-session overhead of the service replay (the deployed
+  /// path). Per-component engine times remain in engine.component_times().
+  double engine_seconds = 0.0;
   double seconds_per_timestamp = 0.0;
   uint64_t total_reports = 0;
   double max_window_budget = 0.0;       ///< budget-division w-event audit
   bool report_window_violation = false; ///< population-division audit
 };
 
-/// \brief Streams the dataset through \p engine, then evaluates all metrics.
-/// The same \p metrics_seed must be reused across engines under comparison so
-/// they face identical random queries/ranges.
+/// \brief Streams the dataset through \p engine via the streaming service
+/// layer (TrajectoryService + ReplayDatabase; bit-identical to the legacy
+/// precomputed-batch loop), then evaluates all metrics. The same
+/// \p metrics_seed must be reused across engines under comparison so they
+/// face identical random queries/ranges.
 RunResult RunEngine(const PreparedDataset& dataset,
                     StreamReleaseEngine& engine,
                     const StreamingMetricsConfig& metrics_config,

@@ -68,4 +68,18 @@ uint32_t Grid::ChebyshevDistance(CellId a, CellId b) const {
   return static_cast<uint32_t>(std::max(std::abs(dr), std::abs(dc)));
 }
 
+CellId Grid::ClampToReachable(CellId from, CellId to) const {
+  if (AreNeighbors(from, to)) return to;
+  CellId best = from;
+  uint32_t best_d = ChebyshevDistance(from, to);
+  for (CellId nbr : Neighbors(from)) {
+    const uint32_t d = ChebyshevDistance(nbr, to);
+    if (d < best_d) {
+      best_d = d;
+      best = nbr;
+    }
+  }
+  return best;
+}
+
 }  // namespace retrasyn

@@ -55,6 +55,13 @@ class Grid {
   /// minimum number of timestamps a reachability-respecting walk needs.
   uint32_t ChebyshevDistance(CellId a, CellId b) const;
 
+  /// Clamps a movement destination to the reachability constraint: returns
+  /// \p to when it is a neighbor of \p from, else the neighbor of \p from
+  /// closest (Chebyshev) to \p to. Both the batch feeder and the streaming
+  /// ingestion session use this — they must clamp identically for the
+  /// replayed and live paths to encode the same transition states.
+  CellId ClampToReachable(CellId from, CellId to) const;
+
  private:
   BoundingBox box_;
   uint32_t k_;

@@ -1,0 +1,203 @@
+#include "service/ingest_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+namespace {
+
+std::string UserTag(uint64_t user) {
+  return "user " + std::to_string(user);
+}
+
+Status ValidateLocation(const Point& p) {
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    return Status::InvalidArgument("location coordinates must be finite");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+IngestSession::IngestSession(const StateSpace& states, RoundHandler handler)
+    : states_(&states), grid_(&states.grid()), handler_(std::move(handler)) {
+  RETRASYN_CHECK(handler_ != nullptr);
+}
+
+Status IngestSession::Enter(uint64_t user, const Point& location) {
+  RETRASYN_RETURN_NOT_OK(ValidateLocation(location));
+  auto pending = pending_.find(user);
+  if (pending != pending_.end() && pending->second.has_location) {
+    return Status::FailedPrecondition(
+        UserTag(user) + " already reported a location in round " +
+        std::to_string(open_round_) + " (duplicate Enter?)");
+  }
+  const bool active = active_.count(user) != 0;
+  const bool quitting = pending != pending_.end() && pending->second.quit;
+  if (active && !quitting) {
+    return Status::FailedPrecondition(
+        UserTag(user) + " already has a live stream; Move to report its next "
+        "location or Quit to end it before re-entering");
+  }
+  PendingRound& round = pending_[user];
+  round.has_location = true;
+  round.is_enter = true;
+  round.cell = grid_->Locate(location);
+  ++num_pending_enters_;
+  return Status::OK();
+}
+
+Status IngestSession::Move(uint64_t user, const Point& location) {
+  RETRASYN_RETURN_NOT_OK(ValidateLocation(location));
+  auto pending = pending_.find(user);
+  if (pending != pending_.end() && pending->second.quit) {
+    return Status::FailedPrecondition(
+        UserTag(user) + " quit in round " + std::to_string(open_round_) +
+        "; Enter to start a new stream");
+  }
+  if (pending != pending_.end() && pending->second.has_location) {
+    return Status::FailedPrecondition(
+        UserTag(user) + " already reported a location in round " +
+        std::to_string(open_round_) + " (one report per timestamp)");
+  }
+  auto active = active_.find(user);
+  if (active == active_.end()) {
+    return Status::FailedPrecondition(
+        UserTag(user) + " has no live stream at round " +
+        std::to_string(open_round_) +
+        " (never entered, quit, or lapsed by a reporting gap); Enter first");
+  }
+  PendingRound& round = pending_[user];
+  round.has_location = true;
+  round.is_enter = false;
+  round.cell = grid_->ClampToReachable(active->second.last_cell,
+                                       grid_->Locate(location));
+  return Status::OK();
+}
+
+Status IngestSession::Quit(uint64_t user) {
+  auto pending = pending_.find(user);
+  if (pending != pending_.end() && pending->second.quit &&
+      !pending->second.has_location) {
+    return Status::FailedPrecondition(UserTag(user) + " already quit in round " +
+                                      std::to_string(open_round_));
+  }
+  if (pending != pending_.end() && pending->second.has_location) {
+    return Status::FailedPrecondition(
+        UserTag(user) + " reported a location in round " +
+        std::to_string(open_round_) +
+        "; the quit transition carries the previous round's location, so quit "
+        "in the next round or just stop reporting");
+  }
+  if (active_.count(user) == 0) {
+    return Status::FailedPrecondition(UserTag(user) +
+                                      " has no live stream to quit");
+  }
+  pending_[user].quit = true;
+  return Status::OK();
+}
+
+size_t IngestSession::num_active_users() const {
+  size_t quits = 0;
+  for (const auto& [user, round] : pending_) {
+    if (round.quit) ++quits;
+  }
+  return active_.size() - quits + num_pending_enters_;
+}
+
+size_t IngestSession::num_pending_events() const {
+  size_t n = 0;
+  for (const auto& [user, round] : pending_) {
+    n += (round.quit ? 1 : 0) + (round.has_location ? 1 : 0);
+  }
+  return n;
+}
+
+Status IngestSession::Tick() {
+  // One entry per event, sortable into a deterministic, arrival-order
+  // independent batch: quits sort before same-user locations so a re-entry
+  // in the quitting round closes the old segment first.
+  struct Entry {
+    uint64_t user;
+    uint8_t phase;  // 0 = quit, 1 = enter/move
+    bool is_enter;
+    CellId cell;    // location for phase 1; final cell for phase 0
+  };
+  std::vector<Entry> entries;
+  entries.reserve(pending_.size() + active_.size());
+
+  for (const auto& [user, round] : pending_) {
+    if (round.quit) {
+      entries.push_back(Entry{user, 0, false, active_.at(user).last_cell});
+    }
+    if (round.has_location) {
+      entries.push_back(Entry{user, 1, round.is_enter, round.cell});
+    }
+  }
+  // Implicit quits: live streams that sent nothing this round lapse, exactly
+  // like the batch importer splitting gapped trajectories.
+  for (const auto& [user, stream] : active_) {
+    auto pending = pending_.find(user);
+    if (pending == pending_.end() ||
+        (!pending->second.quit && !pending->second.has_location)) {
+      entries.push_back(Entry{user, 0, false, stream.last_cell});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.user != b.user ? a.user < b.user : a.phase < b.phase;
+  });
+
+  TimestampBatch batch;
+  batch.t = open_round_;
+  batch.observations.reserve(entries.size());
+  std::unordered_map<uint64_t, ActiveStream> next_active;
+  next_active.reserve(entries.size());
+  for (const Entry& e : entries) {
+    UserObservation obs;
+    if (e.phase == 0) {
+      obs.user_index = active_.at(e.user).stream_index;
+      obs.state = states_->QuitIndex(e.cell);
+      obs.is_quit = true;
+    } else if (e.is_enter) {
+      obs.user_index = next_stream_index_++;
+      obs.state = states_->EnterIndex(e.cell);
+      obs.is_enter = true;
+      next_active[e.user] = ActiveStream{obs.user_index, e.cell};
+      ++batch.num_active;
+    } else {
+      const ActiveStream& stream = active_.at(e.user);
+      obs.user_index = stream.stream_index;
+      obs.state = states_->MoveIndex(stream.last_cell, e.cell);
+      RETRASYN_DCHECK(obs.state != kInvalidState);
+      next_active[e.user] = ActiveStream{stream.stream_index, e.cell};
+      ++batch.num_active;
+    }
+    batch.observations.push_back(obs);
+  }
+
+  RETRASYN_RETURN_NOT_OK(handler_(batch));
+  active_ = std::move(next_active);
+  pending_.clear();
+  num_pending_enters_ = 0;
+  ++open_round_;
+  return Status::OK();
+}
+
+Status IngestSession::AdvanceTo(int64_t t) {
+  if (t < open_round_) {
+    return Status::InvalidArgument(
+        "cannot advance to timestamp " + std::to_string(t) + "; round " +
+        std::to_string(open_round_) +
+        " is already open and closed rounds are immutable");
+  }
+  while (open_round_ < t) {
+    RETRASYN_RETURN_NOT_OK(Tick());
+  }
+  return Status::OK();
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,112 @@
+// Online ingestion of per-user trajectory events (the live counterpart of
+// StreamFeeder's batch replay).
+//
+// A session tracks one open round (timestamp) at a time. Users push events
+// for the open round in any arrival order:
+//
+//   Enter(user, point)  — the user's stream begins, reporting its first
+//                         location this round (transition state e_c).
+//   Move(user, point)   — the user reports its next location; non-adjacent
+//                         jumps are clamped to the nearest reachable neighbor
+//                         cell, exactly like the batch feeder (the protocol
+//                         can only encode feasible transitions).
+//   Quit(user)          — the user leaves; per Def. 5 the quit transition
+//                         q_c carries the final location reported in the
+//                         *previous* round, so Quit is only legal in a round
+//                         where the user has not reported a location.
+//
+// Tick() closes the open round: the buffered events are turned into a
+// TimestampBatch (observations ordered deterministically by user id, quit
+// events first per user, so results do not depend on arrival order), users
+// active in the previous round that sent nothing are quit implicitly
+// (matching the paper's preprocessing that splits gapped trajectories into
+// several streams), and the batch is handed to the round handler. AdvanceTo
+// closes every round up to a target timestamp. A user that quit — explicitly
+// or by gap — may Enter again later; that starts a fresh stream.
+//
+// All entry points validate and return retrasyn::Status instead of crashing.
+
+#ifndef RETRASYN_SERVICE_INGEST_SESSION_H_
+#define RETRASYN_SERVICE_INGEST_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/state_space.h"
+#include "stream/feeder.h"
+
+namespace retrasyn {
+
+class IngestSession {
+ public:
+  /// Receives each closed round's batch (timestamps are sequential from 0).
+  /// A non-OK return aborts the Tick and is surfaced to the caller; the
+  /// round then remains open with its events intact.
+  using RoundHandler = std::function<Status(const TimestampBatch& batch)>;
+
+  IngestSession(const StateSpace& states, RoundHandler handler);
+
+  /// Begins a new stream for \p user, reporting \p location this round.
+  /// Fails if the user is already active or has already reported this round.
+  Status Enter(uint64_t user, const Point& location);
+
+  /// Reports \p user's next location this round. Fails if the user never
+  /// entered, already quit, or has already reported this round.
+  Status Move(uint64_t user, const Point& location);
+
+  /// Ends \p user's stream; the quit transition carries the location reported
+  /// in the previous round. Fails on double quit or when the user has
+  /// reported a location this round (quit the round after the final report,
+  /// or simply stop sending — silent users are quit automatically).
+  Status Quit(uint64_t user);
+
+  /// Closes the open round and advances to the next timestamp.
+  Status Tick();
+
+  /// Closes rounds until \p t is the open round. Fails when \p t lies in the
+  /// past (already-closed rounds are immutable).
+  Status AdvanceTo(int64_t t);
+
+  /// The timestamp events currently apply to. Rounds [0, open_round()) are
+  /// closed.
+  int64_t open_round() const { return open_round_; }
+
+  /// Users holding a live stream: reported a location in the last closed
+  /// round and not yet quit this round, or entered in the open one.
+  size_t num_active_users() const;
+
+  /// Events buffered for the open round.
+  size_t num_pending_events() const;
+
+ private:
+  struct PendingRound {
+    bool quit = false;          ///< explicit Quit buffered this round
+    bool has_location = false;  ///< Enter or Move buffered this round
+    bool is_enter = false;
+    CellId cell = 0;            ///< located (and clamped) report
+  };
+
+  struct ActiveStream {
+    uint32_t stream_index = 0;  ///< engine-facing index of this segment
+    CellId last_cell = 0;       ///< last reported (clamped) cell
+  };
+
+  const StateSpace* states_;
+  const Grid* grid_;
+  RoundHandler handler_;
+  int64_t open_round_ = 0;
+  uint32_t next_stream_index_ = 0;
+
+  /// Streams that reported a location in the last closed round.
+  std::unordered_map<uint64_t, ActiveStream> active_;
+  /// Events buffered for the open round.
+  std::unordered_map<uint64_t, PendingRound> pending_;
+  size_t num_pending_enters_ = 0;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_SERVICE_INGEST_SESSION_H_

@@ -1,0 +1,54 @@
+#include "service/replay.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace retrasyn {
+
+Status ReplayDatabase(const StreamDatabase& db, TrajectoryService& service) {
+  if (service.rounds_closed() != 0 ||
+      service.session().num_pending_events() != 0) {
+    return Status::FailedPrecondition(
+        "ReplayDatabase requires a fresh service; rounds were already "
+        "ingested");
+  }
+  const int64_t horizon = db.num_timestamps();
+  const std::vector<UserStream>& streams = db.streams();
+
+  // Stream indices entering at each timestamp, ascending by construction.
+  std::vector<std::vector<uint32_t>> entrants(horizon);
+  for (uint32_t idx = 0; idx < streams.size(); ++idx) {
+    entrants[streams[idx].enter_time].push_back(idx);
+  }
+
+  IngestSession& session = service.session();
+  std::vector<uint32_t> live;
+  for (int64_t t = 0; t < horizon; ++t) {
+    // Departures first: streams whose final report was at t - 1. The session
+    // would also quit them implicitly, but the explicit event documents the
+    // protocol (Def. 5's q_c report).
+    for (size_t i = 0; i < live.size();) {
+      if (streams[live[i]].end_time() == t) {
+        RETRASYN_RETURN_NOT_OK(session.Quit(live[i]));
+        live[i] = live.back();
+        live.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    for (uint32_t idx : entrants[t]) {
+      RETRASYN_RETURN_NOT_OK(session.Enter(idx, streams[idx].points.front()));
+      live.push_back(idx);
+    }
+    for (uint32_t idx : live) {
+      const UserStream& s = streams[idx];
+      if (s.enter_time < t) {
+        RETRASYN_RETURN_NOT_OK(session.Move(idx, s.At(t)));
+      }
+    }
+    RETRASYN_RETURN_NOT_OK(session.Tick());
+  }
+  return Status::OK();
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,27 @@
+// Batch -> streaming adapter: feeds a fully materialized StreamDatabase
+// through the session API, making the legacy offline pipeline a thin client
+// of the service layer. Replays are bit-identical to the historical
+// StreamFeeder path: stream indices are used as session user ids and the
+// session orders each round's observations by user id (quits first), which
+// reproduces the feeder's per-batch observation order exactly — so an engine
+// driven through ReplayDatabase releases the same synthetic database as one
+// driven by precomputed batches, for the same seed.
+
+#ifndef RETRASYN_SERVICE_REPLAY_H_
+#define RETRASYN_SERVICE_REPLAY_H_
+
+#include "common/status.h"
+#include "service/trajectory_service.h"
+#include "stream/stream_database.h"
+
+namespace retrasyn {
+
+/// Replays every stream of \p db through \p service's session — Enter at the
+/// stream's first timestamp, Move per subsequent point, Quit one round after
+/// the final report — closing each of the db's rounds with Tick(). Requires a
+/// fresh service (no rounds closed yet).
+Status ReplayDatabase(const StreamDatabase& db, TrajectoryService& service);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_SERVICE_REPLAY_H_

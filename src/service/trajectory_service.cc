@@ -1,0 +1,80 @@
+#include "service/trajectory_service.h"
+
+#include <string>
+#include <utility>
+
+namespace retrasyn {
+
+TrajectoryService::TrajectoryService(const StateSpace& states,
+                                     std::unique_ptr<StreamReleaseEngine> owned,
+                                     StreamReleaseEngine* engine)
+    : states_(&states), owned_engine_(std::move(owned)), engine_(engine) {
+  retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
+  session_ = std::make_unique<IngestSession>(
+      states, [this](const TimestampBatch& batch) { return OnRound(batch); });
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
+    const StateSpace& states, const RetraSynConfig& config) {
+  RETRASYN_RETURN_NOT_OK(config.Validate());
+  auto engine = std::make_unique<RetraSynEngine>(states, config);
+  StreamReleaseEngine* raw = engine.get();
+  return std::unique_ptr<TrajectoryService>(
+      new TrajectoryService(states, std::move(engine), raw));
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
+    const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  StreamReleaseEngine* raw = engine.get();
+  return std::unique_ptr<TrajectoryService>(
+      new TrajectoryService(states, std::move(engine), raw));
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
+    const StateSpace& states, StreamReleaseEngine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  return std::unique_ptr<TrajectoryService>(
+      new TrajectoryService(states, nullptr, engine));
+}
+
+void TrajectoryService::AddSink(ReleaseSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+Status TrajectoryService::OnRound(const TimestampBatch& batch) {
+  engine_->Observe(batch);
+  if (!sinks_.empty()) {
+    RoundRelease round;
+    round.t = batch.t;
+    round.density = engine_->LiveDensity();
+    for (uint32_t c : round.density) round.active += c;
+    for (ReleaseSink* sink : sinks_) sink->OnRound(round);
+  }
+  return Status::OK();
+}
+
+Result<CellStreamSet> TrajectoryService::SnapshotRelease() const {
+  return SnapshotRelease(rounds_closed());
+}
+
+Result<CellStreamSet> TrajectoryService::SnapshotRelease(
+    int64_t num_timestamps) const {
+  if (rounds_closed() < 1) {
+    return Status::FailedPrecondition(
+        "no rounds closed yet; Tick() the session before snapshotting");
+  }
+  if (num_timestamps < rounds_closed()) {
+    return Status::InvalidArgument(
+        "snapshot horizon " + std::to_string(num_timestamps) +
+        " does not cover the " + std::to_string(rounds_closed()) +
+        " closed rounds");
+  }
+  return engine_->SnapshotRelease(num_timestamps);
+}
+
+}  // namespace retrasyn

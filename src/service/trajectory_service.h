@@ -1,0 +1,95 @@
+// The long-running service layer around a stream-release engine: the public
+// entry point for real-time synthesis under w-event LDP.
+//
+//   auto service = TrajectoryService::Create(states, config).ValueOrDie();
+//   service->AddSink(&release_server);          // push-based consumers
+//   IngestSession& session = service->session();
+//   session.Enter(42, {x, y});                  // per-user events, any order
+//   session.Tick();                             // close the round
+//   auto snapshot = service->SnapshotRelease(); // live synthetic database
+//
+// Unlike the legacy batch pipeline (StreamFeeder + one-shot Finish), the
+// service accepts reports while the stream is open, pushes each round's
+// release to subscribed ReleaseSinks, and serves non-destructive snapshots of
+// the evolving synthetic database at any time. Fully materialized
+// StreamDatabases replay through the same path via ReplayDatabase (replay.h).
+
+#ifndef RETRASYN_SERVICE_TRAJECTORY_SERVICE_H_
+#define RETRASYN_SERVICE_TRAJECTORY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/release_sink.h"
+#include "service/ingest_session.h"
+
+namespace retrasyn {
+
+class TrajectoryService {
+ public:
+  /// Builds a RetraSyn engine from \p config and wraps it in a service.
+  /// Returns InvalidArgument (via RetraSynConfig::Validate) instead of
+  /// crashing on a nonsensical configuration. \p states must outlive the
+  /// service.
+  static Result<std::unique_ptr<TrajectoryService>> Create(
+      const StateSpace& states, const RetraSynConfig& config);
+
+  /// Wraps an externally constructed engine (ablation variants, LDP-IDS
+  /// baselines). The service takes ownership.
+  static Result<std::unique_ptr<TrajectoryService>> CreateWithEngine(
+      const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine);
+
+  /// Wraps a caller-owned engine (must outlive the service). Used by the
+  /// evaluation harness, which inspects the engine after the run.
+  static Result<std::unique_ptr<TrajectoryService>> Attach(
+      const StateSpace& states, StreamReleaseEngine* engine);
+
+  /// The ingestion endpoint. Rounds closed through it drive the engine and
+  /// notify sinks.
+  IngestSession& session() { return *session_; }
+  const IngestSession& session() const { return *session_; }
+
+  /// Subscribes \p sink (not owned; must outlive the service) to every
+  /// subsequently closed round.
+  void AddSink(ReleaseSink* sink);
+
+  /// Number of closed rounds; the release horizon of SnapshotRelease().
+  int64_t rounds_closed() const { return session_->open_round(); }
+
+  /// Non-destructive snapshot of the synthetic database over the rounds
+  /// closed so far. The stream stays open; snapshot as often as needed.
+  /// Fails with FailedPrecondition before the first closed round.
+  Result<CellStreamSet> SnapshotRelease() const;
+
+  /// Snapshot over an explicit horizon >= rounds_closed() (e.g. the full
+  /// planned stream length, for comparison against ground truth indices).
+  Result<CellStreamSet> SnapshotRelease(int64_t num_timestamps) const;
+
+  const StreamReleaseEngine& engine() const { return *engine_; }
+
+  /// The underlying engine when it is a RetraSynEngine (always the case for
+  /// Create()-built services); nullptr otherwise. Exposes privacy accounting
+  /// (budget ledger, report tracker) to auditors.
+  const RetraSynEngine* retrasyn_engine() const { return retrasyn_; }
+
+ private:
+  TrajectoryService(const StateSpace& states,
+                    std::unique_ptr<StreamReleaseEngine> owned,
+                    StreamReleaseEngine* engine);
+
+  Status OnRound(const TimestampBatch& batch);
+
+  const StateSpace* states_;
+  std::unique_ptr<StreamReleaseEngine> owned_engine_;
+  StreamReleaseEngine* engine_;      ///< owned_engine_.get() or caller-owned
+  const RetraSynEngine* retrasyn_ = nullptr;
+  std::unique_ptr<IngestSession> session_;
+  std::vector<ReleaseSink*> sinks_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_SERVICE_TRAJECTORY_SERVICE_H_

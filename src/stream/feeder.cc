@@ -37,21 +37,8 @@ StreamFeeder::StreamFeeder(const StreamDatabase& db, const Grid& grid,
     // encode feasible transitions.
     for (int64_t t = s.enter_time + 1; t < s.end_time(); ++t) {
       const CellId prev = cs.cells[t - 1 - s.enter_time];
-      CellId cur = cs.cells[t - s.enter_time];
-      if (!grid.AreNeighbors(prev, cur)) {
-        // Clamp to the neighbor of `prev` closest (Chebyshev) to `cur`.
-        CellId best = prev;
-        uint32_t best_d = grid.ChebyshevDistance(prev, cur);
-        for (CellId nbr : grid.Neighbors(prev)) {
-          const uint32_t d = grid.ChebyshevDistance(nbr, cur);
-          if (d < best_d) {
-            best_d = d;
-            best = nbr;
-          }
-        }
-        cur = best;
-        cs.cells[t - s.enter_time] = cur;
-      }
+      CellId cur = grid.ClampToReachable(prev, cs.cells[t - s.enter_time]);
+      cs.cells[t - s.enter_time] = cur;
       UserObservation obs;
       obs.user_index = idx;
       obs.state = states.MoveIndex(prev, cur);

@@ -3,6 +3,7 @@
 // view used by real-time consumers.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -167,6 +168,78 @@ TEST(EngineConfigTest, LambdaControlsSyntheticLengths) {
     return static_cast<double>(syn.TotalPoints()) / syn.streams().size();
   };
   EXPECT_LT(mean_length(3.0), mean_length(60.0));
+}
+
+TEST(ConfigValidateTest, AcceptsDefaultAndBaseConfigs) {
+  EXPECT_TRUE(RetraSynConfig{}.Validate().ok());
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNonPositiveEpsilon) {
+  for (double eps : {0.0, -1.0, -0.001}) {
+    RetraSynConfig config = BaseConfig();
+    config.epsilon = eps;
+    const Status st = config.Validate();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << eps;
+    EXPECT_NE(st.message().find("epsilon"), std::string::npos) << eps;
+  }
+  RetraSynConfig config = BaseConfig();
+  config.epsilon = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.epsilon = std::nan("");
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigValidateTest, RejectsWindowBelowOne) {
+  for (int w : {0, -1, -20}) {
+    RetraSynConfig config = BaseConfig();
+    config.window = w;
+    const Status st = config.Validate();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << w;
+    EXPECT_NE(st.message().find("window"), std::string::npos) << w;
+  }
+}
+
+TEST(ConfigValidateTest, RejectsNonPositiveLambda) {
+  for (double lambda : {0.0, -13.61}) {
+    RetraSynConfig config = BaseConfig();
+    config.lambda = lambda;
+    const Status st = config.Validate();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << lambda;
+    EXPECT_NE(st.message().find("lambda"), std::string::npos) << lambda;
+  }
+}
+
+TEST(ConfigValidateTest, RejectsRandomAllocationUnderBudgetDivision) {
+  RetraSynConfig config = BaseConfig();
+  config.division = DivisionStrategy::kBudget;
+  config.allocation.kind = AllocationKind::kRandom;
+  const Status st = config.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("population"), std::string::npos);
+}
+
+TEST(ConfigValidateTest, RejectsOutOfRangePortions) {
+  RetraSynConfig config = BaseConfig();
+  config.allocation.max_portion = 0.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = BaseConfig();
+  config.allocation.max_portion = 1.5;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = BaseConfig();
+  config.allocation.min_portion = 2.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  // Negative min_portion means "auto" and stays valid.
+  config = BaseConfig();
+  config.allocation.min_portion = -1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  // NaN portions must not slip through the range checks.
+  config = BaseConfig();
+  config.allocation.max_portion = std::nan("");
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = BaseConfig();
+  config.allocation.min_portion = std::nan("");
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

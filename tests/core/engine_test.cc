@@ -218,7 +218,8 @@ TEST(EngineTest, RandomAllocationRejectedForBudgetDivision) {
   const EngineFixture fx(10, 20);
   RetraSynConfig config =
       BaseConfig(DivisionStrategy::kBudget, AllocationKind::kRandom);
-  EXPECT_DEATH(RetraSynEngine(fx.states, config), "population-division only");
+  EXPECT_DEATH(RetraSynEngine(fx.states, config),
+               "only defined under population division");
 }
 
 }  // namespace

@@ -131,6 +131,81 @@ TEST(ReleaseServerTest, TrailingMeanActive) {
   EXPECT_GT(server.TrailingMeanActive(1000), 0.0);
 }
 
+TEST(ReleaseServerTest, OutOfHorizonQueriesAnswerZero) {
+  // Regression: a service client may query timestamps that are negative or
+  // not yet ingested; the server must answer zeros, not crash or read out of
+  // bounds.
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  for (int64_t t = 0; t < 10; ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    server.Ingest(engine);
+  }
+  ASSERT_EQ(server.horizon(), 10);
+  for (int64_t t : {int64_t{-1}, int64_t{-100}, int64_t{10}, int64_t{9999}}) {
+    EXPECT_EQ(server.ActiveAt(t), 0u) << "t=" << t;
+    const std::vector<uint32_t>& density = server.DensityAt(t);
+    ASSERT_EQ(density.size(), fx.grid.NumCells()) << "t=" << t;
+    for (uint32_t c : density) EXPECT_EQ(c, 0u) << "t=" << t;
+  }
+  // In-horizon answers still work.
+  EXPECT_GT(server.ActiveAt(9), 0u);
+}
+
+TEST(ReleaseServerTest, RangeCountClampsWindowAndGrid) {
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+  for (int64_t t = 0; t < 10; ++t) {
+    engine.Observe(fx.feeder->Batch(t));
+    server.Ingest(engine);
+  }
+  // Full-grid query over the whole horizon.
+  RangeQuery all;
+  all.row_lo = 0;
+  all.row_hi = fx.grid.k() - 1;
+  all.col_lo = 0;
+  all.col_hi = fx.grid.k() - 1;
+  all.t_start = 0;
+  all.t_end = server.horizon();
+  const uint64_t total = server.RangeCount(all);
+
+  // A wildly over-wide query clamps to the same answer instead of indexing
+  // out of bounds.
+  RangeQuery wide = all;
+  wide.row_hi = 1000;
+  wide.col_hi = 1000;
+  wide.t_start = -50;
+  wide.t_end = server.horizon() + 500;
+  EXPECT_EQ(server.RangeCount(wide), total);
+
+  // Fully outside the horizon: zero.
+  RangeQuery future = all;
+  future.t_start = server.horizon() + 1;
+  future.t_end = server.horizon() + 10;
+  EXPECT_EQ(server.RangeCount(future), 0u);
+  RangeQuery past = all;
+  past.t_start = -10;
+  past.t_end = 0;
+  EXPECT_EQ(server.RangeCount(past), 0u);
+
+  // Degenerate spatial window (lo beyond grid): empty.
+  RangeQuery off_grid = all;
+  off_grid.row_lo = fx.grid.k();
+  off_grid.row_hi = fx.grid.k() + 3;
+  EXPECT_EQ(server.RangeCount(off_grid), 0u);
+}
+
+TEST(ReleaseServerTest, TrailingMeanActiveHardened) {
+  const ServerFixture fx;
+  ReleaseServer server(fx.grid);
+  // Nothing ingested, nonsensical windows: zero, not a crash.
+  EXPECT_EQ(server.TrailingMeanActive(5), 0.0);
+  EXPECT_EQ(server.TrailingMeanActive(0), 0.0);
+  EXPECT_EQ(server.TrailingMeanActive(-3), 0.0);
+}
+
 TEST(PrivacyExtremesTest, WindowOneIsEventLevel) {
   // w = 1 degenerates to event-level LDP (paper SII-B): every user may
   // report at every timestamp under population division.

@@ -1,0 +1,320 @@
+// IngestSession semantics: per-user event validation, implicit quits on
+// reporting gaps, arrival-order independence, and bit-exact equivalence of
+// the replayed session path with the legacy StreamFeeder batch path.
+
+#include "service/ingest_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "service/replay.h"
+#include "service/trajectory_service.h"
+#include "stream/feeder.h"
+#include "stream/hotspot_generator.h"
+#include "stream/random_walk_generator.h"
+
+namespace retrasyn {
+namespace {
+
+struct SessionFixture {
+  SessionFixture()
+      : grid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 4), states(grid) {}
+
+  /// A session that records the closed batches.
+  IngestSession MakeSession() {
+    return IngestSession(states, [this](const TimestampBatch& batch) {
+      batches.push_back(batch);
+      return Status::OK();
+    });
+  }
+
+  Point CellPoint(uint32_t row, uint32_t col) const {
+    return grid.CellCenter(grid.Cell(row, col));
+  }
+
+  Grid grid;
+  StateSpace states;
+  std::vector<TimestampBatch> batches;
+};
+
+void ExpectEqualSets(const CellStreamSet& a, const CellStreamSet& b) {
+  ASSERT_EQ(a.num_timestamps(), b.num_timestamps());
+  ASSERT_EQ(a.streams().size(), b.streams().size());
+  EXPECT_EQ(a.TotalPoints(), b.TotalPoints());
+  for (size_t i = 0; i < a.streams().size(); ++i) {
+    EXPECT_EQ(a.streams()[i].enter_time, b.streams()[i].enter_time) << i;
+    EXPECT_EQ(a.streams()[i].cells, b.streams()[i].cells) << i;
+  }
+}
+
+TEST(IngestSessionTest, BasicLifecycleBuildsFeederShapedBatches) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+
+  ASSERT_TRUE(session.Enter(7, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Tick().ok());                  // t=0: e
+  ASSERT_TRUE(session.Move(7, fx.CellPoint(0, 1)).ok());
+  ASSERT_TRUE(session.Tick().ok());                  // t=1: m
+  ASSERT_TRUE(session.Quit(7).ok());
+  ASSERT_TRUE(session.Tick().ok());                  // t=2: q
+
+  ASSERT_EQ(fx.batches.size(), 3u);
+  ASSERT_EQ(fx.batches[0].observations.size(), 1u);
+  EXPECT_TRUE(fx.batches[0].observations[0].is_enter);
+  EXPECT_EQ(fx.batches[0].observations[0].state,
+            fx.states.EnterIndex(fx.grid.Cell(0, 0)));
+  EXPECT_EQ(fx.batches[0].num_active, 1u);
+
+  ASSERT_EQ(fx.batches[1].observations.size(), 1u);
+  EXPECT_EQ(fx.batches[1].observations[0].state,
+            fx.states.MoveIndex(fx.grid.Cell(0, 0), fx.grid.Cell(0, 1)));
+  EXPECT_EQ(fx.batches[1].num_active, 1u);
+
+  ASSERT_EQ(fx.batches[2].observations.size(), 1u);
+  EXPECT_TRUE(fx.batches[2].observations[0].is_quit);
+  EXPECT_EQ(fx.batches[2].observations[0].state,
+            fx.states.QuitIndex(fx.grid.Cell(0, 1)));
+  EXPECT_EQ(fx.batches[2].num_active, 0u);
+}
+
+TEST(IngestSessionTest, DuplicateEnterRejected) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  // Same round.
+  Status again = session.Enter(1, fx.CellPoint(1, 1));
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session.Tick().ok());
+  // Next round, still active.
+  again = session.Enter(1, fx.CellPoint(1, 1));
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IngestSessionTest, MoveBeforeEnterRejected) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  const Status st = session.Move(5, fx.CellPoint(0, 0));
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("Enter"), std::string::npos);
+}
+
+TEST(IngestSessionTest, QuitTwiceRejected) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  ASSERT_TRUE(session.Enter(3, fx.CellPoint(2, 2)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_TRUE(session.Quit(3).ok());
+  EXPECT_EQ(session.Quit(3).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session.Tick().ok());
+  // The stream is gone entirely now.
+  EXPECT_EQ(session.Quit(3).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Move(3, fx.CellPoint(2, 2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IngestSessionTest, QuitInReportingRoundRejected) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  ASSERT_TRUE(session.Enter(4, fx.CellPoint(1, 1)).ok());
+  // Def. 5: the quit transition carries the previous round's location.
+  EXPECT_EQ(session.Quit(4).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_TRUE(session.Move(4, fx.CellPoint(1, 2)).ok());
+  EXPECT_EQ(session.Quit(4).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IngestSessionTest, EventsAfterAdvanceToApplyToNewRound) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  ASSERT_TRUE(session.Enter(2, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.AdvanceTo(5).ok());
+  EXPECT_EQ(session.open_round(), 5);
+  ASSERT_EQ(fx.batches.size(), 5u);
+  // The user reported at t=0 only; the gap quit it implicitly at t=1.
+  EXPECT_EQ(session.Move(2, fx.CellPoint(0, 1)).code(),
+            StatusCode::kFailedPrecondition);
+  // Going backwards is rejected.
+  EXPECT_EQ(session.AdvanceTo(3).code(), StatusCode::kInvalidArgument);
+  // Re-entering starts a second stream segment at the open round.
+  ASSERT_TRUE(session.Enter(2, fx.CellPoint(0, 1)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  const TimestampBatch& last = fx.batches.back();
+  ASSERT_EQ(last.observations.size(), 1u);
+  EXPECT_TRUE(last.observations[0].is_enter);
+  EXPECT_EQ(last.t, 5);
+}
+
+TEST(IngestSessionTest, SilentUserQuitsImplicitly) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  ASSERT_TRUE(session.Enter(9, fx.CellPoint(3, 3)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_TRUE(session.Tick().ok());  // user 9 silent at t=1
+  ASSERT_EQ(fx.batches.size(), 2u);
+  ASSERT_EQ(fx.batches[1].observations.size(), 1u);
+  EXPECT_TRUE(fx.batches[1].observations[0].is_quit);
+  EXPECT_EQ(fx.batches[1].observations[0].state,
+            fx.states.QuitIndex(fx.grid.Cell(3, 3)));
+  EXPECT_EQ(fx.batches[1].num_active, 0u);
+  EXPECT_EQ(session.num_active_users(), 0u);
+}
+
+TEST(IngestSessionTest, NonAdjacentMoveClampedLikeFeeder) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  // Jump across the grid: must clamp to a neighbor of (0,0).
+  ASSERT_TRUE(session.Move(1, fx.CellPoint(3, 3)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  const StateId state = fx.batches[1].observations[0].state;
+  const TransitionState decoded = fx.states.Decode(state);
+  EXPECT_EQ(decoded.kind, StateKind::kMove);
+  EXPECT_EQ(decoded.from, fx.grid.Cell(0, 0));
+  EXPECT_TRUE(fx.grid.AreNeighbors(fx.grid.Cell(0, 0), decoded.to));
+  EXPECT_EQ(decoded.to, fx.grid.Cell(1, 1));  // closest neighbor to (3,3)
+}
+
+TEST(IngestSessionTest, NonFiniteLocationRejected) {
+  SessionFixture fx;
+  IngestSession session = fx.MakeSession();
+  const double nan = std::nan("");
+  EXPECT_EQ(session.Enter(1, Point{nan, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  EXPECT_EQ(session.Move(1, Point{0.0, nan}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IngestSessionTest, BatchesIndependentOfArrivalOrder) {
+  SessionFixture fx;
+  auto run = [&fx](bool reversed) {
+    std::vector<TimestampBatch> batches;
+    IngestSession session(fx.states, [&batches](const TimestampBatch& batch) {
+      batches.push_back(batch);
+      return Status::OK();
+    });
+    std::vector<uint64_t> users{1, 2, 3, 4, 5};
+    if (reversed) std::reverse(users.begin(), users.end());
+    for (uint64_t u : users) {
+      EXPECT_TRUE(
+          session.Enter(u, fx.CellPoint(u % 4, (u / 2) % 4)).ok());
+    }
+    EXPECT_TRUE(session.Tick().ok());
+    for (uint64_t u : users) {
+      EXPECT_TRUE(session.Move(u, fx.CellPoint((u + 1) % 4, u % 4)).ok());
+    }
+    EXPECT_TRUE(session.Tick().ok());
+    return batches;
+  };
+  const auto forward = run(false);
+  const auto backward = run(true);
+  ASSERT_EQ(forward.size(), backward.size());
+  for (size_t t = 0; t < forward.size(); ++t) {
+    ASSERT_EQ(forward[t].observations.size(),
+              backward[t].observations.size());
+    EXPECT_EQ(forward[t].num_active, backward[t].num_active);
+    for (size_t i = 0; i < forward[t].observations.size(); ++i) {
+      EXPECT_EQ(forward[t].observations[i].state,
+                backward[t].observations[i].state);
+      EXPECT_EQ(forward[t].observations[i].is_enter,
+                backward[t].observations[i].is_enter);
+      EXPECT_EQ(forward[t].observations[i].is_quit,
+                backward[t].observations[i].is_quit);
+    }
+  }
+}
+
+TEST(IngestSessionTest, ReplayMatchesStreamFeederBatches) {
+  // The session-built batches must equal the legacy feeder's, byte for byte
+  // (up to engine-facing stream indices, which are renumbered but consistent).
+  RandomWalkConfig config;
+  config.num_timestamps = 40;
+  config.initial_users = 120;
+  config.mean_arrivals = 10.0;
+  Rng rng(77);
+  const StreamDatabase db = GenerateRandomWalkStreams(config, rng);
+  const Grid grid(db.box(), 4);
+  const StateSpace states(grid);
+  const StreamFeeder feeder(db, grid, states);
+
+  std::vector<TimestampBatch> batches;
+  IngestSession session(states, [&batches](const TimestampBatch& batch) {
+    batches.push_back(batch);
+    return Status::OK();
+  });
+  // Replay manually (stream indices as user ids), mirroring ReplayDatabase.
+  for (int64_t t = 0; t < db.num_timestamps(); ++t) {
+    for (uint32_t idx = 0; idx < db.streams().size(); ++idx) {
+      const UserStream& s = db.streams()[idx];
+      if (s.enter_time == t) {
+        ASSERT_TRUE(session.Enter(idx, s.points.front()).ok());
+      } else if (s.ActiveAt(t)) {
+        ASSERT_TRUE(session.Move(idx, s.At(t)).ok());
+      }
+      // Quits are left implicit: the session must synthesize them.
+    }
+    ASSERT_TRUE(session.Tick().ok());
+  }
+
+  ASSERT_EQ(static_cast<int64_t>(batches.size()), feeder.num_timestamps());
+  for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
+    const TimestampBatch& expected = feeder.Batch(t);
+    const TimestampBatch& got = batches[t];
+    ASSERT_EQ(got.observations.size(), expected.observations.size())
+        << "t=" << t;
+    EXPECT_EQ(got.num_active, expected.num_active) << "t=" << t;
+    for (size_t i = 0; i < expected.observations.size(); ++i) {
+      EXPECT_EQ(got.observations[i].state, expected.observations[i].state)
+          << "t=" << t << " i=" << i;
+      EXPECT_EQ(got.observations[i].is_enter,
+                expected.observations[i].is_enter);
+      EXPECT_EQ(got.observations[i].is_quit, expected.observations[i].is_quit);
+    }
+  }
+}
+
+TEST(IngestSessionTest, ReplayedEngineReleaseIsByteIdenticalToLegacyPath) {
+  // Same trajectories + same seed: legacy batch pipeline and service replay
+  // must release the same synthetic database.
+  HotspotGeneratorConfig data_config;
+  data_config.num_timestamps = 60;
+  data_config.initial_users = 300;
+  data_config.mean_arrivals = 25.0;
+  Rng rng(5);
+  const StreamDatabase db = GenerateHotspotStreams(data_config, rng);
+  const Grid grid(db.box(), 4);
+  const StateSpace states(grid);
+
+  RetraSynConfig config;
+  config.epsilon = 1.0;
+  config.window = 10;
+  config.division = DivisionStrategy::kPopulation;
+  config.lambda = db.AverageLength();
+  config.seed = 123;
+
+  // Legacy path.
+  const StreamFeeder feeder(db, grid, states);
+  RetraSynEngine legacy(states, config);
+  for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
+    legacy.Observe(feeder.Batch(t));
+  }
+  const CellStreamSet expected = legacy.Finish(feeder.num_timestamps());
+
+  // Service path.
+  auto service = TrajectoryService::Create(states, config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE(ReplayDatabase(db, *service.value()).ok());
+  auto got = service.value()->SnapshotRelease(db.num_timestamps());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectEqualSets(got.value(), expected);
+}
+
+}  // namespace
+}  // namespace retrasyn
