@@ -6,10 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/alias_table.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/dmu.h"
 #include "core/mobility_model.h"
 #include "core/synthesizer.h"
+#include "core/transition_sampler_cache.h"
 #include "geo/state_space.h"
 #include "ldp/aggregate.h"
 #include "ldp/frequency_oracle.h"
@@ -92,6 +95,83 @@ void BM_DmuSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_DmuSelect)->Range(64, 8192)->Complexity(benchmark::oN);
 
+// --- O(1) cached sampling vs O(n) linear scans (paper SIV-B) ---------------
+//
+// The per-point complexity claim of the alias-table hot path: sampling from a
+// cached table is flat in the distribution size, while Rng::Discrete walks
+// the weight vector. The build cost is linear and paid once per model change.
+
+void BM_DiscreteLinear(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.UniformDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Discrete(weights));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DiscreteLinear)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_AliasSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(22);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.UniformDouble();
+  AliasTable table;
+  table.Build(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AliasSample)->Range(8, 4096)->Complexity(benchmark::o1);
+
+void BM_AliasBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.UniformDouble();
+  AliasTable table;
+  for (auto _ : state) {
+    table.Build(weights);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AliasBuild)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_SamplerCacheSyncIncremental(benchmark::State& state) {
+  // Steady-state DMU round: a small selective update followed by a Sync that
+  // re-derives only the touched cells.
+  const uint32_t dirty = static_cast<uint32_t>(state.range(0));
+  const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 32);
+  const StateSpace states(grid);
+  GlobalMobilityModel model(states);
+  Rng rng(24);
+  std::vector<double> f(states.size());
+  for (double& x : f) x = rng.UniformDouble() * 0.01;
+  model.ReplaceAll(f);
+  TransitionSamplerCache cache(states);
+  cache.Sync(model);
+  std::vector<StateId> selected(dirty);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (StateId& s : selected) {
+      s = static_cast<StateId>(
+          rng.UniformInt(static_cast<uint64_t>(states.size())));
+      f[s] = rng.UniformDouble() * 0.01;
+    }
+    model.UpdateStates(selected, f);
+    state.ResumeTiming();
+    cache.Sync(model);
+  }
+  state.SetComplexityN(dirty);
+}
+BENCHMARK(BM_SamplerCacheSyncIncremental)
+    ->Range(8, 2048)
+    ->Complexity(benchmark::oN);
+
 void BM_SynthesizerStep(benchmark::State& state) {
   const uint32_t population = static_cast<uint32_t>(state.range(0));
   const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 10);
@@ -113,9 +193,36 @@ void BM_SynthesizerStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizerStep)->Range(1000, 64000)->Complexity(benchmark::oN);
 
+void BM_SynthesizerStepLegacy(benchmark::State& state) {
+  // A/B partner of BM_SynthesizerStep: the former linear-scan sampling with
+  // a heap allocation per sampled point (use_sampler_cache=false).
+  const uint32_t population = static_cast<uint32_t>(state.range(0));
+  const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 10);
+  const StateSpace states(grid);
+  GlobalMobilityModel model(states);
+  Rng rng(6);
+  std::vector<double> f(states.size());
+  for (double& x : f) x = rng.UniformDouble() * 0.01;
+  model.ReplaceAll(f);
+  SynthesizerConfig config;
+  config.lambda = 50.0;
+  config.use_sampler_cache = false;
+  Synthesizer synthesizer(states, config);
+  synthesizer.Initialize(model, population, 0, rng);
+  int64_t t = 1;
+  for (auto _ : state) {
+    synthesizer.Step(model, population, t++, rng);
+  }
+  state.SetComplexityN(population);
+}
+BENCHMARK(BM_SynthesizerStepLegacy)
+    ->Range(1000, 64000)
+    ->Complexity(benchmark::oN);
+
 void BM_SynthesizerStepThreads(benchmark::State& state) {
   // The paper's future-work acceleration: parallel synthesis. Sweep worker
-  // threads at a fixed large population.
+  // threads at a fixed large population, on a live persistent pool (without
+  // one the chunks run inline and the sweep would measure serial execution).
   const int threads = static_cast<int>(state.range(0));
   const uint32_t population = 64000;
   const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 10);
@@ -128,7 +235,9 @@ void BM_SynthesizerStepThreads(benchmark::State& state) {
   SynthesizerConfig config;
   config.lambda = 50.0;
   config.num_threads = threads;
+  ThreadPool pool(threads);
   Synthesizer synthesizer(states, config);
+  synthesizer.SetThreadPool(&pool);
   synthesizer.Initialize(model, population, 0, rng);
   int64_t t = 1;
   for (auto _ : state) {

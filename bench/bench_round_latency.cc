@@ -1,0 +1,229 @@
+// Round-synthesis latency bench (paper SIV-B / Fig. 7): how long one
+// synthesis round takes as population and grid size grow, and what the
+// cached alias samplers + persistent thread pool buy over the legacy
+// linear-scan / thread-spawn hot path.
+//
+// For each (grid, population) point the bench drives a Synthesizer through
+// warm-up plus measured rounds against a randomized mobility model. Between
+// rounds a small random subset of states is pushed through
+// GlobalMobilityModel::UpdateStates — the DMU's steady state — so the
+// sampler cache pays its real incremental invalidation cost, not a
+// cached-forever fantasy. Modes:
+//
+//   legacy  — use_sampler_cache=false, serial: the former O(degree)-per-point
+//             path with a heap allocation per sampled point.
+//   cached  — alias samplers, serial. The headline single-thread speedup.
+//   pooled  — alias samplers + persistent ThreadPool at --threads.
+//
+// Output: a human-readable table on stderr and a JSON array (--json, default
+// BENCH_synthesis.json) with one record per (grid, population, mode); see
+// docs/performance.md for the schema and acceptance thresholds.
+//
+// Quick mode for CI smoke runs: --quick sweeps one point with few rounds.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/mobility_model.h"
+#include "core/synthesizer.h"
+#include "geo/state_space.h"
+
+namespace retrasyn {
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  int threads = 1;
+  int rounds = 0;
+  double mean_round_ms = 0.0;
+  double min_round_ms = 0.0;
+  double points_per_sec = 0.0;
+};
+
+struct SweepPoint {
+  uint32_t grid_k = 0;
+  uint32_t num_cells = 0;
+  uint32_t num_states = 0;
+  uint32_t population = 0;
+  std::vector<ModeResult> modes;
+};
+
+std::vector<double> RandomFrequencies(const StateSpace& states, Rng& rng) {
+  std::vector<double> f(states.size());
+  for (double& x : f) x = rng.UniformDouble() * 0.01;
+  return f;
+}
+
+/// One DMU-like selective update: overwrite ~1% of the states (at least 32)
+/// with fresh values, through the incremental-invalidation path.
+void PerturbModel(GlobalMobilityModel& model, const StateSpace& states,
+                  Rng& rng) {
+  const uint32_t count =
+      std::max<uint32_t>(32, states.size() / 100);
+  std::vector<StateId> selected;
+  selected.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    selected.push_back(static_cast<StateId>(
+        rng.UniformInt(static_cast<uint64_t>(states.size()))));
+  }
+  std::vector<double> fresh = model.frequencies();
+  for (StateId s : selected) fresh[s] = rng.UniformDouble() * 0.01;
+  model.UpdateStates(selected, fresh);
+}
+
+ModeResult RunMode(const std::string& mode, const StateSpace& states,
+                   uint32_t population, int threads, ThreadPool* pool,
+                   int warmup, int rounds, uint64_t seed) {
+  GlobalMobilityModel model(states);
+  Rng model_rng(seed);
+  model.ReplaceAll(RandomFrequencies(states, model_rng));
+
+  SynthesizerConfig config;
+  config.lambda = 50.0;
+  config.num_threads = threads;
+  config.use_sampler_cache = (mode != "legacy");
+  Synthesizer synthesizer(states, config);
+  synthesizer.SetThreadPool(pool);
+  Rng rng(seed + 1);
+  synthesizer.Initialize(model, population, 0, rng);
+
+  ModeResult result;
+  result.mode = mode;
+  result.threads = threads;
+  result.rounds = rounds;
+  result.min_round_ms = 1e300;
+  int64_t t = 1;
+  for (int i = 0; i < warmup; ++i) {
+    PerturbModel(model, states, model_rng);
+    synthesizer.Step(model, population, t++, rng);
+  }
+  double total_s = 0.0;
+  uint64_t points = 0;
+  for (int i = 0; i < rounds; ++i) {
+    PerturbModel(model, states, model_rng);
+    const uint64_t before = synthesizer.total_points();
+    Stopwatch watch;
+    synthesizer.Step(model, population, t++, rng);
+    const double s = watch.ElapsedSeconds();
+    total_s += s;
+    points += synthesizer.total_points() - before;
+    result.min_round_ms = std::min(result.min_round_ms, s * 1e3);
+  }
+  result.mean_round_ms = total_s / rounds * 1e3;
+  result.points_per_sec = total_s > 0.0 ? points / total_s : 0.0;
+  return result;
+}
+
+bool WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (const SweepPoint& point : sweep) {
+    double legacy_mean = 0.0;
+    for (const ModeResult& m : point.modes) {
+      if (m.mode == "legacy") legacy_mean = m.mean_round_ms;
+    }
+    for (const ModeResult& m : point.modes) {
+      if (!first) std::fprintf(f, ",\n");
+      first = false;
+      const double speedup =
+          (legacy_mean > 0.0 && m.mean_round_ms > 0.0)
+              ? legacy_mean / m.mean_round_ms
+              : 0.0;
+      std::fprintf(
+          f,
+          "  {\"bench\": \"round_latency\", \"grid_k\": %u, \"cells\": %u, "
+          "\"states\": %u, \"population\": %u, \"mode\": \"%s\", "
+          "\"threads\": %d, \"rounds\": %d, \"mean_round_ms\": %.4f, "
+          "\"min_round_ms\": %.4f, \"points_per_sec\": %.0f, "
+          "\"speedup_vs_legacy\": %.2f}",
+          point.grid_k, point.num_cells, point.num_states, point.population,
+          m.mode.c_str(), m.threads, m.rounds, m.mean_round_ms,
+          m.min_round_ms, m.points_per_sec, speedup);
+    }
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  return true;
+}
+
+std::vector<uint32_t> ParseList(const std::string& csv) {
+  std::vector<uint32_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!item.empty()) {
+      out.push_back(static_cast<uint32_t>(std::stoul(item)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const int rounds = static_cast<int>(flags.GetInt("rounds", quick ? 3 : 20));
+  const int warmup = static_cast<int>(flags.GetInt("warmup", quick ? 1 : 3));
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_synthesis.json");
+  const std::vector<uint32_t> grid_ks =
+      ParseList(flags.GetString("grids", quick ? "16" : "32,64"));
+  const std::vector<uint32_t> pops = ParseList(
+      flags.GetString("pops", quick ? "20000" : "10000,100000"));
+
+  ThreadPool pool(threads);
+  std::vector<SweepPoint> sweep;
+  for (uint32_t k : grid_ks) {
+    const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, k);
+    const StateSpace states(grid);
+    for (uint32_t pop : pops) {
+      SweepPoint point;
+      point.grid_k = k;
+      point.num_cells = grid.NumCells();
+      point.num_states = states.size();
+      point.population = pop;
+      point.modes.push_back(RunMode("legacy", states, pop, 1, nullptr,
+                                    warmup, rounds, seed));
+      point.modes.push_back(RunMode("cached", states, pop, 1, nullptr,
+                                    warmup, rounds, seed));
+      point.modes.push_back(RunMode("pooled", states, pop, threads, &pool,
+                                    warmup, rounds, seed));
+      const double legacy = point.modes[0].mean_round_ms;
+      for (const ModeResult& m : point.modes) {
+        std::fprintf(stderr,
+                     "grid=%2ux%-2u cells=%5u pop=%6u %-6s threads=%d  "
+                     "mean=%8.3f ms  min=%8.3f ms  %10.0f pts/s  %.2fx\n",
+                     k, k, point.num_cells, pop, m.mode.c_str(), m.threads,
+                     m.mean_round_ms, m.min_round_ms, m.points_per_sec,
+                     legacy > 0.0 ? legacy / m.mean_round_ms : 0.0);
+      }
+      sweep.push_back(std::move(point));
+    }
+  }
+  if (!WriteJson(json_path, sweep)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace retrasyn
+
+int main(int argc, char** argv) { return retrasyn::Main(argc, argv); }

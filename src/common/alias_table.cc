@@ -1,0 +1,65 @@
+#include "common/alias_table.h"
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+void AliasTable::Build(const double* weights, size_t n) {
+  prob_.clear();
+  alias_.clear();
+  small_.clear();
+  large_.clear();
+  scaled_.clear();
+  total_ = 0.0;
+  has_mass_ = false;
+  if (n == 0) return;
+  RETRASYN_CHECK(n <= static_cast<size_t>(UINT32_MAX));
+
+  prob_.resize(n, 0.0);
+  alias_.resize(n, 0);
+  scaled_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    scaled_[i] = w;
+    total_ += w;
+  }
+  if (total_ <= 0.0) return;
+  has_mass_ = true;
+
+  // Vose's stable partition: columns scaled to mean 1, the deficit of each
+  // under-full column topped up by exactly one over-full donor.
+  const double scale = static_cast<double>(n) / total_;
+  for (size_t i = 0; i < n; ++i) {
+    scaled_[i] *= scale;
+    if (scaled_[i] < 1.0) {
+      small_.push_back(static_cast<uint32_t>(i));
+    } else {
+      large_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small_.empty() && !large_.empty()) {
+    const uint32_t s = small_.back();
+    small_.pop_back();
+    const uint32_t l = large_.back();
+    prob_[s] = scaled_[s];
+    alias_[s] = l;
+    scaled_[l] -= 1.0 - scaled_[s];
+    if (scaled_[l] < 1.0) {
+      large_.pop_back();
+      small_.push_back(l);
+    }
+  }
+  // Leftovers are exactly full up to rounding; their alias is never taken.
+  for (uint32_t l : large_) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (uint32_t s : small_) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+  small_.clear();
+  large_.clear();
+}
+
+}  // namespace retrasyn

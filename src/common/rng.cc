@@ -46,22 +46,22 @@ double Rng::Gaussian(double mean, double stddev) {
 }
 
 size_t Rng::Discrete(const std::vector<double>& weights) {
+  // Single pass (weighted reservoir): item i replaces the current pick with
+  // probability w_i / prefix_total_i, which yields exactly w_i / total
+  // overall. Unlike the former sum-then-walk two-pass scan this reads the
+  // vector once, and it cannot fall off the end on floating-point slack —
+  // the pick is always an index with positive weight. Zero total mass still
+  // returns weights.size() and negative entries still count as zero.
   double total = 0.0;
-  for (double w : weights) {
-    if (w > 0.0) total += w;
+  size_t pick = weights.size();
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    if (!(w > 0.0)) continue;  // negatives and NaNs carry no mass
+    total += w;
+    if (UniformDouble() * total < w) pick = i;
   }
   if (total <= 0.0) return weights.size();
-  double target = UniformDouble() * total;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
-    target -= w;
-    if (target < 0.0) return i;
-  }
-  // Floating-point slack: fall back to the last positive-weight index.
-  for (size_t i = weights.size(); i > 0; --i) {
-    if (weights[i - 1] > 0.0) return i - 1;
-  }
-  return weights.size();
+  return pick;
 }
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {

@@ -87,7 +87,9 @@ class Rng {
 
   /// Samples an index in [0, weights.size()) proportional to weights.
   /// Negative weights are treated as zero. Returns weights.size() if the total
-  /// mass is zero (caller decides the fallback).
+  /// mass is zero (caller decides the fallback). Requires the positive mass to
+  /// sum below DBL_MAX: an overflowing total degenerates to a deterministic
+  /// positive-weight pick (the old two-pass scan degenerated similarly).
   size_t Discrete(const std::vector<double>& weights);
 
   /// Samples k distinct indices from [0, n) uniformly (Floyd's algorithm when

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  RETRASYN_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  int chunk;
+  int done = 0;
+  while ((chunk = job.next_chunk.fetch_add(1, std::memory_order_relaxed)) <
+         job.num_chunks) {
+    (*job.fn)(chunk);
+    ++done;
+  }
+  if (done > 0 &&
+      job.pending.fetch_sub(done, std::memory_order_acq_rel) == done) {
+    // Last chunk of the job: wake the submitting thread. The lock pairs with
+    // the wait in ParallelFor so the notify cannot be lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&]() {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    // The shared_ptr pins the job: a worker that was descheduled here and
+    // resumes after the job completed finds its ticket exhausted and touches
+    // nothing of the (possibly newer) current job.
+    if (job) RunChunks(*job);
+  }
+}
+
+void ThreadPool::ParallelFor(int num_chunks,
+                             const std::function<void(int)>& fn) {
+  if (num_chunks <= 0) return;
+  if (num_chunks == 1 || workers_.empty()) {
+    for (int c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_chunks = num_chunks;
+  job->pending.store(num_chunks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunChunks(*job);  // the caller is an executor too
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [&]() {
+    return job->pending.load(std::memory_order_acquire) == 0;
+  });
+  // fn's lifetime ends with this call; drop the pool's reference so no worker
+  // can observe a dangling fn through job_ (their own pins are ticket-empty).
+  job_ = nullptr;
+}
+
+}  // namespace retrasyn

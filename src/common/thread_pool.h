@@ -1,0 +1,82 @@
+// A persistent pool of worker threads for chunked parallel loops.
+//
+// The synthesis phases previously spawned and joined fresh std::threads twice
+// per round; at real-time round rates the spawn/join cost rivals the work
+// itself. This pool keeps the workers alive across rounds (and across engines:
+// TrajectoryService threads one pool through several sessions via
+// RetraSynConfig::thread_pool).
+//
+// Determinism contract: ParallelFor hands out chunk *indices*; which thread
+// executes which chunk is scheduling-dependent, so callers must make the work
+// a pure function of the chunk index (disjoint output slots, per-chunk RNGs).
+// Under that discipline results are byte-identical for a fixed chunk count
+// regardless of pool size — including a pool of size 1 and no pool at all
+// (the synthesizer runs the same chunks inline when it has no pool).
+
+#ifndef RETRASYN_COMMON_THREAD_POOL_H_
+#define RETRASYN_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace retrasyn {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with \p num_threads total executors: num_threads - 1
+  /// background workers plus the thread calling ParallelFor, which always
+  /// participates. Requires num_threads >= 1 (1 = no background workers;
+  /// ParallelFor then runs every chunk inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (background workers + the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks) and returns when all
+  /// have completed. Chunks are claimed dynamically (an atomic ticket), so
+  /// uneven chunks balance across workers. Safe to call from multiple threads
+  /// concurrently: invocations are serialized internally, which is exactly
+  /// the sharing discipline multi-tenant sessions need.
+  void ParallelFor(int num_chunks, const std::function<void(int)>& fn);
+
+ private:
+  /// One ParallelFor invocation. Heap-allocated and pinned by each
+  /// participating worker via shared_ptr, so a worker that resumes late finds
+  /// an exhausted ticket instead of state recycled for the next job.
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int num_chunks = 0;
+    std::atomic<int> next_chunk{0};  ///< claim ticket
+    std::atomic<int> pending{0};     ///< chunks not yet completed
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of \p job until none remain.
+  void RunChunks(Job& job);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mu_;  ///< serializes concurrent ParallelFor callers
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;  ///< bumped per job so workers detect new work
+  bool stop_ = false;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_COMMON_THREAD_POOL_H_

@@ -48,8 +48,42 @@ Status RetraSynConfig::Validate() const {
         "allocation.min_portion must not exceed 1, got " +
         std::to_string(allocation.min_portion));
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 1 (or 0 to resolve to the hardware "
+        "concurrency), got " +
+        std::to_string(num_threads));
+  }
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "num_threads " + std::to_string(num_threads) +
+        " exceeds the sanity cap of " + std::to_string(kMaxThreads));
+  }
   return Status::OK();
 }
+
+namespace {
+
+/// Resolves the configured thread count: explicit value, or the shared
+/// pool's size / hardware concurrency for the 0 = auto setting.
+int ResolveThreads(const RetraSynConfig& config) {
+  if (config.num_threads > 0) return config.num_threads;
+  if (config.thread_pool != nullptr) return config.thread_pool->num_threads();
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+SynthesizerConfig MakeSynthesizerConfig(const RetraSynConfig& config) {
+  SynthesizerConfig synth;
+  synth.lambda = config.lambda;
+  synth.use_quit = config.use_eq;
+  synth.use_size_adjustment = config.use_eq;
+  synth.random_init = !config.use_eq;
+  synth.num_threads = ResolveThreads(config);
+  synth.use_sampler_cache = config.use_sampler_cache;
+  return synth;
+}
+
+}  // namespace
 
 const char* DivisionStrategyName(DivisionStrategy division) {
   switch (division) {
@@ -68,15 +102,20 @@ RetraSynEngine::RetraSynEngine(const StateSpace& states,
       rng_(config.seed),
       collector_(states.size(), config.collection_mode, config.oracle),
       model_(states),
-      synthesizer_(states,
-                   SynthesizerConfig{config.lambda, config.use_eq,
-                                     config.use_eq, !config.use_eq}),
+      synthesizer_(states, MakeSynthesizerConfig(config)),
       allocator_(config.allocation, config.window, states.size()),
       ledger_(config.window, config.epsilon),
       tracker_(config.window) {
   // Programmatic construction aborts on a bad config (a programming bug);
   // service-layer callers validate first and surface the Status instead.
   config.Validate().CheckOK();
+  const int threads = ResolveThreads(config);
+  if (config.thread_pool != nullptr) {
+    pool_ = config.thread_pool;  // shared across engines (multi-tenant)
+  } else if (threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(threads);
+  }
+  synthesizer_.SetThreadPool(pool_.get());
 }
 
 std::string RetraSynEngine::name() const {
@@ -94,12 +133,33 @@ bool RetraSynEngine::ObservationEligible(const UserObservation& obs) const {
   return true;
 }
 
+void RetraSynEngine::EnsureUser(uint32_t user) {
+  if (user < status_.size()) return;
+  // The bookkeeping is dense over user_index: indices must be the compact,
+  // cumulatively-assigned stream indices of the service layer / feeder, not
+  // arbitrary device ids. The cap turns a miskeyed id (which would silently
+  // allocate gigabytes) into an immediate, diagnosable failure while leaving
+  // ample headroom over paper-scale populations (1 or 9 bytes per index; see
+  // ROADMAP for index recycling over unbounded horizons).
+  constexpr uint32_t kMaxUserIndex = 1u << 30;  // ~1.07B stream indices
+  RETRASYN_CHECK_MSG(user < kMaxUserIndex,
+                     "user_index must be a dense stream index");
+  // Grow geometrically so the amortized cost per new user is O(1). The
+  // report-slot schedule only exists under the Random allocation strategy.
+  const size_t size = std::max<size_t>(user + 1, status_.size() * 2);
+  status_.resize(size, UserStatus::kUnknown);
+  if (config_.allocation.kind == AllocationKind::kRandom) {
+    report_slot_.resize(size, kNoSlot);
+  }
+}
+
 std::vector<uint32_t> RetraSynEngine::PrepareEligible(
     const TimestampBatch& batch) {
   const int64_t t = batch.t;
   // Register arrivals as active (Alg. 1 line 7).
   for (const UserObservation& obs : batch.observations) {
     if (obs.is_enter) {
+      EnsureUser(obs.user_index);
       status_[obs.user_index] = UserStatus::kActive;
       if (config_.allocation.kind == AllocationKind::kRandom) {
         report_slot_[obs.user_index] =
@@ -112,9 +172,9 @@ std::vector<uint32_t> RetraSynEngine::PrepareEligible(
   while (!reported_at_.empty() &&
          reported_at_.front().first <= t - config_.window) {
     for (uint32_t user : reported_at_.front().second) {
-      auto it = status_.find(user);
-      if (it != status_.end() && it->second == UserStatus::kInactive) {
-        it->second = UserStatus::kActive;
+      // Recorded reporters are always within the dense range.
+      if (status_[user] == UserStatus::kInactive) {
+        status_[user] = UserStatus::kActive;
         if (config_.allocation.kind == AllocationKind::kRandom) {
           report_slot_[user] =
               t + static_cast<int64_t>(rng_.UniformInt(
@@ -131,8 +191,10 @@ std::vector<uint32_t> RetraSynEngine::PrepareEligible(
   for (uint32_t i = 0; i < batch.observations.size(); ++i) {
     const UserObservation& obs = batch.observations[i];
     if (!ObservationEligible(obs)) continue;
-    auto it = status_.find(obs.user_index);
-    if (it == status_.end() || it->second != UserStatus::kActive) continue;
+    if (obs.user_index >= status_.size() ||
+        status_[obs.user_index] != UserStatus::kActive) {
+      continue;
+    }
     eligible.push_back(i);
   }
   return eligible;
@@ -144,8 +206,10 @@ std::vector<uint32_t> RetraSynEngine::ChooseReporters(
   if (config_.allocation.kind == AllocationKind::kRandom) {
     std::vector<uint32_t> chosen;
     for (uint32_t i : eligible) {
-      auto it = report_slot_.find(batch.observations[i].user_index);
-      if (it != report_slot_.end() && it->second == t) chosen.push_back(i);
+      const uint32_t user = batch.observations[i].user_index;
+      if (user < report_slot_.size() && report_slot_[user] == t) {
+        chosen.push_back(i);
+      }
     }
     return chosen;
   }
@@ -169,6 +233,7 @@ void RetraSynEngine::CommitStatuses(const TimestampBatch& batch,
   reported_users.reserve(chosen.size());
   for (uint32_t i : chosen) {
     const uint32_t user = batch.observations[i].user_index;
+    EnsureUser(user);
     status_[user] = UserStatus::kInactive;
     reported_users.push_back(user);
     tracker_.RecordReport(user, t);
@@ -180,8 +245,11 @@ void RetraSynEngine::CommitStatuses(const TimestampBatch& batch,
   // inactive mark for quitters that were chosen this round.
   for (const UserObservation& obs : batch.observations) {
     if (obs.is_quit) {
+      EnsureUser(obs.user_index);
       status_[obs.user_index] = UserStatus::kQuitted;
-      report_slot_.erase(obs.user_index);
+      if (config_.allocation.kind == AllocationKind::kRandom) {
+        report_slot_[obs.user_index] = kNoSlot;
+      }
     }
   }
 }

@@ -22,13 +22,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/allocation.h"
 #include "core/mobility_model.h"
 #include "core/synthesizer.h"
@@ -105,6 +107,25 @@ struct RetraSynConfig {
   /// bench_ablation for the measured trade-off.
   Postprocess postprocess = Postprocess::kClip;
   uint64_t seed = 1;
+  /// Worker threads for the synthesis hot path. 1 = serial (default); 0 =
+  /// resolve to the hardware concurrency (or the shared pool's size) at
+  /// engine construction. For n > 1 the synthetic output is byte-identical
+  /// for a fixed (seed, num_threads) on any machine, but differs from the
+  /// serial stream. Values above kMaxThreads are rejected by Validate.
+  int num_threads = 1;
+  /// A pool shared across engines/services (multi-tenant deployments: one
+  /// pool, several sessions). When null and num_threads > 1 the engine owns
+  /// a private pool. For num_threads >= 1 the pool's size does not affect
+  /// results — only num_threads does; num_threads = 0 resolves the chunk
+  /// count from the pool size (or hardware), trading that reproducibility
+  /// away explicitly.
+  std::shared_ptr<ThreadPool> thread_pool;
+  /// When false, synthesis samples through legacy linear scans instead of the
+  /// cached alias tables (A/B benchmarking; distributionally identical).
+  bool use_sampler_cache = true;
+
+  /// Upper bound Validate accepts for num_threads.
+  static constexpr int kMaxThreads = 256;
 
   /// Rejects nonsensical configurations with a descriptive error instead of
   /// crashing the process. TrajectoryService::Create and the engine
@@ -146,9 +167,17 @@ class RetraSynEngine : public StreamReleaseEngine {
   /// Report-per-window audit (population division).
   const ReportWindowTracker& report_tracker() const { return tracker_; }
   uint64_t total_reports() const { return total_reports_; }
+  /// The pool driving the synthesis phase (shared or engine-owned); nullptr
+  /// when the engine runs serially.
+  const ThreadPool* thread_pool() const { return pool_.get(); }
 
  private:
-  enum class UserStatus : uint8_t { kActive, kInactive, kQuitted };
+  enum class UserStatus : uint8_t { kUnknown = 0, kActive, kInactive, kQuitted };
+
+  static constexpr int64_t kNoSlot = std::numeric_limits<int64_t>::min();
+
+  /// Grows the dense per-user bookkeeping to cover \p user.
+  void EnsureUser(uint32_t user);
 
   /// Registers arrivals, recycles users whose report left the window, and
   /// returns the indices (into batch.observations) of eligible reporters.
@@ -170,15 +199,17 @@ class RetraSynEngine : public StreamReleaseEngine {
   TransitionCollector collector_;
   GlobalMobilityModel model_;
   Synthesizer synthesizer_;
+  std::shared_ptr<ThreadPool> pool_;  ///< shared via config or engine-owned
   PortionAllocator allocator_;
   BudgetLedger ledger_;
   ReportWindowTracker tracker_;
   ComponentTimes times_;
   bool collected_once_ = false;
 
-  // Population-division bookkeeping.
-  std::unordered_map<uint32_t, UserStatus> status_;
-  std::unordered_map<uint32_t, int64_t> report_slot_;  // kRandom only
+  // Population-division bookkeeping, dense over the contiguous user indices
+  // the service layer / feeder assign (no per-observation hashing).
+  std::vector<UserStatus> status_;
+  std::vector<int64_t> report_slot_;  ///< kRandom only; kNoSlot = unscheduled
   std::deque<std::pair<int64_t, std::vector<uint32_t>>> reported_at_;
 
   uint64_t total_reports_ = 0;

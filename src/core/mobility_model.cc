@@ -15,6 +15,9 @@ void GlobalMobilityModel::ReplaceAll(const std::vector<double>& frequencies) {
     freq_[i] = std::max(0.0, frequencies[i]);
   }
   initialized_ = true;
+  ++version_;
+  replace_version_ = version_;
+  dirty_log_.clear();
 }
 
 void GlobalMobilityModel::UpdateStates(const std::vector<StateId>& selected,
@@ -25,6 +28,13 @@ void GlobalMobilityModel::UpdateStates(const std::vector<StateId>& selected,
     freq_[s] = std::max(0.0, frequencies[s]);
   }
   initialized_ = true;
+  ++version_;
+  dirty_log_.insert(dirty_log_.end(), selected.begin(), selected.end());
+  if (dirty_log_.size() > freq_.size()) {
+    // Incremental replay would now cost at least a full rebuild: collapse.
+    dirty_log_.clear();
+    replace_version_ = version_;
+  }
 }
 
 std::vector<double> GlobalMobilityModel::MoveAndQuitDistribution(

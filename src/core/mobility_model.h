@@ -44,6 +44,24 @@ class GlobalMobilityModel {
   const std::vector<double>& frequencies() const { return freq_; }
   bool initialized() const { return initialized_; }
 
+  // --- Change tracking (consumed by TransitionSamplerCache) ---------------
+  //
+  // Every mutation bumps version(). ReplaceAll resets the dirty log and
+  // stamps replace_version(): anything derived before that version must be
+  // rebuilt from scratch. UpdateStates appends the DMU-selected states to
+  // dirty_log() instead, so derived per-cell structures only re-derive the
+  // touched cells. The log collapses into a full-replace stamp when it
+  // outgrows |S| (processing it would then cost as much as a full rebuild
+  // anyway), which bounds its memory for consumers that sync rarely.
+
+  /// Monotone counter of mutations (ReplaceAll / UpdateStates calls).
+  uint64_t version() const { return version_; }
+  /// version() value of the most recent full invalidation.
+  uint64_t replace_version() const { return replace_version_; }
+  /// States touched by UpdateStates since replace_version(), append-only in
+  /// call order (may contain duplicates). Cleared on full invalidation.
+  const std::vector<StateId>& dirty_log() const { return dirty_log_; }
+
   /// Movement distribution out of cell \p from: probabilities parallel to
   /// grid.Neighbors(from), plus the quit probability as the final element
   /// (Eq. 6 with the f_iQ denominator term, so the vector sums to 1 when any
@@ -65,6 +83,9 @@ class GlobalMobilityModel {
   const StateSpace* states_;
   std::vector<double> freq_;
   bool initialized_ = false;
+  uint64_t version_ = 0;
+  uint64_t replace_version_ = 0;
+  std::vector<StateId> dirty_log_;
 };
 
 }  // namespace retrasyn

@@ -1,7 +1,9 @@
 #include "core/synthesizer.h"
 
 #include <algorithm>
-#include <thread>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -9,8 +11,9 @@ namespace retrasyn {
 
 Synthesizer::Synthesizer(const StateSpace& states,
                          const SynthesizerConfig& config)
-    : states_(&states), config_(config) {
+    : states_(&states), config_(config), cache_(states) {
   RETRASYN_CHECK(config.lambda > 0.0);
+  RETRASYN_CHECK(config.num_threads >= 1);
 }
 
 std::vector<uint32_t> Synthesizer::LiveDensity() const {
@@ -19,49 +22,96 @@ std::vector<uint32_t> Synthesizer::LiveDensity() const {
   return counts;
 }
 
-CellId Synthesizer::SampleStartCell(const GlobalMobilityModel& model,
-                                    Rng& rng) const {
-  const uint32_t num_cells = states_->num_cells();
-  if (!config_.random_init) {
-    const std::vector<double> enter = model.EnterDistribution();
-    const size_t cell = rng.Discrete(enter);
-    if (cell < enter.size()) return static_cast<CellId>(cell);
-  } else {
-    // No entering distribution available (NoEQ / baselines): approximate the
-    // population's spatial distribution by the movement-source marginal.
-    std::vector<double> marginal(num_cells, 0.0);
-    for (CellId c = 0; c < num_cells; ++c) {
-      const StateId offset = states_->MoveOffset(c);
-      const size_t degree = states_->grid().Neighbors(c).size();
-      for (size_t i = 0; i < degree; ++i) {
-        marginal[c] += std::max(0.0, model.frequency(offset + i));
-      }
-    }
-    const size_t cell = rng.Discrete(marginal);
-    if (cell < marginal.size()) return static_cast<CellId>(cell);
-  }
-  return static_cast<CellId>(rng.UniformInt(static_cast<uint64_t>(num_cells)));
+double Synthesizer::QuitProbabilityAt(const GlobalMobilityModel& model,
+                                      CellId at) const {
+  if (config_.use_sampler_cache) return cache_.QuitProbability(at);
+  return model.QuitProbability(at);
 }
 
-CellId Synthesizer::SampleNextCell(const GlobalMobilityModel& model,
-                                   CellId from, Rng& rng) const {
+namespace {
+
+// The pre-cache sampler, verbatim (sum-then-walk, one RNG draw per call).
+// The legacy A/B path must reproduce the *historical* per-point cost, so it
+// deliberately does not route through the rewritten Rng::Discrete — using it
+// would charge the baseline one draw per weight and inflate the measured
+// alias-table speedup.
+size_t DiscreteTwoPassLegacy(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return weights.size();
+  double target = rng.UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    target -= w;
+    if (target < 0.0) return i;
+  }
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size();
+}
+
+}  // namespace
+
+CellId Synthesizer::SampleNextCellLinear(const GlobalMobilityModel& model,
+                                         CellId from, Rng& rng) const {
   const auto& nbrs = states_->grid().Neighbors(from);
   std::vector<double> weights(nbrs.size());
   const StateId offset = states_->MoveOffset(from);
   for (size_t i = 0; i < nbrs.size(); ++i) {
     weights[i] = std::max(0.0, model.frequency(offset + static_cast<StateId>(i)));
   }
-  const size_t pick = rng.Discrete(weights);
+  const size_t pick = DiscreteTwoPassLegacy(rng, weights);
   if (pick >= nbrs.size()) return from;  // no observed mass: dwell in place
   return nbrs[pick];
 }
 
+CellId Synthesizer::SampleNextCell(const GlobalMobilityModel& model,
+                                   CellId from, Rng& rng) const {
+  if (config_.use_sampler_cache) return cache_.SampleNextCell(from, rng);
+  return SampleNextCellLinear(model, from, rng);
+}
+
 void Synthesizer::Spawn(const GlobalMobilityModel& model, uint32_t count,
                         int64_t t, Rng& rng) {
+  if (count == 0) return;
+  const uint32_t num_cells = states_->num_cells();
+  // Derive the start-cell distribution once per call — never per spawned
+  // stream. With the cache this is a lookup of an already-built alias table;
+  // on the legacy path the distribution vector is hoisted out of the loop.
+  std::vector<double> start_weights;
+  if (!config_.use_sampler_cache) {
+    if (!config_.random_init) {
+      start_weights = model.EnterDistribution();
+    } else {
+      start_weights.assign(num_cells, 0.0);
+      for (CellId c = 0; c < num_cells; ++c) {
+        const StateId offset = states_->MoveOffset(c);
+        const size_t degree = states_->grid().Neighbors(c).size();
+        for (size_t i = 0; i < degree; ++i) {
+          start_weights[c] += std::max(0.0, model.frequency(offset + i));
+        }
+      }
+    }
+  }
   for (uint32_t i = 0; i < count; ++i) {
+    CellId cell;
+    if (config_.use_sampler_cache) {
+      cell = config_.random_init ? cache_.SampleMoveMarginalCell(rng)
+                                 : cache_.SampleEnterCell(rng);
+    } else {
+      cell = static_cast<CellId>(DiscreteTwoPassLegacy(rng, start_weights));
+    }
+    if (cell >= num_cells) {
+      // No mass in the model yet: uniform fallback.
+      cell = static_cast<CellId>(
+          rng.UniformInt(static_cast<uint64_t>(num_cells)));
+    }
     CellStream stream;
     stream.enter_time = t;
-    stream.cells.push_back(SampleStartCell(model, rng));
+    stream.cells.push_back(cell);
     ++total_points_;
     live_.push_back(std::move(stream));
   }
@@ -70,94 +120,89 @@ void Synthesizer::Spawn(const GlobalMobilityModel& model, uint32_t count,
 void Synthesizer::Initialize(const GlobalMobilityModel& model,
                              uint32_t target_size, int64_t t, Rng& rng) {
   RETRASYN_CHECK(!initialized_);
+  if (config_.use_sampler_cache) cache_.Sync(model);
   Spawn(model, target_size, t, rng);
   initialized_ = true;
 }
 
-int Synthesizer::EffectiveThreads(size_t work_items) const {
+int Synthesizer::EffectiveChunks(size_t work_items) const {
   if (config_.num_threads <= 1) return 1;
-  // Below this size, thread startup dominates any gain.
-  constexpr size_t kMinItemsPerThread = 2048;
+  // Below this size, per-chunk overhead dominates any gain. The chunk count
+  // deliberately ignores the hardware concurrency: it must be a pure function
+  // of (config, work size) so a run is reproducible on any machine.
+  constexpr size_t kMinItemsPerChunk = 2048;
   const int by_work =
-      static_cast<int>(std::max<size_t>(1, work_items / kMinItemsPerThread));
-  const int hw = std::max(1u, std::thread::hardware_concurrency());
-  return std::min({config_.num_threads, by_work, hw});
+      static_cast<int>(std::max<size_t>(1, work_items / kMinItemsPerChunk));
+  return std::min(config_.num_threads, by_work);
 }
 
-void Synthesizer::QuitPhase(const GlobalMobilityModel& model, Rng& rng) {
-  auto quits = [&](const CellStream& stream, Rng& r) {
+void Synthesizer::QuitAndGeneratePhase(const GlobalMobilityModel& model,
+                                       Rng& rng) {
+  const size_t n = live_.size();
+  quit_flags_.assign(n, 0);
+  proposed_.resize(n);
+  auto process = [&](size_t i, Rng& r) {
+    CellStream& stream = live_[i];
     const CellId at = stream.cells.back();
-    const double base = model.QuitProbability(at);
-    const double len = static_cast<double>(stream.cells.size());
-    return r.Bernoulli(std::min(1.0, len / config_.lambda * base));
+    if (config_.use_quit) {
+      const double base = QuitProbabilityAt(model, at);
+      const double len = static_cast<double>(stream.cells.size());
+      if (r.Bernoulli(std::min(1.0, len / config_.lambda * base))) {
+        quit_flags_[i] = 1;
+        return;
+      }
+    }
+    proposed_[i] = SampleNextCell(model, at, r);
   };
-  const int threads = EffectiveThreads(live_.size());
-  std::vector<char> quit_flags(live_.size(), 0);
-  if (threads == 1) {
-    for (size_t i = 0; i < live_.size(); ++i) {
-      quit_flags[i] = quits(live_[i], rng) ? 1 : 0;
-    }
-  } else {
-    const size_t chunk = (live_.size() + threads - 1) / threads;
-    std::vector<Rng> chunk_rngs;
-    for (int c = 0; c < threads; ++c) chunk_rngs.push_back(rng.Fork());
-    std::vector<std::thread> workers;
-    for (int c = 0; c < threads; ++c) {
-      workers.emplace_back([&, c]() {
-        const size_t lo = c * chunk;
-        const size_t hi = std::min(live_.size(), lo + chunk);
-        for (size_t i = lo; i < hi; ++i) {
-          quit_flags[i] = quits(live_[i], chunk_rngs[c]) ? 1 : 0;
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
-  }
-  std::vector<CellStream> survivors;
-  survivors.reserve(live_.size());
-  for (size_t i = 0; i < live_.size(); ++i) {
-    if (quit_flags[i]) {
-      finished_.push_back(std::move(live_[i]));
-    } else {
-      survivors.push_back(std::move(live_[i]));
-    }
-  }
-  live_ = std::move(survivors);
-}
-
-void Synthesizer::GeneratePhase(const GlobalMobilityModel& model, Rng& rng) {
-  const int threads = EffectiveThreads(live_.size());
-  if (threads == 1) {
-    for (CellStream& stream : live_) {
-      stream.cells.push_back(SampleNextCell(model, stream.cells.back(), rng));
-      ++total_points_;
-    }
+  const int chunks = EffectiveChunks(n);
+  if (chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) process(i, rng);
     return;
   }
-  const size_t chunk = (live_.size() + threads - 1) / threads;
-  std::vector<Rng> chunk_rngs;
-  for (int c = 0; c < threads; ++c) chunk_rngs.push_back(rng.Fork());
-  std::vector<std::thread> workers;
-  for (int c = 0; c < threads; ++c) {
-    workers.emplace_back([&, c]() {
-      const size_t lo = c * chunk;
-      const size_t hi = std::min(live_.size(), lo + chunk);
-      for (size_t i = lo; i < hi; ++i) {
-        live_[i].cells.push_back(
-            SampleNextCell(model, live_[i].cells.back(), chunk_rngs[c]));
-      }
-    });
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  chunk_rngs_.clear();
+  for (int c = 0; c < chunks; ++c) chunk_rngs_.push_back(rng.Fork());
+  auto run_chunk = [&](int c) {
+    const size_t lo = static_cast<size_t>(c) * chunk_size;
+    const size_t hi = std::min(n, lo + chunk_size);
+    Rng& r = chunk_rngs_[c];
+    for (size_t i = lo; i < hi; ++i) process(i, r);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(chunks, run_chunk);
+  } else {
+    // No pool attached: execute the same chunk schedule inline. Chunks write
+    // disjoint slots from their own RNGs, so this is byte-identical to the
+    // pooled run.
+    for (int c = 0; c < chunks; ++c) run_chunk(c);
   }
-  for (auto& w : workers) w.join();
-  total_points_ += live_.size();
 }
 
 void Synthesizer::Step(const GlobalMobilityModel& model,
                        uint32_t target_active, int64_t t, Rng& rng) {
   RETRASYN_CHECK(initialized_);
-  // 1. Quit phase (Eq. 8).
+  if (config_.use_sampler_cache) cache_.Sync(model);
+
+  // 1. + 3a. Fused quit decision (Eq. 8) and next-cell proposal, one pass.
+  QuitAndGeneratePhase(model, rng);
+
+  // 1b. Retire quitters, compacting survivors (and their proposed cells) in
+  //     place in stable order.
   if (config_.use_quit) {
-    QuitPhase(model, rng);
+    size_t w = 0;
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (quit_flags_[i]) {
+        finished_.push_back(std::move(live_[i]));
+      } else {
+        if (w != i) {
+          live_[w] = std::move(live_[i]);
+          proposed_[w] = proposed_[i];
+        }
+        ++w;
+      }
+    }
+    live_.resize(w);
+    proposed_.resize(w);
   }
 
   // 2. Size adjustment: terminate surplus streams by the quitting
@@ -166,43 +211,61 @@ void Synthesizer::Step(const GlobalMobilityModel& model,
   uint32_t deficit = 0;
   if (config_.use_size_adjustment) {
     if (live_.size() > target_active) {
-      const std::vector<double> quit_dist = model.QuitDistribution();
-      uint32_t surplus = static_cast<uint32_t>(live_.size()) - target_active;
-      // Weighted sampling without replacement: weights are computed once and
-      // zeroed as victims are drawn; uniform fallback when no mass remains.
-      std::vector<double> weights(live_.size());
+      // Both conditional operands must be lvalues: mixing the cache's
+      // reference with a prvalue would copy the O(|C|) vector every round.
+      std::vector<double> model_quit_dist;
+      if (!config_.use_sampler_cache) model_quit_dist = model.QuitDistribution();
+      const std::vector<double>& quit_dist = config_.use_sampler_cache
+                                                 ? cache_.QuitDistribution()
+                                                 : model_quit_dist;
+      const uint32_t surplus =
+          static_cast<uint32_t>(live_.size()) - target_active;
+      // Weighted sampling without replacement via one exponential race
+      // (Efraimidis-Spirakis): stream i draws key = Exp(1)/w_i and the
+      // `surplus` smallest keys are distributed exactly like sequentially
+      // drawing victims proportional to the remaining weights — in O(live)
+      // RNG draws total instead of O(surplus * live). Zero-weight streams
+      // race at +inf with a uniform tiebreaker, so they only lose once the
+      // positive mass is exhausted (the former uniform fallback).
+      std::vector<std::pair<double, double>> race(live_.size());
       for (size_t i = 0; i < live_.size(); ++i) {
-        weights[i] =
+        const double w =
             quit_dist.empty() ? 0.0 : quit_dist[live_[i].cells.back()];
-      }
-      std::vector<size_t> victims;
-      victims.reserve(surplus);
-      for (uint32_t k = 0; k < surplus; ++k) {
-        size_t victim = rng.Discrete(weights);
-        if (victim >= weights.size()) {
-          // No mass left: pick uniformly among not-yet-chosen streams.
-          do {
-            victim = static_cast<size_t>(
-                rng.UniformInt(static_cast<uint64_t>(live_.size())));
-          } while (weights[victim] < 0.0);
+        const double u = rng.UniformDouble();
+        if (w > 0.0) {
+          race[i] = {-std::log1p(-u) / w, 0.0};  // Exp(1)/w, u in [0,1)
+        } else {
+          race[i] = {std::numeric_limits<double>::infinity(), u};
         }
-        weights[victim] = -1.0;  // mark as chosen
-        victims.push_back(victim);
       }
-      // Remove in descending index order so swap-erase stays valid.
+      std::vector<size_t> victims(live_.size());
+      for (size_t i = 0; i < live_.size(); ++i) victims[i] = i;
+      std::nth_element(victims.begin(), victims.begin() + surplus,
+                       victims.end(), [&](size_t a, size_t b) {
+                         return race[a] < race[b];
+                       });
+      victims.resize(surplus);
+      // Remove in descending index order so swap-erase stays valid. Victims
+      // never receive this round's proposed point: they end at their last
+      // cell, exactly as when the adjustment preceded generation.
       std::sort(victims.rbegin(), victims.rend());
       for (size_t victim : victims) {
         finished_.push_back(std::move(live_[victim]));
         live_[victim] = std::move(live_.back());
         live_.pop_back();
+        proposed_[victim] = proposed_.back();
+        proposed_.pop_back();
       }
     } else if (live_.size() < target_active) {
       deficit = target_active - static_cast<uint32_t>(live_.size());
     }
   }
 
-  // 3. New point generation for survivors (Markov step).
-  GeneratePhase(model, rng);
+  // 3b. Commit the proposed points of the remaining survivors (Markov step).
+  for (size_t i = 0; i < live_.size(); ++i) {
+    live_[i].cells.push_back(proposed_[i]);
+  }
+  total_points_ += live_.size();
 
   // 4. Fill the deficit with fresh entering streams at timestamp t.
   if (deficit > 0) Spawn(model, deficit, t, rng);

@@ -20,6 +20,18 @@
 // number of real active users at t, which several downstream metrics
 // (density, query counts) rely on.
 //
+// Hot-path organization (paper SIV-B: synthesis must be O(|T_syn|) per
+// round): the quit decision and the Markov step are fused into a single
+// traversal of the live streams, each drawing from O(1) cached alias
+// samplers (TransitionSamplerCache) instead of re-deriving distributions
+// from raw model frequencies. Quit decisions and proposed next cells are
+// staged in reusable scratch buffers; points are only committed after the
+// size adjustment picks its victims, which preserves the phase ordering
+// above while halving the traversals. Setting
+// SynthesizerConfig::use_sampler_cache = false restores the legacy
+// linear-scan sampling (O(degree) + an allocation per point) for A/B
+// benchmarking; both paths draw from identical distributions.
+//
 // The ablation/baseline switches: use_quit=false + use_size_adjustment=false
 // + random_init=true reproduce the NoEQ variant of SV-D and the behaviour of
 // the adapted LDP-IDS baselines (streams never terminate and the population
@@ -32,7 +44,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/mobility_model.h"
+#include "core/transition_sampler_cache.h"
 #include "stream/cell_stream.h"
 
 namespace retrasyn {
@@ -48,19 +62,28 @@ struct SynthesizerConfig {
   /// estimate of where users currently are), falling back to uniform cells
   /// when the model carries no movement mass yet.
   bool random_init = false;
-  /// Worker threads for the quit and point-generation phases (the paper's
-  /// stated future work: "acceleration techniques (e.g., parallel
-  /// computing)"). Streams are partitioned into fixed chunks, each driven by
-  /// a deterministically forked RNG, so results are reproducible for a given
-  /// thread count (though they differ from the single-threaded stream).
-  /// 1 = serial (default); values above the hardware concurrency are
-  /// clamped.
+  /// Chunk parallelism for the fused quit+generate phase (the paper's stated
+  /// future work: "acceleration techniques (e.g., parallel computing)").
+  /// Streams are partitioned into at most this many fixed chunks, each driven
+  /// by a deterministically forked RNG, so output is byte-identical for a
+  /// given (seed, num_threads) — independent of the machine, of whether a
+  /// ThreadPool is attached, and of that pool's actual size. 1 = serial
+  /// (default).
   int num_threads = 1;
+  /// When false, samples through the legacy linear scans over raw model
+  /// frequencies instead of the cached alias tables. Distributionally
+  /// identical; exists for A/B benchmarking and regression tests.
+  bool use_sampler_cache = true;
 };
 
 class Synthesizer {
  public:
   Synthesizer(const StateSpace& states, const SynthesizerConfig& config);
+
+  /// Attaches a persistent worker pool (not owned; must outlive the
+  /// synthesizer) for the parallel phase. Without a pool, chunked work runs
+  /// inline on the calling thread with byte-identical results.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   bool initialized() const { return initialized_; }
   uint32_t num_live() const { return static_cast<uint32_t>(live_.size()); }
@@ -95,28 +118,45 @@ class Synthesizer {
   /// horizon \p num_timestamps. The synthesizer is empty afterwards.
   CellStreamSet Finish(int64_t num_timestamps);
 
+  /// Derivation-work counters of the underlying sampler cache (tests and
+  /// benches assert rebuilds track model changes, not sample counts).
+  const SamplerCacheStats& cache_stats() const { return cache_.stats(); }
+
  private:
   void Spawn(const GlobalMobilityModel& model, uint32_t count, int64_t t,
              Rng& rng);
-  /// Eq. 8 termination sampling over all live streams; moves quitters to
-  /// finished_. Parallelized across stream chunks when configured.
-  void QuitPhase(const GlobalMobilityModel& model, Rng& rng);
-  /// Appends one sampled cell to every live stream. Parallelized across
-  /// stream chunks when configured.
-  void GeneratePhase(const GlobalMobilityModel& model, Rng& rng);
-  int EffectiveThreads(size_t work_items) const;
-  CellId SampleStartCell(const GlobalMobilityModel& model, Rng& rng) const;
+  /// Fused Eq. 8 termination + Markov step: one (optionally parallel) pass
+  /// fills quit_flags_ and proposed_ for every live stream. Nothing is
+  /// committed: quitters move to finished_ and the size adjustment may still
+  /// drop survivors before their proposed point is appended.
+  void QuitAndGeneratePhase(const GlobalMobilityModel& model, Rng& rng);
+  /// Number of work chunks for \p work_items (1 = run serially on the main
+  /// RNG; >1 = forked per-chunk RNGs). Depends only on the config and the
+  /// work size, never on the machine.
+  int EffectiveChunks(size_t work_items) const;
+
+  double QuitProbabilityAt(const GlobalMobilityModel& model, CellId at) const;
   /// Samples the next cell out of \p from via the model's movement
   /// distribution; stays in place when the cell has no observed mass.
   CellId SampleNextCell(const GlobalMobilityModel& model, CellId from,
                         Rng& rng) const;
+  /// Legacy linear-scan variant of SampleNextCell (use_sampler_cache=false).
+  CellId SampleNextCellLinear(const GlobalMobilityModel& model, CellId from,
+                              Rng& rng) const;
 
   const StateSpace* states_;
   SynthesizerConfig config_;
+  TransitionSamplerCache cache_;
+  ThreadPool* pool_ = nullptr;
   std::vector<CellStream> live_;
   std::vector<CellStream> finished_;
   uint64_t total_points_ = 0;
   bool initialized_ = false;
+
+  // Per-round scratch, reused so the steady state allocates nothing.
+  std::vector<uint8_t> quit_flags_;
+  std::vector<CellId> proposed_;
+  std::vector<Rng> chunk_rngs_;
 };
 
 }  // namespace retrasyn

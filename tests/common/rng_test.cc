@@ -200,6 +200,116 @@ TEST(RngTest, ForkProducesIndependentStream) {
   }
 }
 
+// --- One-pass Discrete vs the former two-pass scan -------------------------
+//
+// Discrete was rewritten from sum-then-walk (two passes, with an explicit
+// floating-point-slack fallback) to a single weighted-reservoir pass. The
+// reference below is the former implementation verbatim; the new one must
+// keep its contract on every edge case and draw from the same distribution.
+
+size_t DiscreteTwoPassReference(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return weights.size();
+  double target = rng.UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    target -= w;
+    if (target < 0.0) return i;
+  }
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size();
+}
+
+TEST(RngTest, DiscreteEdgeCasesMatchTwoPassReference) {
+  const std::vector<std::vector<double>> cases = {
+      {},                            // empty -> size() == 0
+      {0.0},                         // single zero -> sentinel
+      {0.0, 0.0, 0.0},               // all zero -> sentinel
+      {-1.0, -2.0},                  // all negative -> sentinel
+      {-5.0, 0.0, -0.5},             // mixed nonpositive -> sentinel
+      {7.0},                         // single positive -> index 0
+      {-3.0, 4.0, -1.0},             // one positive among negatives
+      {0.0, 0.0, 1e-308},            // subnormal-scale mass still selectable
+      {1e308, 1e308},                // overflowing total: degenerates to a
+                                     // deterministic positive-weight pick
+                                     // (documented; old impl degenerated too)
+  };
+  for (const auto& weights : cases) {
+    Rng a(101), b(101);
+    const size_t got = a.Discrete(weights);
+    const size_t want = DiscreteTwoPassReference(b, weights);
+    // Degenerate cases have a deterministic answer; require exact agreement.
+    size_t positive = 0, last_positive = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] > 0.0) {
+        ++positive;
+        last_positive = i;
+      }
+    }
+    if (positive <= 1) {
+      EXPECT_EQ(got, want) << "case size " << weights.size();
+      if (positive == 1) {
+        EXPECT_EQ(got, last_positive);
+      }
+    } else {
+      ASSERT_LT(got, weights.size());
+      EXPECT_GT(weights[got], 0.0);  // never lands on zero/negative mass
+    }
+  }
+}
+
+TEST(RngTest, DiscreteFloatingPointSlackNeverFallsOffTheEnd) {
+  // Weights engineered so the old walk could exhaust the vector on rounding
+  // slack: a long run of tiny tail weights after a dominant head. The
+  // one-pass pick must always return a positive-weight index.
+  std::vector<double> weights(1000, 1e-18);
+  weights[0] = 1.0;
+  Rng rng(103);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = rng.Discrete(weights);
+    ASSERT_LT(s, weights.size());
+    ASSERT_GT(weights[s], 0.0);
+  }
+}
+
+TEST(RngTest, DiscreteMatchesTwoPassDistribution) {
+  // Chi-square goodness of fit of the one-pass sampler against the exact
+  // weight proportions (the distribution the two-pass scan draws from).
+  const std::vector<double> weights{0.5, 2.5, 0.0, 4.0, 1.0, -3.0, 2.0};
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  Rng rng(107);
+  for (int i = 0; i < n; ++i) {
+    const size_t s = rng.Discrete(weights);
+    ASSERT_LT(s, weights.size());
+    ++counts[s];
+  }
+  double chi2 = 0.0;
+  int dof = -1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    const double expected = n * w / total;
+    if (expected == 0.0) {
+      EXPECT_EQ(counts[i], 0);
+      continue;
+    }
+    chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+    ++dof;
+  }
+  // 99.9th percentile of chi-square with 4 dof is ~18.5.
+  EXPECT_EQ(dof, 4);
+  EXPECT_LT(chi2, 18.5);
+}
+
 TEST(SplitMixTest, KnownSequenceIsStable) {
   uint64_t state = 0;
   const uint64_t first = SplitMix64(state);

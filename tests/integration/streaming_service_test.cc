@@ -140,5 +140,67 @@ TEST(StreamingServiceTest, PureEventDrivenReleaseMatchesLegacyBatchReplay) {
   }
 }
 
+TEST(StreamingServiceTest, PoolEnabledAtOneThreadKeepsByteExactEquivalence) {
+  // num_threads=1 with a live ThreadPool attached must not perturb the
+  // serial RNG stream: the streamed release still matches the plain batch
+  // replay byte for byte.
+  const BoundingBox box{0.0, 0.0, 800.0, 800.0};
+  const std::vector<DeviceTrace> traces = MakeWorkload(17);
+  const Grid grid(box, 5);
+  const StateSpace states(grid);
+
+  RetraSynConfig pooled_config = EngineConfig();
+  pooled_config.num_threads = 1;
+  pooled_config.thread_pool = std::make_shared<ThreadPool>(4);
+  auto service = TrajectoryService::Create(states, pooled_config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_EQ(service.value()->retrasyn_engine()->thread_pool(),
+            pooled_config.thread_pool.get());
+  IngestSession& session = service.value()->session();
+  for (int64_t t = 0; t < kHorizon; ++t) {
+    for (uint64_t id = 0; id < traces.size(); ++id) {
+      const DeviceTrace& trace = traces[id];
+      const int64_t end = trace.enter_time +
+                          static_cast<int64_t>(trace.points.size());
+      if (t == trace.enter_time) {
+        ASSERT_TRUE(session.Enter(id, trace.points.front()).ok());
+      } else if (t > trace.enter_time && t < end) {
+        ASSERT_TRUE(
+            session.Move(id, trace.points[t - trace.enter_time]).ok());
+      } else if (t == end && end < kHorizon) {
+        ASSERT_TRUE(session.Quit(id).ok());
+      }
+    }
+    ASSERT_TRUE(session.Tick().ok());
+  }
+  auto snapshot = service.value()->SnapshotRelease(kHorizon);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const CellStreamSet& streamed = snapshot.value();
+
+  StreamDatabase db(box, kHorizon);
+  for (const DeviceTrace& trace : traces) {
+    UserStream stream;
+    stream.user_id = 0;
+    stream.enter_time = trace.enter_time;
+    stream.points = trace.points;
+    db.Add(std::move(stream));
+  }
+  const StreamFeeder feeder(db, grid, states);
+  RetraSynEngine serial(states, EngineConfig());  // no pool at all
+  for (int64_t t = 0; t < feeder.num_timestamps(); ++t) {
+    serial.Observe(feeder.Batch(t));
+  }
+  const CellStreamSet batch = serial.Finish(kHorizon);
+
+  ASSERT_EQ(streamed.streams().size(), batch.streams().size());
+  ASSERT_EQ(streamed.TotalPoints(), batch.TotalPoints());
+  for (size_t i = 0; i < streamed.streams().size(); ++i) {
+    EXPECT_EQ(streamed.streams()[i].enter_time, batch.streams()[i].enter_time)
+        << "stream " << i;
+    EXPECT_EQ(streamed.streams()[i].cells, batch.streams()[i].cells)
+        << "stream " << i;
+  }
+}
+
 }  // namespace
 }  // namespace retrasyn

@@ -175,6 +175,53 @@ TEST(TrajectoryServiceTest, ReplayRequiresFreshService) {
   EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(TrajectoryServiceTest, ValidatesNumThreads) {
+  const ServiceFixture fx;
+  RetraSynConfig config = fx.EngineConfig();
+  config.num_threads = -2;
+  auto service = TrajectoryService::Create(fx.states, config);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(service.status().message().find("num_threads"),
+            std::string::npos);
+
+  config.num_threads = RetraSynConfig::kMaxThreads + 1;
+  service = TrajectoryService::Create(fx.states, config);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+
+  // 0 = auto (hardware / shared pool size) is valid.
+  config.num_threads = 0;
+  service = TrajectoryService::Create(fx.states, config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+}
+
+TEST(TrajectoryServiceTest, SessionsShareOneThreadPool) {
+  // Multi-tenant deployments run one pool for several sessions: both engines
+  // must use the caller-provided pool instead of spawning their own workers.
+  const ServiceFixture fx;
+  auto pool = std::make_shared<ThreadPool>(2);
+  RetraSynConfig config = fx.EngineConfig();
+  config.num_threads = 2;
+  config.thread_pool = pool;
+  auto a = TrajectoryService::Create(fx.states, config);
+  auto b = TrajectoryService::Create(fx.states, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()->retrasyn_engine()->thread_pool(), pool.get());
+  EXPECT_EQ(b.value()->retrasyn_engine()->thread_pool(), pool.get());
+  // Both sessions stream through the shared pool without interference.
+  ASSERT_TRUE(ReplayDatabase(fx.db, *a.value()).ok());
+  ASSERT_TRUE(ReplayDatabase(fx.db, *b.value()).ok());
+  auto ra = a.value()->SnapshotRelease();
+  auto rb = b.value()->SnapshotRelease();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Identical configs + identical input + one pool: identical releases.
+  ASSERT_EQ(ra.value().streams().size(), rb.value().streams().size());
+  EXPECT_EQ(ra.value().TotalPoints(), rb.value().TotalPoints());
+}
+
 TEST(TrajectoryServiceTest, WrapsBaselineEnginesToo) {
   // The service layer is engine-agnostic: the LDP-IDS baselines stream
   // through the same sessions and snapshots.
