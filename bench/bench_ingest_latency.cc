@@ -1,0 +1,213 @@
+// Ingest-thread Tick() latency: what the round-closing SyncPolicy buys the
+// caller that must keep accepting reports in real time.
+//
+// Inline mode runs collection + model update + synthesis + sink delivery on
+// the ingest thread, so Tick() pays the full synthesis cost. Async mode
+// seals + enqueues and a background closer does the heavy step, so Tick()
+// latency is decoupled from synthesis cost — until the bounded round queue
+// fills and the configured backpressure policy kicks in (this bench uses
+// kBlock, so saturation shows up honestly in the tail percentiles rather
+// than as dropped rounds).
+//
+// The same scripted random-walk event sequence drives both modes through a
+// real RetraSynEngine. Output: a table on stderr and a JSON array (--json,
+// default BENCH_ingest.json) with p50/p99/max Tick() latency per mode; see
+// docs/performance.md for the schema.
+//
+// Quick mode for CI smoke runs: --quick shrinks the workload.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/release_server.h"
+#include "geo/state_space.h"
+#include "service/trajectory_service.h"
+
+namespace retrasyn {
+namespace {
+
+struct RoundScript {
+  std::vector<std::pair<uint64_t, Point>> reports;  ///< user -> location
+};
+
+struct ModeResult {
+  std::string mode;
+  int queue_capacity = 0;  ///< 0 = inline (no queue)
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
+  double total_s = 0.0;    ///< wall clock for the whole ingest loop
+  double drain_ms = 0.0;   ///< Drain() barrier at the end (async only)
+};
+
+/// Scripts \p rounds rounds of a fixed-population random walk, identical for
+/// every mode: everyone enters at t=0 and reports a nearby point each round.
+std::vector<RoundScript> ScriptWorkload(const BoundingBox& box, uint32_t users,
+                                        int rounds, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> at(users);
+  for (Point& p : at) {
+    p = Point{box.min_x + rng.UniformDouble() * box.Width(),
+              box.min_y + rng.UniformDouble() * box.Height()};
+  }
+  std::vector<RoundScript> script(rounds);
+  const double step_x = box.Width() * 0.03;
+  const double step_y = box.Height() * 0.03;
+  for (int t = 0; t < rounds; ++t) {
+    script[t].reports.reserve(users);
+    for (uint64_t u = 0; u < users; ++u) {
+      if (t > 0) {
+        at[u] = box.Clamp(Point{at[u].x + (rng.UniformDouble() - 0.5) * step_x,
+                                at[u].y + (rng.UniformDouble() - 0.5) * step_y});
+      }
+      script[t].reports.emplace_back(u, at[u]);
+    }
+  }
+  return script;
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t i = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1) + 0.5));
+  return sorted[i];
+}
+
+ModeResult RunMode(const std::string& mode, const StateSpace& states,
+                   const Grid& grid, const std::vector<RoundScript>& script,
+                   const RetraSynConfig& base_config, int queue_capacity) {
+  RetraSynConfig config = base_config;
+  config.sync_policy =
+      mode == "inline" ? SyncPolicy::kInline : SyncPolicy::kAsync;
+  config.round_queue_capacity = queue_capacity;
+  config.backpressure = BackpressurePolicy::kBlock;
+  auto service = TrajectoryService::Create(states, config);
+  service.status().CheckOK();
+  ReleaseServer server(grid);
+  service.value()->AddSink(&server);
+  IngestSession& session = service.value()->session();
+
+  ModeResult result;
+  result.mode = mode;
+  result.queue_capacity =
+      config.sync_policy == SyncPolicy::kInline ? 0 : queue_capacity;
+  std::vector<double> tick_ms;
+  tick_ms.reserve(script.size());
+  Stopwatch total;
+  for (size_t t = 0; t < script.size(); ++t) {
+    for (const auto& [user, point] : script[t].reports) {
+      (t == 0 ? session.Enter(user, point) : session.Move(user, point))
+          .CheckOK();
+    }
+    Stopwatch watch;
+    session.Tick().CheckOK();
+    tick_ms.push_back(watch.ElapsedSeconds() * 1e3);
+  }
+  Stopwatch drain;
+  service.value()->Drain().CheckOK();
+  result.drain_ms = drain.ElapsedSeconds() * 1e3;
+  result.total_s = total.ElapsedSeconds();
+
+  double sum = 0.0;
+  for (double ms : tick_ms) sum += ms;
+  result.mean_ms = sum / tick_ms.size();
+  std::sort(tick_ms.begin(), tick_ms.end());
+  result.p50_ms = Percentile(tick_ms, 0.5);
+  result.p99_ms = Percentile(tick_ms, 0.99);
+  result.max_ms = tick_ms.back();
+  return result;
+}
+
+bool WriteJson(const std::string& path, uint32_t grid_k, uint32_t users,
+               int rounds, int threads,
+               const std::vector<ModeResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& m = results[i];
+    std::fprintf(
+        f,
+        "  {\"bench\": \"ingest_latency\", \"grid_k\": %u, \"users\": %u, "
+        "\"rounds\": %d, \"queue_capacity\": %d, \"threads\": %d, "
+        "\"mode\": \"%s\", \"tick_p50_ms\": %.4f, \"tick_p99_ms\": %.4f, "
+        "\"tick_max_ms\": %.4f, \"tick_mean_ms\": %.4f, "
+        "\"drain_ms\": %.2f, \"total_s\": %.3f}%s\n",
+        grid_k, users, rounds, m.queue_capacity, threads, m.mode.c_str(),
+        m.p50_ms, m.p99_ms, m.max_ms, m.mean_ms, m.drain_ms, m.total_s,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  // Defaults chosen so the round-closing step (model update + synthesis on a
+  // 64x64 grid) clearly outweighs the seal cost (sorting 5k events): the
+  // regime the async policy exists for.
+  const uint32_t grid_k =
+      static_cast<uint32_t>(flags.GetInt("grid", quick ? 16 : 64));
+  const uint32_t users =
+      static_cast<uint32_t>(flags.GetInt("users", quick ? 2000 : 5000));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", quick ? 30 : 80));
+  const int queue_capacity =
+      static_cast<int>(flags.GetInt("queue_capacity", 8));
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string json_path = flags.GetString("json", "BENCH_ingest.json");
+
+  const BoundingBox box{0.0, 0.0, 1000.0, 1000.0};
+  const Grid grid(box, grid_k);
+  const StateSpace states(grid);
+  const std::vector<RoundScript> script =
+      ScriptWorkload(box, users, rounds, seed);
+
+  RetraSynConfig config;
+  config.epsilon = 1.0;
+  config.window = 20;
+  config.division = DivisionStrategy::kPopulation;
+  config.lambda = static_cast<double>(rounds) / 2.0;
+  config.seed = seed;
+  config.num_threads = threads;
+
+  // Three rows: inline (Tick pays synthesis), async at the steady-state
+  // queue depth (backpressure shows in the tail when the closer cannot keep
+  // up with the ingest rate), and async with a queue deep enough to absorb
+  // the whole run (pure seal + enqueue cost — the decoupled floor).
+  std::vector<ModeResult> results;
+  results.push_back(
+      RunMode("inline", states, grid, script, config, queue_capacity));
+  results.push_back(
+      RunMode("async", states, grid, script, config, queue_capacity));
+  results.push_back(
+      RunMode("async_deep", states, grid, script, config, rounds + 1));
+  for (const ModeResult& m : results) {
+    std::fprintf(stderr,
+                 "grid=%2ux%-2u users=%6u rounds=%3d %-10s cap=%3d  "
+                 "tick p50=%7.3f ms  p99=%7.3f ms  max=%7.3f ms  "
+                 "drain=%7.1f ms  total=%6.2f s\n",
+                 grid_k, grid_k, users, rounds, m.mode.c_str(),
+                 m.queue_capacity, m.p50_ms, m.p99_ms, m.max_ms, m.drain_ms,
+                 m.total_s);
+  }
+  if (!WriteJson(json_path, grid_k, users, rounds, threads, results)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace retrasyn
+
+int main(int argc, char** argv) { return retrasyn::Main(argc, argv); }

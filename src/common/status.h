@@ -20,6 +20,7 @@ enum class StatusCode {
   kIOError,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -4,7 +4,11 @@
 // per round; at real-time round rates the spawn/join cost rivals the work
 // itself. This pool keeps the workers alive across rounds (and across engines:
 // TrajectoryService threads one pool through several sessions via
-// RetraSynConfig::thread_pool).
+// RetraSynConfig::thread_pool). ParallelFor is called from whatever thread
+// drives the engine — the ingest thread under SyncPolicy::kInline, a
+// service's round-closer worker under SyncPolicy::kAsync — and concurrent
+// callers (several async services sharing one pool) are serialized
+// internally, each running its own job to completion.
 //
 // Determinism contract: ParallelFor hands out chunk *indices*; which thread
 // executes which chunk is scheduling-dependent, so callers must make the work

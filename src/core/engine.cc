@@ -59,6 +59,8 @@ Status RetraSynConfig::Validate() const {
         "num_threads " + std::to_string(num_threads) +
         " exceeds the sanity cap of " + std::to_string(kMaxThreads));
   }
+  // round_queue_capacity is service-layer state (ignored by bare engines);
+  // ServiceOptions::Validate owns its check, via TrajectoryService factories.
   return Status::OK();
 }
 

@@ -49,6 +49,21 @@ enum class DivisionStrategy {
 
 const char* DivisionStrategyName(DivisionStrategy division);
 
+/// \brief Where the heavy round-closing work (collection + model update +
+/// synthesis + sink delivery) runs relative to the ingest thread.
+enum class SyncPolicy {
+  kInline,  ///< Tick() runs the whole round on the calling thread (default)
+  kAsync,   ///< Tick() seals + enqueues; a background closer runs the round
+};
+
+/// \brief What Tick() does under SyncPolicy::kAsync when the round queue is
+/// full (the closer has fallen behind the ingest rate).
+enum class BackpressurePolicy {
+  kBlock,     ///< block the ingest thread until the closer frees a slot
+  kFailFast,  ///< fail the Tick with ResourceExhausted; the round stays open
+              ///< with its events intact and the Tick may be retried later
+};
+
 /// \brief Uniform interface for all stream-release mechanisms (RetraSyn, its
 /// ablation variants, and the LDP-IDS baselines), so the evaluation harness
 /// and metrics treat them identically.
@@ -123,6 +138,20 @@ struct RetraSynConfig {
   /// When false, synthesis samples through legacy linear scans instead of the
   /// cached alias tables (A/B benchmarking; distributionally identical).
   bool use_sampler_cache = true;
+  /// kAsync moves the round-closing work off the ingest thread onto a
+  /// dedicated closer worker per service (the parallel synthesis inside still
+  /// uses thread_pool/num_threads). For a fixed (seed, num_threads) the
+  /// release sequence and snapshots are byte-identical to kInline; only the
+  /// thread that produces them changes. Requires TrajectoryService::Drain()
+  /// before SnapshotRelease(). Ignored by bare RetraSynEngine users — the
+  /// service layer owns the queue.
+  SyncPolicy sync_policy = SyncPolicy::kInline;
+  /// Bounded depth of the async round queue (sealed batches waiting for the
+  /// closer). The TrajectoryService factories require >= 1
+  /// (ServiceOptions::Validate). Ignored under kInline and by bare engines.
+  int round_queue_capacity = 8;
+  /// Tick() behavior when the async round queue is full.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
 
   /// Upper bound Validate accepts for num_threads.
   static constexpr int kMaxThreads = 256;

@@ -10,26 +10,45 @@ namespace retrasyn {
 ReleaseServer::ReleaseServer(const Grid& grid)
     : grid_(&grid), zeros_(grid.NumCells(), 0) {}
 
-void ReleaseServer::OnRound(const RoundRelease& round) {
-  RETRASYN_DCHECK(round.density.size() == grid_->NumCells());
-  RETRASYN_DCHECK(round.t >= horizon());  // rounds arrive in timestamp order
+Status ReleaseServer::Record(int64_t t, std::vector<uint32_t> density,
+                             uint64_t active) {
+  if (density.size() != grid_->NumCells()) {
+    return Status::InvalidArgument(
+        "round " + std::to_string(t) + " carries " +
+        std::to_string(density.size()) + " cells; this server's grid has " +
+        std::to_string(grid_->NumCells()));
+  }
+  if (t < next_t_) {
+    return Status::InvalidArgument(
+        "round " + std::to_string(t) + " is already recorded (next expected " +
+        "timestamp is " + std::to_string(next_t_) +
+        "); rounds are immutable and must arrive in increasing order");
+  }
   // A server subscribed mid-stream missed the earlier rounds; record them as
   // zeros so round t always lands at index t and stale timestamps answer
   // zero, consistent with the out-of-horizon policy.
-  while (horizon() < round.t) {
+  while (next_t_ < t) {
     active_.push_back(0);
     density_.push_back(zeros_);
+    ++next_t_;
   }
-  active_.push_back(round.active);
-  density_.push_back(round.density);
+  active_.push_back(active);
+  density_.push_back(std::move(density));
+  ++next_t_;
+  return Status::OK();
 }
 
-void ReleaseServer::Ingest(const StreamReleaseEngine& engine) {
+Status ReleaseServer::OnRound(const RoundRelease& round) {
+  return Record(round.t, round.density, round.active);
+}
+
+Status ReleaseServer::Ingest(const StreamReleaseEngine& engine) {
   std::vector<uint32_t> density = engine.LiveDensity();
   uint64_t total = 0;
   for (uint32_t c : density) total += c;
-  active_.push_back(total);
-  density_.push_back(std::move(density));
+  // next_t_ is never in the past, so this can only fail on an engine built
+  // over a different grid.
+  return Record(next_t_, std::move(density), total);
 }
 
 const std::vector<uint32_t>& ReleaseServer::DensityAt(int64_t t) const {

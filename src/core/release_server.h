@@ -31,18 +31,24 @@ class ReleaseServer : public ReleaseSink {
  public:
   explicit ReleaseServer(const Grid& grid);
 
-  /// ReleaseSink: records one closed round. Rounds must arrive in timestamp
-  /// order (the service guarantees this).
-  void OnRound(const RoundRelease& round) override;
+  /// ReleaseSink: records one closed round. Rounds must arrive in strictly
+  /// increasing timestamp order (the service guarantees this); a server
+  /// subscribed mid-stream zero-backfills the rounds it missed so round t
+  /// always lands at index t. A duplicate or out-of-order round returns
+  /// InvalidArgument and records nothing — mixing OnRound with the legacy
+  /// Ingest() path can no longer silently misalign DensityAt/RangeCount.
+  Status OnRound(const RoundRelease& round) override;
 
-  /// Legacy pull-based ingestion: records the engine's current live density;
-  /// call once per timestamp, right after engine.Observe(). Timestamps are
-  /// implicit and sequential from 0. Prefer subscribing the server to a
-  /// TrajectoryService instead.
-  void Ingest(const StreamReleaseEngine& engine);
+  /// Legacy pull-based ingestion: records the engine's current live density
+  /// at the next expected timestamp; call once per timestamp, right after
+  /// engine.Observe(). Routes through the same accounting as OnRound, so the
+  /// two paths interleave consistently. Fails (InvalidArgument) when the
+  /// engine's density cardinality does not match this server's grid. Prefer
+  /// subscribing the server to a TrajectoryService instead.
+  Status Ingest(const StreamReleaseEngine& engine);
 
-  /// Number of ingested timestamps.
-  int64_t horizon() const { return static_cast<int64_t>(density_.size()); }
+  /// Number of ingested timestamps (also the next expected timestamp).
+  int64_t horizon() const { return next_t_; }
 
   /// Released per-cell density at timestamp \p t. All-zero for timestamps
   /// outside the ingested horizon (not yet ingested, or negative).
@@ -65,10 +71,16 @@ class ReleaseServer : public ReleaseSink {
   double TrailingMeanActive(int window) const;
 
  private:
+  /// Shared accounting for both ingestion paths: records \p density at
+  /// timestamp \p t, zero-backfilling [next_t_, t). Fails on t < next_t_
+  /// (duplicate/out-of-order) or a density of the wrong cardinality.
+  Status Record(int64_t t, std::vector<uint32_t> density, uint64_t active);
+
   const Grid* grid_;
   std::vector<uint32_t> zeros_;                 ///< out-of-horizon answer
   std::vector<std::vector<uint32_t>> density_;  ///< [t][cell]
   std::vector<uint64_t> active_;                ///< per-timestamp totals
+  int64_t next_t_ = 0;  ///< next expected timestamp == rows recorded
 };
 
 }  // namespace retrasyn

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace retrasyn {
 
 /// \brief The per-round release pushed to subscribers: the live synthetic
@@ -26,7 +28,15 @@ class ReleaseSink {
 
   /// Called exactly once per closed round, in timestamp order, while the
   /// stream is still open. Implementations must not re-enter the service.
-  virtual void OnRound(const RoundRelease& round) = 0;
+  /// A non-OK return poisons the service's round pipeline: the round stays
+  /// committed (the engine consumed it before delivery), further rounds are
+  /// refused, and the error surfaces, sticky, on the service's next
+  /// Tick()/Drain()/SnapshotRelease — under both sync policies. Under
+  /// SyncPolicy::kAsync the call arrives on the service's delivery thread,
+  /// never the ingest thread — so sinks without internal locking (e.g.
+  /// ReleaseServer) must not be read by the sink's owner while async rounds
+  /// are in flight: Drain() the service first, which fences all deliveries.
+  virtual Status OnRound(const RoundRelease& round) = 0;
 };
 
 }  // namespace retrasyn

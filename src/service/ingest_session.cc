@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -87,6 +88,19 @@ Status IngestSession::Quit(uint64_t user) {
                                       std::to_string(open_round_));
   }
   if (pending != pending_.end() && pending->second.has_location) {
+    if (pending->second.is_enter) {
+      // The enter is still buffered — no report left the device — so quitting
+      // simply cancels it. An explicit quit buffered before the enter (the
+      // Quit -> Enter -> Quit ordering) stays: it closes the *old* stream.
+      --num_pending_enters_;
+      if (pending->second.quit) {
+        pending->second.has_location = false;
+        pending->second.is_enter = false;
+      } else {
+        pending_.erase(pending);
+      }
+      return Status::OK();
+    }
     return Status::FailedPrecondition(
         UserTag(user) + " reported a location in round " +
         std::to_string(open_round_) +
@@ -151,11 +165,16 @@ Status IngestSession::Tick() {
     return a.user != b.user ? a.user < b.user : a.phase < b.phase;
   });
 
+  // Build the batch without mutating any session state: a failing handler
+  // must leave the round open with its events intact, and a retried Tick()
+  // must reproduce the identical batch — including the stream indices, which
+  // are therefore drawn from a local counter and committed only on success.
   TimestampBatch batch;
   batch.t = open_round_;
   batch.observations.reserve(entries.size());
   std::unordered_map<uint64_t, ActiveStream> next_active;
   next_active.reserve(entries.size());
+  uint32_t next_index = next_stream_index_;
   for (const Entry& e : entries) {
     UserObservation obs;
     if (e.phase == 0) {
@@ -163,7 +182,7 @@ Status IngestSession::Tick() {
       obs.state = states_->QuitIndex(e.cell);
       obs.is_quit = true;
     } else if (e.is_enter) {
-      obs.user_index = next_stream_index_++;
+      obs.user_index = next_index++;
       obs.state = states_->EnterIndex(e.cell);
       obs.is_enter = true;
       next_active[e.user] = ActiveStream{obs.user_index, e.cell};
@@ -179,7 +198,8 @@ Status IngestSession::Tick() {
     batch.observations.push_back(obs);
   }
 
-  RETRASYN_RETURN_NOT_OK(handler_(batch));
+  RETRASYN_RETURN_NOT_OK(handler_(std::move(batch)));
+  next_stream_index_ = next_index;
   active_ = std::move(next_active);
   pending_.clear();
   num_pending_enters_ = 0;

@@ -44,8 +44,11 @@ class IngestSession {
  public:
   /// Receives each closed round's batch (timestamps are sequential from 0).
   /// A non-OK return aborts the Tick and is surfaced to the caller; the
-  /// round then remains open with its events intact.
-  using RoundHandler = std::function<Status(const TimestampBatch& batch)>;
+  /// round then remains open with its events intact — Tick() commits no
+  /// session state (stream indices included) until the handler succeeds, so
+  /// a retried Tick() hands the handler a byte-identical batch. The batch is
+  /// passed by value so an asynchronous handler can take ownership.
+  using RoundHandler = std::function<Status(TimestampBatch batch)>;
 
   IngestSession(const StateSpace& states, RoundHandler handler);
 
@@ -59,8 +62,10 @@ class IngestSession {
 
   /// Ends \p user's stream; the quit transition carries the location reported
   /// in the previous round. Fails on double quit or when the user has
-  /// reported a location this round (quit the round after the final report,
-  /// or simply stop sending — silent users are quit automatically).
+  /// Moved this round (quit the round after the final report, or simply stop
+  /// sending — silent users are quit automatically). A Quit after an Enter
+  /// in the same open round cancels the pending enter instead: no report was
+  /// sent yet, so the aborted stream never existed.
   Status Quit(uint64_t user);
 
   /// Closes the open round and advances to the next timestamp.

@@ -1,0 +1,146 @@
+#include "service/round_closer.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace retrasyn {
+
+RoundCloser::RoundCloser(Options options, CloseFn close, DeliverFn deliver)
+    : options_(options), close_(std::move(close)),
+      deliver_(std::move(deliver)) {
+  RETRASYN_CHECK(options_.queue_capacity >= 1);
+  RETRASYN_CHECK(close_ != nullptr);
+  RETRASYN_CHECK(deliver_ != nullptr);
+  closer_ = std::thread([this] { CloserLoop(); });
+  delivery_ = std::thread([this] { DeliveryLoop(); });
+}
+
+RoundCloser::~RoundCloser() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  closer_.join();
+  delivery_.join();
+}
+
+void RoundCloser::PoisonLocked(const Status& error) {
+  if (error_.ok()) error_ = error;
+  finished_ += rounds_.size() + releases_.size();
+  rounds_.clear();
+  releases_.clear();
+}
+
+Status RoundCloser::Submit(TimestampBatch batch) {
+  std::unique_lock<std::mutex> l(mu_);
+  if (!error_.ok()) return error_;
+  if (rounds_.size() >= options_.queue_capacity) {
+    if (options_.backpressure == BackpressurePolicy::kFailFast) {
+      return Status::ResourceExhausted(
+          "round queue is full (" + std::to_string(options_.queue_capacity) +
+          " sealed batches); the closer has fallen behind — retry the Tick "
+          "later or use BackpressurePolicy::kBlock");
+    }
+    cv_.wait(l, [this] {
+      return stop_ || !error_.ok() ||
+             rounds_.size() < options_.queue_capacity;
+    });
+    if (!error_.ok()) return error_;
+    if (stop_) return Status::Internal("round closer is shutting down");
+  }
+  rounds_.push_back(std::move(batch));
+  ++submitted_;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status RoundCloser::Drain() {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait(l, [this] { return stop_ || finished_ == submitted_; });
+  if (!error_.ok()) return error_;
+  if (finished_ != submitted_) {
+    return Status::Internal("round closer stopped with rounds in flight");
+  }
+  return Status::OK();
+}
+
+size_t RoundCloser::in_flight() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return submitted_ - finished_;
+}
+
+Status RoundCloser::deferred_error() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return error_;
+}
+
+void RoundCloser::CloserLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    cv_.wait(l, [this] { return stop_ || !rounds_.empty(); });
+    if (stop_) return;
+    TimestampBatch batch = std::move(rounds_.front());
+    rounds_.pop_front();
+    cv_.notify_all();  // a queue slot freed for a blocked Submit
+    l.unlock();
+    Result<RoundRelease> release = close_(batch);
+    l.lock();
+    if (!release.ok()) {
+      ++finished_;
+      PoisonLocked(release.status());
+      cv_.notify_all();
+      continue;
+    }
+    if (!error_.ok()) {  // delivery failed while we were closing
+      ++finished_;
+      cv_.notify_all();
+      continue;
+    }
+    if (release.value().density.empty()) {
+      // Nothing to deliver (no sink was subscribed at close time); the round
+      // is finished without entering the delivery stage.
+      ++finished_;
+      cv_.notify_all();
+      continue;
+    }
+    // The delivery queue is bounded too: a persistently slow sink eventually
+    // backpressures the closer, which backpressures Submit.
+    cv_.wait(l, [this] {
+      return stop_ || !error_.ok() ||
+             releases_.size() < options_.queue_capacity;
+    });
+    if (stop_ || !error_.ok()) {
+      ++finished_;
+      cv_.notify_all();
+      if (stop_) return;
+      continue;
+    }
+    releases_.push_back(std::move(release).value());
+    cv_.notify_all();
+  }
+}
+
+void RoundCloser::DeliveryLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  int64_t last_t = -1;
+  for (;;) {
+    cv_.wait(l, [this] { return stop_ || !releases_.empty(); });
+    if (stop_) return;
+    RoundRelease release = std::move(releases_.front());
+    releases_.pop_front();
+    cv_.notify_all();  // a delivery slot freed for the closer
+    l.unlock();
+    RETRASYN_DCHECK(release.t > last_t);  // strict round order
+    last_t = release.t;
+    (void)last_t;
+    Status st = deliver_(release);
+    l.lock();
+    ++finished_;
+    if (!st.ok()) PoisonLocked(st);
+    cv_.notify_all();
+  }
+}
+
+}  // namespace retrasyn

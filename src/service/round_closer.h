@@ -1,0 +1,108 @@
+// The asynchronous round-closing pipeline behind TrajectoryService's
+// SyncPolicy::kAsync: the ingest thread seals a round's TimestampBatch and
+// Submit()s it to a bounded queue; a dedicated closer worker runs the heavy
+// close step (LDP collection + model update + synthesis — the parallel work
+// inside still uses the engine's ThreadPool) off the ingest thread; a second
+// delivery worker pushes the resulting RoundReleases to sinks. Each stage is
+// a single thread consuming a FIFO queue, so rounds close and sinks observe
+// releases in strictly increasing timestamp order, and a slow sink delays
+// delivery without stalling the closer.
+//
+// Determinism: the closer invokes the close callback once per round, in
+// submission order, from one thread — the same call sequence Inline mode
+// makes from the ingest thread — so for a fixed (seed, num_threads) the
+// release sequence is byte-identical to Inline.
+//
+// Failure: the first non-OK status from either callback poisons the
+// pipeline. Queued rounds are dropped, and the error is returned (sticky)
+// from every subsequent Submit() and from Drain() — a handler failure
+// surfaces on the next Tick()/Drain() instead of being swallowed. Rounds
+// closed before the failure remain delivered and valid.
+//
+// Thread-safety: Submit()/Drain()/in_flight() may be called from one ingest
+// thread; destroying the closer joins the workers and discards any rounds
+// still queued (Drain() first to guarantee completion).
+
+#ifndef RETRASYN_SERVICE_ROUND_CLOSER_H_
+#define RETRASYN_SERVICE_ROUND_CLOSER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/release_sink.h"
+#include "stream/feeder.h"
+
+namespace retrasyn {
+
+class RoundCloser {
+ public:
+  /// Runs the heavy round work (engine Observe + release construction) on
+  /// the closer worker. The returned release is handed to \p deliver.
+  using CloseFn = std::function<Result<RoundRelease>(const TimestampBatch&)>;
+  /// Fans one release out to the subscribed sinks, on the delivery worker,
+  /// in round order.
+  using DeliverFn = std::function<Status(const RoundRelease&)>;
+
+  struct Options {
+    size_t queue_capacity = 8;  ///< sealed batches waiting for the closer
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  };
+
+  RoundCloser(Options options, CloseFn close, DeliverFn deliver);
+  ~RoundCloser();
+
+  RoundCloser(const RoundCloser&) = delete;
+  RoundCloser& operator=(const RoundCloser&) = delete;
+
+  /// Hands a sealed round to the pipeline. Returns the sticky pipeline error
+  /// if a previous round failed (the batch is NOT enqueued — the caller's
+  /// round state should stay un-committed), ResourceExhausted when the queue
+  /// is full under BackpressurePolicy::kFailFast, and otherwise blocks until
+  /// a slot frees up.
+  Status Submit(TimestampBatch batch);
+
+  /// Barrier: returns once every submitted round has been closed and its
+  /// release delivered (or dropped by a failure). Returns the sticky
+  /// pipeline error, OK otherwise. Required before SnapshotRelease().
+  Status Drain();
+
+  /// Rounds submitted but not yet fully closed + delivered. 0 after a
+  /// successful Drain().
+  size_t in_flight() const;
+
+  /// The sticky pipeline error (OK while healthy). Unlike Drain(), does not
+  /// wait for in-flight rounds.
+  Status deferred_error() const;
+
+ private:
+  void CloserLoop();
+  void DeliveryLoop();
+  /// Drops every queued round/release; called with mu_ held after a failure.
+  void PoisonLocked(const Status& error);
+
+  const Options options_;
+  const CloseFn close_;
+  const DeliverFn deliver_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< any state change; waiters re-check
+  std::deque<TimestampBatch> rounds_;    ///< sealed, waiting for the closer
+  std::deque<RoundRelease> releases_;    ///< closed, waiting for delivery
+  size_t submitted_ = 0;
+  size_t finished_ = 0;  ///< delivered, failed, or dropped
+  Status error_;         ///< first failure; sticky
+  bool stop_ = false;
+
+  std::thread closer_;
+  std::thread delivery_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_SERVICE_ROUND_CLOSER_H_

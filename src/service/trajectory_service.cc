@@ -7,55 +7,138 @@ namespace retrasyn {
 
 TrajectoryService::TrajectoryService(const StateSpace& states,
                                      std::unique_ptr<StreamReleaseEngine> owned,
-                                     StreamReleaseEngine* engine)
+                                     StreamReleaseEngine* engine,
+                                     const ServiceOptions& options)
     : states_(&states), owned_engine_(std::move(owned)), engine_(engine) {
   retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
   session_ = std::make_unique<IngestSession>(
-      states, [this](const TimestampBatch& batch) { return OnRound(batch); });
+      states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); });
+  if (options.sync_policy == SyncPolicy::kAsync) {
+    RoundCloser::Options closer_options;
+    closer_options.queue_capacity =
+        static_cast<size_t>(options.round_queue_capacity);
+    closer_options.backpressure = options.backpressure;
+    closer_ = std::make_unique<RoundCloser>(
+        closer_options,
+        [this](const TimestampBatch& batch) { return CloseRound(batch); },
+        [this](const RoundRelease& round) { return Deliver(round); });
+  }
+}
+
+TrajectoryService::~TrajectoryService() {
+  // Stop the async workers before the engine and session they close over.
+  closer_.reset();
+}
+
+ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
+  ServiceOptions options;
+  options.sync_policy = config.sync_policy;
+  options.round_queue_capacity = config.round_queue_capacity;
+  options.backpressure = config.backpressure;
+  return options;
+}
+
+Status ServiceOptions::Validate() const {
+  if (round_queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "round_queue_capacity must be >= 1 sealed batch, got " +
+        std::to_string(round_queue_capacity));
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
     const StateSpace& states, const RetraSynConfig& config) {
   RETRASYN_RETURN_NOT_OK(config.Validate());
+  const ServiceOptions options = ServiceOptions::FromConfig(config);
+  RETRASYN_RETURN_NOT_OK(options.Validate());
   auto engine = std::make_unique<RetraSynEngine>(states, config);
   StreamReleaseEngine* raw = engine.get();
   return std::unique_ptr<TrajectoryService>(
-      new TrajectoryService(states, std::move(engine), raw));
+      new TrajectoryService(states, std::move(engine), raw, options));
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
-    const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine) {
+    const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine,
+    const ServiceOptions& options) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
+  RETRASYN_RETURN_NOT_OK(options.Validate());
   StreamReleaseEngine* raw = engine.get();
   return std::unique_ptr<TrajectoryService>(
-      new TrajectoryService(states, std::move(engine), raw));
+      new TrajectoryService(states, std::move(engine), raw, options));
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
-    const StateSpace& states, StreamReleaseEngine* engine) {
+    const StateSpace& states, StreamReleaseEngine* engine,
+    const ServiceOptions& options) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
+  RETRASYN_RETURN_NOT_OK(options.Validate());
   return std::unique_ptr<TrajectoryService>(
-      new TrajectoryService(states, nullptr, engine));
+      new TrajectoryService(states, nullptr, engine, options));
 }
 
 void TrajectoryService::AddSink(ReleaseSink* sink) {
-  if (sink != nullptr) sinks_.push_back(sink);
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> l(sinks_mu_);
+  sinks_.push_back(sink);
 }
 
-Status TrajectoryService::OnRound(const TimestampBatch& batch) {
+Status TrajectoryService::OnRound(TimestampBatch batch) {
+  if (closer_ != nullptr) return closer_->Submit(std::move(batch));
+  // Surface a previous sink failure before consuming another round, mirroring
+  // the async pipeline's poisoned state.
+  RETRASYN_RETURN_NOT_OK(inline_error_);
+  Result<RoundRelease> release = CloseRound(batch);
+  if (!release.ok()) return release.status();
+  if (release.value().density.empty()) return Status::OK();  // no sinks
+  // The engine has consumed the round; a sink failure past this point must
+  // NOT fail this Tick() (the session would roll back and a retry would
+  // double-observe the batch). Record it sticky instead: it surfaces on the
+  // next Tick()/Drain()/SnapshotRelease, exactly like an async failure.
+  Status delivered = Deliver(release.value());
+  if (!delivered.ok()) inline_error_ = delivered;
+  return Status::OK();
+}
+
+Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) {
   engine_->Observe(batch);
-  if (!sinks_.empty()) {
-    RoundRelease round;
-    round.t = batch.t;
+  RoundRelease round;
+  round.t = batch.t;
+  bool have_sinks;
+  {
+    std::lock_guard<std::mutex> l(sinks_mu_);
+    have_sinks = !sinks_.empty();
+  }
+  // With no sink subscribed at close time there is nobody to consume the
+  // release; the empty density is the skip-delivery sentinel (a real grid
+  // always has >= 1 cell). A sink added later starts with the next round
+  // closed after the subscription.
+  if (have_sinks) {
     round.density = engine_->LiveDensity();
     for (uint32_t c : round.density) round.active += c;
-    for (ReleaseSink* sink : sinks_) sink->OnRound(round);
+  }
+  return round;
+}
+
+Status TrajectoryService::Deliver(const RoundRelease& round) {
+  std::vector<ReleaseSink*> sinks;
+  {
+    std::lock_guard<std::mutex> l(sinks_mu_);
+    sinks = sinks_;
+  }
+  for (ReleaseSink* sink : sinks) {
+    RETRASYN_RETURN_NOT_OK(sink->OnRound(round));
   }
   return Status::OK();
+}
+
+Status TrajectoryService::Drain() {
+  if (closer_ == nullptr) return inline_error_;
+  return closer_->Drain();
 }
 
 Result<CellStreamSet> TrajectoryService::SnapshotRelease() const {
@@ -73,6 +156,23 @@ Result<CellStreamSet> TrajectoryService::SnapshotRelease(
         "snapshot horizon " + std::to_string(num_timestamps) +
         " does not cover the " + std::to_string(rounds_closed()) +
         " closed rounds");
+  }
+  if (closer_ == nullptr) {
+    RETRASYN_RETURN_NOT_OK(inline_error_);
+  } else {
+    // Order matters: once in_flight() reads 0 (and this thread is the only
+    // submitter), every round has fully settled, so a failure among them is
+    // already recorded by the time deferred_error() is read. The reverse
+    // order would let a failure land between the two reads and hand out an
+    // OK snapshot over an engine that silently dropped rounds.
+    const size_t in_flight = closer_->in_flight();
+    if (in_flight > 0) {
+      return Status::FailedPrecondition(
+          "async round closing is still in flight (" +
+          std::to_string(in_flight) +
+          " rounds); Drain() the service before snapshotting");
+    }
+    RETRASYN_RETURN_NOT_OK(closer_->deferred_error());
   }
   return engine_->SnapshotRelease(num_timestamps);
 }

@@ -13,20 +13,50 @@
 // release to subscribed ReleaseSinks, and serves non-destructive snapshots of
 // the evolving synthetic database at any time. Fully materialized
 // StreamDatabases replay through the same path via ReplayDatabase (replay.h).
+//
+// Round closing runs under one of two policies (RetraSynConfig::sync_policy):
+//
+//   SyncPolicy::kInline — Tick() runs collection + model update + synthesis
+//     + sink delivery on the calling thread. A handler/sink failure fails
+//     the Tick, which rolls back and may be retried.
+//   SyncPolicy::kAsync  — Tick() seals the round and enqueues it on a
+//     bounded queue (backpressure / round_queue_capacity control a full
+//     queue); a background closer runs the heavy step and sinks receive
+//     releases strictly in round order on a delivery worker. Call Drain()
+//     before SnapshotRelease(). Failures surface on the next Tick()/Drain().
+//     For a fixed (seed, num_threads) the released bytes equal kInline's.
+//
+// The session/service surface is single-threaded: drive each service from
+// one ingest thread (the workers it owns are internal).
 
 #ifndef RETRASYN_SERVICE_TRAJECTORY_SERVICE_H_
 #define RETRASYN_SERVICE_TRAJECTORY_SERVICE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/release_sink.h"
 #include "service/ingest_session.h"
+#include "service/round_closer.h"
 
 namespace retrasyn {
+
+/// \brief Service-layer knobs for engines that are not built from a
+/// RetraSynConfig (CreateWithEngine / Attach). Create() derives these from
+/// the RetraSynConfig fields of the same names.
+struct ServiceOptions {
+  SyncPolicy sync_policy = SyncPolicy::kInline;
+  int round_queue_capacity = 8;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// The service-layer fields of \p config, verbatim.
+  static ServiceOptions FromConfig(const RetraSynConfig& config);
+  Status Validate() const;
+};
 
 class TrajectoryService {
  public:
@@ -40,12 +70,18 @@ class TrajectoryService {
   /// Wraps an externally constructed engine (ablation variants, LDP-IDS
   /// baselines). The service takes ownership.
   static Result<std::unique_ptr<TrajectoryService>> CreateWithEngine(
-      const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine);
+      const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine,
+      const ServiceOptions& options = {});
 
   /// Wraps a caller-owned engine (must outlive the service). Used by the
   /// evaluation harness, which inspects the engine after the run.
   static Result<std::unique_ptr<TrajectoryService>> Attach(
-      const StateSpace& states, StreamReleaseEngine* engine);
+      const StateSpace& states, StreamReleaseEngine* engine,
+      const ServiceOptions& options = {});
+
+  /// Joins the async workers, discarding rounds still queued; Drain() first
+  /// to guarantee every submitted round reached the engine and sinks.
+  ~TrajectoryService();
 
   /// The ingestion endpoint. Rounds closed through it drive the engine and
   /// notify sinks.
@@ -53,15 +89,29 @@ class TrajectoryService {
   const IngestSession& session() const { return *session_; }
 
   /// Subscribes \p sink (not owned; must outlive the service) to every
-  /// subsequently closed round.
+  /// subsequently closed round. Safe to call mid-stream; the sink starts
+  /// receiving with the next round closed after the subscription (releases
+  /// are only built for rounds that close with at least one sink attached).
   void AddSink(ReleaseSink* sink);
 
-  /// Number of closed rounds; the release horizon of SnapshotRelease().
+  /// Rounds accepted by the session. Under kAsync this counts rounds still
+  /// in the closing pipeline; the engine has consumed all of them only after
+  /// a successful Drain().
   int64_t rounds_closed() const { return session_->open_round(); }
+
+  /// Barrier: returns once every accepted round has been closed and its
+  /// release delivered to the sinks, surfacing any deferred pipeline error
+  /// (sticky). Immediate under kInline. Required before SnapshotRelease()
+  /// under kAsync.
+  Status Drain();
+
+  /// Alias for Drain(), for callers that think in flush terms.
+  Status Flush() { return Drain(); }
 
   /// Non-destructive snapshot of the synthetic database over the rounds
   /// closed so far. The stream stays open; snapshot as often as needed.
-  /// Fails with FailedPrecondition before the first closed round.
+  /// Fails with FailedPrecondition before the first closed round or when
+  /// async rounds are still in flight (Drain() first).
   Result<CellStreamSet> SnapshotRelease() const;
 
   /// Snapshot over an explicit horizon >= rounds_closed() (e.g. the full
@@ -78,16 +128,31 @@ class TrajectoryService {
  private:
   TrajectoryService(const StateSpace& states,
                     std::unique_ptr<StreamReleaseEngine> owned,
-                    StreamReleaseEngine* engine);
+                    StreamReleaseEngine* engine, const ServiceOptions& options);
 
-  Status OnRound(const TimestampBatch& batch);
+  /// The session's round handler: inline, runs the round to completion;
+  /// async, submits it to the closer.
+  Status OnRound(TimestampBatch batch);
+  /// The heavy round step: engine Observe + release construction. Runs on
+  /// the ingest thread (kInline) or the closer worker (kAsync).
+  Result<RoundRelease> CloseRound(const TimestampBatch& batch);
+  /// Fans \p round out to the subscribed sinks, stopping at the first error.
+  Status Deliver(const RoundRelease& round);
 
   const StateSpace* states_;
   std::unique_ptr<StreamReleaseEngine> owned_engine_;
   StreamReleaseEngine* engine_;      ///< owned_engine_.get() or caller-owned
   const RetraSynEngine* retrasyn_ = nullptr;
   std::unique_ptr<IngestSession> session_;
+
+  mutable std::mutex sinks_mu_;  ///< AddSink vs. the delivery worker
   std::vector<ReleaseSink*> sinks_;
+
+  std::unique_ptr<RoundCloser> closer_;  ///< null under SyncPolicy::kInline
+  /// Inline-mode counterpart of the closer's sticky error: a sink failure
+  /// after the engine consumed the round (failing that Tick would make a
+  /// retry double-observe the batch). Surfaces on the next Tick()/Drain().
+  Status inline_error_;
 };
 
 }  // namespace retrasyn

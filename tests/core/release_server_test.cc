@@ -206,6 +206,60 @@ TEST(ReleaseServerTest, TrailingMeanActiveHardened) {
   EXPECT_EQ(server.TrailingMeanActive(-3), 0.0);
 }
 
+TEST(ReleaseServerTest, MixedIngestAndOnRoundPathsStayAligned) {
+  // Regression: the legacy Ingest() path used to append rows with no
+  // timestamp accounting, so interleaving it with OnRound() silently
+  // misaligned "round t lands at index t". Both paths now share one
+  // next-expected-timestamp ledger.
+  const ServerFixture fx;
+  RetraSynEngine engine(fx.states, fx.EngineConfig());
+  ReleaseServer server(fx.grid);
+
+  engine.Observe(fx.feeder->Batch(0));
+  server.Ingest(engine);  // records at t=0
+  EXPECT_EQ(server.horizon(), 1);
+
+  RoundRelease round;
+  round.t = 3;  // subscribed consumer skipped ahead: backfill 1 and 2
+  round.density.assign(fx.grid.NumCells(), 0);
+  round.density[5] = 7;
+  round.active = 7;
+  ASSERT_TRUE(server.OnRound(round).ok());
+  EXPECT_EQ(server.horizon(), 4);
+  EXPECT_EQ(server.ActiveAt(1), 0u);
+  EXPECT_EQ(server.ActiveAt(2), 0u);
+  EXPECT_EQ(server.DensityAt(3)[5], 7u);
+
+  engine.Observe(fx.feeder->Batch(1));
+  server.Ingest(engine);  // continues at t=4, not on top of round 3
+  EXPECT_EQ(server.horizon(), 5);
+  EXPECT_EQ(server.DensityAt(3)[5], 7u);  // round 3 is untouched
+}
+
+TEST(ReleaseServerTest, OutOfOrderAndDuplicateRoundsRejected) {
+  const ServerFixture fx;
+  ReleaseServer server(fx.grid);
+  RoundRelease round;
+  round.t = 2;
+  round.density.assign(fx.grid.NumCells(), 1);
+  round.active = fx.grid.NumCells();
+  ASSERT_TRUE(server.OnRound(round).ok());
+  EXPECT_EQ(server.horizon(), 3);
+
+  // Duplicate round: rejected, nothing recorded.
+  EXPECT_EQ(server.OnRound(round).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.horizon(), 3);
+  // Out-of-order (past) round: rejected.
+  round.t = 1;
+  EXPECT_EQ(server.OnRound(round).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.horizon(), 3);
+  // Density of the wrong cardinality: rejected.
+  round.t = 5;
+  round.density.resize(fx.grid.NumCells() + 1);
+  EXPECT_EQ(server.OnRound(round).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.horizon(), 3);
+}
+
 TEST(PrivacyExtremesTest, WindowOneIsEventLevel) {
   // w = 1 degenerates to event-level LDP (paper SII-B): every user may
   // report at every timestamp under population division.
