@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -38,6 +39,7 @@ struct RoundScript {
 struct ModeResult {
   std::string mode;
   int queue_capacity = 0;  ///< 0 = inline (no queue)
+  bool journaled = false;  ///< durable event journal at kEveryRound
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
@@ -81,12 +83,17 @@ double Percentile(std::vector<double> sorted, double q) {
 
 ModeResult RunMode(const std::string& mode, const StateSpace& states,
                    const Grid& grid, const std::vector<RoundScript>& script,
-                   const RetraSynConfig& base_config, int queue_capacity) {
+                   const RetraSynConfig& base_config, int queue_capacity,
+                   bool journaled = false) {
   RetraSynConfig config = base_config;
   config.sync_policy =
-      mode == "inline" ? SyncPolicy::kInline : SyncPolicy::kAsync;
+      mode.rfind("inline", 0) == 0 ? SyncPolicy::kInline : SyncPolicy::kAsync;
   config.round_queue_capacity = queue_capacity;
   config.backpressure = BackpressurePolicy::kBlock;
+  if (journaled) {
+    config.journal_dir = MakeTempDir("bench-ingest-", ".").ValueOrDie();
+    config.journal_fsync = FsyncPolicy::kEveryRound;
+  }
   auto service = TrajectoryService::Create(states, config);
   service.status().CheckOK();
   ReleaseServer server(grid);
@@ -95,6 +102,7 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
 
   ModeResult result;
   result.mode = mode;
+  result.journaled = journaled;
   result.queue_capacity =
       config.sync_policy == SyncPolicy::kInline ? 0 : queue_capacity;
   std::vector<double> tick_ms;
@@ -113,6 +121,7 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
   service.value()->Drain().CheckOK();
   result.drain_ms = drain.ElapsedSeconds() * 1e3;
   result.total_s = total.ElapsedSeconds();
+  if (journaled) RemoveDirTree(config.journal_dir).CheckOK();
 
   double sum = 0.0;
   for (double ms : tick_ms) sum += ms;
@@ -136,12 +145,12 @@ bool WriteJson(const std::string& path, uint32_t grid_k, uint32_t users,
         f,
         "  {\"bench\": \"ingest_latency\", \"grid_k\": %u, \"users\": %u, "
         "\"rounds\": %d, \"queue_capacity\": %d, \"threads\": %d, "
-        "\"mode\": \"%s\", \"tick_p50_ms\": %.4f, \"tick_p99_ms\": %.4f, "
-        "\"tick_max_ms\": %.4f, \"tick_mean_ms\": %.4f, "
-        "\"drain_ms\": %.2f, \"total_s\": %.3f}%s\n",
+        "\"mode\": \"%s\", \"journal\": \"%s\", \"tick_p50_ms\": %.4f, "
+        "\"tick_p99_ms\": %.4f, \"tick_max_ms\": %.4f, "
+        "\"tick_mean_ms\": %.4f, \"drain_ms\": %.2f, \"total_s\": %.3f}%s\n",
         grid_k, users, rounds, m.queue_capacity, threads, m.mode.c_str(),
-        m.p50_ms, m.p99_ms, m.max_ms, m.mean_ms, m.drain_ms, m.total_s,
-        i + 1 < results.size() ? "," : "");
+        m.journaled ? "every_round" : "off", m.p50_ms, m.p99_ms, m.max_ms,
+        m.mean_ms, m.drain_ms, m.total_s, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -179,20 +188,24 @@ int Main(int argc, char** argv) {
   config.seed = seed;
   config.num_threads = threads;
 
-  // Three rows: inline (Tick pays synthesis), async at the steady-state
-  // queue depth (backpressure shows in the tail when the closer cannot keep
-  // up with the ingest rate), and async with a queue deep enough to absorb
-  // the whole run (pure seal + enqueue cost — the decoupled floor).
+  // Four rows: inline (Tick pays synthesis), inline with the durable journal
+  // at kEveryRound (the acceptance bar: < 10% added p50 — one boundary
+  // record + fsync per round), async at the steady-state queue depth
+  // (backpressure shows in the tail when the closer cannot keep up with the
+  // ingest rate), and async with a queue deep enough to absorb the whole run
+  // (pure seal + enqueue cost — the decoupled floor).
   std::vector<ModeResult> results;
   results.push_back(
       RunMode("inline", states, grid, script, config, queue_capacity));
+  results.push_back(RunMode("inline_journal", states, grid, script, config,
+                            queue_capacity, /*journaled=*/true));
   results.push_back(
       RunMode("async", states, grid, script, config, queue_capacity));
   results.push_back(
       RunMode("async_deep", states, grid, script, config, rounds + 1));
   for (const ModeResult& m : results) {
     std::fprintf(stderr,
-                 "grid=%2ux%-2u users=%6u rounds=%3d %-10s cap=%3d  "
+                 "grid=%2ux%-2u users=%6u rounds=%3d %-14s cap=%3d  "
                  "tick p50=%7.3f ms  p99=%7.3f ms  max=%7.3f ms  "
                  "drain=%7.1f ms  total=%6.2f s\n",
                  grid_k, grid_k, users, rounds, m.mode.c_str(),

@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// journal record against torn writes and bit rot. Software slice-by-4
+// implementation: portable, no intrinsics, and fast enough that journal
+// appends stay I/O-bound (the round-closing work dwarfs it by orders of
+// magnitude).
+
+#ifndef RETRASYN_COMMON_CRC32C_H_
+#define RETRASYN_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace retrasyn {
+
+/// Extends \p crc (0 for a fresh checksum) over \p size bytes at \p data.
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc = 0);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_COMMON_CRC32C_H_

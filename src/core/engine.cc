@@ -59,8 +59,9 @@ Status RetraSynConfig::Validate() const {
         "num_threads " + std::to_string(num_threads) +
         " exceeds the sanity cap of " + std::to_string(kMaxThreads));
   }
-  // round_queue_capacity is service-layer state (ignored by bare engines);
-  // ServiceOptions::Validate owns its check, via TrajectoryService factories.
+  // round_queue_capacity and the journal_* fields are service-layer state
+  // (ignored by bare engines); ServiceOptions::Validate owns their checks,
+  // via the TrajectoryService factories.
   return Status::OK();
 }
 

@@ -35,6 +35,7 @@
 #include "core/mobility_model.h"
 #include "core/synthesizer.h"
 #include "geo/state_space.h"
+#include "journal/journal_options.h"
 #include "ldp/aggregate.h"
 #include "ldp/budget.h"
 #include "stream/cell_stream.h"
@@ -152,6 +153,18 @@ struct RetraSynConfig {
   int round_queue_capacity = 8;
   /// Tick() behavior when the async round queue is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Directory of the durable event journal (write-ahead log of every
+  /// accepted Enter/Move/Quit/Tick). Empty disables journaling. Non-empty:
+  /// TrajectoryService::Create requires the directory to hold no existing
+  /// journal (fresh deployment); TrajectoryService::Recover replays an
+  /// existing one and continues appending. Ignored by bare engines — the
+  /// service layer owns the journal. See docs/durability.md.
+  std::string journal_dir;
+  /// When the journal fsyncs. kEveryRound (default) makes every closed round
+  /// crash-durable; kNever trusts the OS; kEveryRecord hardens every event.
+  FsyncPolicy journal_fsync = FsyncPolicy::kEveryRound;
+  /// Journal segment rotation threshold in bytes.
+  int64_t journal_segment_bytes = 64 << 20;
 
   /// Upper bound Validate accepts for num_threads.
   static constexpr int kMaxThreads = 256;

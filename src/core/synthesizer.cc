@@ -273,15 +273,15 @@ void Synthesizer::Step(const GlobalMobilityModel& model,
 
 CellStreamSet Synthesizer::Snapshot(int64_t num_timestamps) const {
   CellStreamSet out(num_timestamps);
-  for (const CellStream& s : finished_) out.Add(s);
-  for (const CellStream& s : live_) out.Add(s);
+  for (const CellStream& s : finished_) out.Add(s).CheckOK();
+  for (const CellStream& s : live_) out.Add(s).CheckOK();
   return out;
 }
 
 CellStreamSet Synthesizer::Finish(int64_t num_timestamps) {
   CellStreamSet out(num_timestamps);
-  for (CellStream& s : finished_) out.Add(std::move(s));
-  for (CellStream& s : live_) out.Add(std::move(s));
+  for (CellStream& s : finished_) out.Add(std::move(s)).CheckOK();
+  for (CellStream& s : live_) out.Add(std::move(s)).CheckOK();
   finished_.clear();
   live_.clear();
   initialized_ = false;

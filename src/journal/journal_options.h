@@ -1,0 +1,44 @@
+// Configuration surface of the event journal — split from journal_writer.h
+// so RetraSynConfig (core/engine.h) can name the fsync policy and segment
+// knobs without dragging the writer's worker-thread machinery into every
+// translation unit that sees the engine.
+
+#ifndef RETRASYN_JOURNAL_JOURNAL_OPTIONS_H_
+#define RETRASYN_JOURNAL_JOURNAL_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace retrasyn {
+
+/// \brief When the journal fsyncs (docs/durability.md has the trade-offs and
+/// measured throughput per policy).
+enum class FsyncPolicy {
+  kNever = 0,
+  kEveryRound = 1,
+  kEveryRecord = 2,
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct JournalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEveryRound;
+  /// Rotation threshold: a new segment starts at the first round boundary
+  /// after the current segment crosses this size.
+  int64_t segment_bytes = 64 << 20;
+  /// Deployment fingerprint stamped into every segment header. The service
+  /// layer hashes the state space + engine config into it so recovery under
+  /// a different configuration fails loudly instead of silently diverging
+  /// (replay would still *accept* most events — just resolve them to
+  /// different cells). 0 = unchecked.
+  uint64_t fingerprint = 0;
+
+  static constexpr int64_t kMinSegmentBytes = 4096;
+
+  Status Validate() const;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_JOURNAL_JOURNAL_OPTIONS_H_

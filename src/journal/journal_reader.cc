@@ -1,0 +1,90 @@
+#include "journal/journal_reader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/file_io.h"
+#include "journal/journal_writer.h"
+
+namespace retrasyn {
+
+Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
+  JournalScan scan;
+  auto names = ListDirectory(dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) return scan;
+    return names.status();
+  }
+
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names.value()) {
+    uint64_t index = 0;
+    if (JournalWriter::ParseSegmentFileName(name, &index)) {
+      segments.emplace_back(index, name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  if (segments.empty()) return scan;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].first != segments[0].first + i) {
+      return Status::IOError("journal segment gap: " + segments[i].second +
+                             " does not follow " + segments[i - 1].second);
+    }
+  }
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool last = (i + 1 == segments.size());
+    const std::string path = dir + "/" + segments[i].second;
+    auto contents = ReadFileToString(path);
+    if (!contents.ok()) return contents.status();
+    const std::string& data = contents.value();
+    ++scan.num_segments;
+    scan.bytes_scanned += data.size();
+
+    // A zero-length segment is clean-empty wherever it appears: a crash
+    // between file creation and the header flush leaves one behind, tail
+    // truncation can legally cut a segment back to nothing, and recovery
+    // then continues in a fresh segment *after* it — so an old 0-byte file
+    // can end up mid-journal. No acknowledged record can be lost this way:
+    // a segment gets bytes before its successor is ever created.
+    if (data.empty()) continue;
+
+    size_t offset = 0;
+    uint64_t fingerprint = 0;
+    Status st =
+        CheckSegmentHeader(data.data(), data.size(), &offset, &fingerprint);
+    if (st.ok()) {
+      if (!scan.has_fingerprint) {
+        scan.fingerprint = fingerprint;
+        scan.has_fingerprint = true;
+      } else if (fingerprint != scan.fingerprint) {
+        return Status::IOError("journal segment " + path +
+                               " carries a different deployment fingerprint "
+                               "than its predecessors");
+      }
+    }
+    if (st.ok()) {
+      JournalEvent event;
+      while (offset < data.size()) {
+        st = DecodeRecord(data.data(), data.size(), &offset, &event);
+        if (!st.ok()) break;
+        scan.events.push_back(event);
+      }
+    }
+    if (!st.ok()) {
+      if (!last) {
+        return Status::IOError("corrupt journal segment " + path +
+                               " before the final one: " + st.message());
+      }
+      // Torn tail: keep the valid prefix, report the truncation point.
+      // A header that never finished writing truncates to an empty file.
+      scan.torn = true;
+      scan.torn_segment = path;
+      scan.valid_tail_size =
+          static_cast<int64_t>(offset < kSegmentHeaderSize ? 0 : offset);
+    }
+  }
+  return scan;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,59 @@
+// Scanning side of the event journal: reads every segment in order and
+// returns the decoded event sequence, tolerating a torn tail in the final
+// segment only.
+//
+// Recovery contract (docs/durability.md):
+//  * Segments must be contiguously numbered; a missing segment is data loss
+//    and fails the scan (kIOError).
+//  * Inside every segment but the last, each record must decode cleanly and
+//    the segment must end exactly on a record boundary — the writer rotates
+//    only after durable round boundaries, so anything else is corruption.
+//  * In the LAST segment, the first incomplete record, checksum mismatch, or
+//    well-framed garbage marks the torn tail: events before it are kept, the
+//    scan reports the valid byte prefix (`valid_tail_size`) so the caller can
+//    physically truncate the file, and everything after is discarded.
+//
+// An empty or missing directory scans to zero events (a fresh deployment).
+
+#ifndef RETRASYN_JOURNAL_JOURNAL_READER_H_
+#define RETRASYN_JOURNAL_JOURNAL_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "journal/event_codec.h"
+
+namespace retrasyn {
+
+/// \brief The result of scanning a journal directory.
+struct JournalScan {
+  std::vector<JournalEvent> events;  ///< decoded, in append order
+  uint64_t num_segments = 0;
+  uint64_t bytes_scanned = 0;
+  /// Deployment fingerprint from the segment headers (all segments must
+  /// agree; mismatching segments fail the scan). Meaningless unless
+  /// has_fingerprint — a journal of only empty segments carries none.
+  uint64_t fingerprint = 0;
+  bool has_fingerprint = false;
+
+  /// True when the last segment ended in a torn/corrupt tail that was
+  /// logically truncated. `torn_segment` is that file's path and
+  /// `valid_tail_size` the byte length of its valid prefix — truncating the
+  /// file to that size makes the on-disk journal fully clean again.
+  bool torn = false;
+  std::string torn_segment;
+  int64_t valid_tail_size = 0;
+};
+
+class JournalReader {
+ public:
+  /// Scans every segment under \p dir. See the header comment for the
+  /// tolerance rules.
+  static Result<JournalScan> ScanDir(const std::string& dir);
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_JOURNAL_JOURNAL_READER_H_

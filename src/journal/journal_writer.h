@@ -1,0 +1,149 @@
+// Segmented append-only writer for the ingestion event journal.
+//
+// A journal is a directory of numbered segment files
+// (`journal-00000000.wal`, `journal-00000001.wal`, ...), each starting with
+// the versioned header of event_codec.h and followed by framed records.
+// Segments rotate when the current one crosses `segment_bytes`, and only at
+// round boundaries (Tick/AdvanceTo records) — so every segment except the
+// last ends on a closed round, and only the final segment can ever hold a
+// torn tail after a crash.
+//
+// Durability knob (FsyncPolicy):
+//   kNever       appends are buffered; the OS decides when bytes hit disk.
+//                Fastest; a crash can lose any suffix of the journal.
+//   kEveryRound  fsync once per round-boundary record. A crash loses at most
+//                the open (uncommitted) round — the default, matching the
+//                session's unit of atomicity.
+//   kEveryRecord fsync after every record. A crash loses at most the one
+//                event being appended. Strongest and slowest.
+//
+// Open() always starts a NEW segment (it never appends into an existing
+// file), so a writer opened over a recovered journal cannot be corrupted by
+// a stale tail, and it takes an exclusive flock on `<dir>/LOCK` held for
+// the writer's lifetime — a second writer (another process racing a
+// supervisor restart, or a misconfigured replica sharing the directory)
+// fails fast with FailedPrecondition instead of interleaving appends into
+// the same segment. The first I/O failure poisons the writer: every later
+// Append/Sync returns the same sticky error, mirroring the service layer's
+// poisoned-pipeline semantics.
+
+#ifndef RETRASYN_JOURNAL_JOURNAL_WRITER_H_
+#define RETRASYN_JOURNAL_JOURNAL_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/file_io.h"
+#include "common/status.h"
+#include "journal/event_codec.h"
+#include "journal/journal_options.h"
+
+namespace retrasyn {
+
+class JournalWriter {
+ public:
+  /// Creates \p dir if missing, takes the exclusive `<dir>/LOCK`, and opens
+  /// a fresh segment numbered after the highest existing one. Fails with
+  /// FailedPrecondition while another writer holds the lock.
+  static Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& dir, const JournalOptions& options);
+
+  /// Like Open, but adopts a `<dir>/LOCK` the caller already holds — for
+  /// recovery, which must take the lock *before* its destructive scan and
+  /// tail truncation, not merely before appending.
+  static Result<std::unique_ptr<JournalWriter>> OpenLocked(
+      const std::string& dir, const JournalOptions& options, FileLock lock);
+
+  /// The lock-file name; never parsed as a segment.
+  static constexpr char kLockFileName[] = "LOCK";
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one framed record, fsyncing and rotating per the options.
+  Status Append(const JournalEvent& event);
+
+  /// Starts making the records appended so far durable on a background
+  /// presync worker (kEveryRound only; no-op otherwise). Cheap and
+  /// non-blocking: the caller overlaps it with the round-closing work so
+  /// the boundary record's fsync finds the round's event data already on
+  /// disk and pays only for the boundary bytes. Making events durable
+  /// *early* is always safe — the boundary record is what commits the
+  /// round. Errors surface, sticky, on the next Append/Sync.
+  void BeginRoundSync();
+
+  /// Forces the appended records to disk regardless of the fsync policy.
+  Status Sync();
+
+  /// Flushes and closes the current segment; the writer is unusable after.
+  Status Close();
+
+  /// The sticky first I/O failure (OK while healthy). Callers that must not
+  /// proceed on a poisoned journal (e.g. IngestSession::Tick) check this
+  /// before doing work the failure would strand.
+  Status status() const { return error_; }
+
+  const std::string& dir() const { return dir_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t rounds_appended() const { return rounds_appended_; }
+  uint64_t segments_created() const { return segments_created_; }
+  /// Total framed bytes appended across all segments (headers excluded).
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+  /// `journal-%08llu.wal` for segment \p index.
+  static std::string SegmentFileName(uint64_t index);
+  /// Parses a segment file name back into its index; false for other files.
+  static bool ParseSegmentFileName(const std::string& name, uint64_t* index);
+
+ private:
+  JournalWriter(std::string dir, const JournalOptions& options,
+                uint64_t next_segment_index)
+      : dir_(std::move(dir)),
+        options_(options),
+        next_segment_index_(next_segment_index) {}
+
+  /// Closes the current segment (if any) and starts the next one.
+  Status RotateSegment();
+
+  /// Blocks until the presync worker is idle, folding its error (if any)
+  /// into the sticky writer error. Every file-touching entry point calls
+  /// this first, so the worker only ever runs while the writer is quiescent.
+  Status WaitForPresync();
+  void PresyncLoop();
+
+  const std::string dir_;
+  const JournalOptions options_;
+  FileLock lock_;  ///< exclusive <dir>/LOCK, held for the writer's lifetime
+  uint64_t next_segment_index_ = 0;
+
+  AppendableFile segment_;  ///< closed until the first RotateSegment
+  int64_t segment_size_ = 0;
+  std::string scratch_;
+
+  uint64_t records_appended_ = 0;
+  uint64_t rounds_appended_ = 0;
+  uint64_t segments_created_ = 0;
+  uint64_t bytes_appended_ = 0;
+  Status error_;  ///< first I/O failure; sticky
+  bool closed_ = false;
+
+  // Background data presync (kEveryRound): one worker, started lazily on
+  // the first BeginRoundSync, fdatasync-ing the current segment while the
+  // ingest thread runs the round-closing work.
+  std::thread presync_thread_;
+  std::mutex presync_mu_;
+  std::condition_variable presync_cv_;
+  bool presync_requested_ = false;
+  bool presync_stop_ = false;
+  int presync_fd_ = -1;
+  Status presync_error_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_JOURNAL_JOURNAL_WRITER_H_

@@ -44,6 +44,7 @@ Status IngestSession::Enter(uint64_t user, const Point& location) {
         UserTag(user) + " already has a live stream; Move to report its next "
         "location or Quit to end it before re-entering");
   }
+  RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Enter(user, location)));
   PendingRound& round = pending_[user];
   round.has_location = true;
   round.is_enter = true;
@@ -72,6 +73,7 @@ Status IngestSession::Move(uint64_t user, const Point& location) {
         std::to_string(open_round_) +
         " (never entered, quit, or lapsed by a reporting gap); Enter first");
   }
+  RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Move(user, location)));
   PendingRound& round = pending_[user];
   round.has_location = true;
   round.is_enter = false;
@@ -92,6 +94,9 @@ Status IngestSession::Quit(uint64_t user) {
       // The enter is still buffered — no report left the device — so quitting
       // simply cancels it. An explicit quit buffered before the enter (the
       // Quit -> Enter -> Quit ordering) stays: it closes the *old* stream.
+      // The cancellation is journaled as the raw Quit it is; replay repeats
+      // the same cancellation deterministically.
+      RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Quit(user)));
       --num_pending_enters_;
       if (pending->second.quit) {
         pending->second.has_location = false;
@@ -111,8 +116,14 @@ Status IngestSession::Quit(uint64_t user) {
     return Status::FailedPrecondition(UserTag(user) +
                                       " has no live stream to quit");
   }
+  RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Quit(user)));
   pending_[user].quit = true;
   return Status::OK();
+}
+
+Status IngestSession::JournalAppend(const JournalEvent& event) {
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->Append(event);
 }
 
 size_t IngestSession::num_active_users() const {
@@ -132,6 +143,15 @@ size_t IngestSession::num_pending_events() const {
 }
 
 Status IngestSession::Tick() {
+  if (journal_ != nullptr) {
+    // A poisoned journal fails the Tick before the handler can consume the
+    // batch: the round stays open, fully retryable once durability returns.
+    RETRASYN_RETURN_NOT_OK(journal_->status());
+    // Start making this round's event data durable on the journal's presync
+    // worker now, overlapped with sealing and the round handler below, so
+    // the boundary record's fsync after the handler pays only for itself.
+    journal_->BeginRoundSync();
+  }
   // One entry per event, sortable into a deterministic, arrival-order
   // independent batch: quits sort before same-user locations so a re-entry
   // in the quitting round closes the old segment first.
@@ -199,12 +219,19 @@ Status IngestSession::Tick() {
   }
 
   RETRASYN_RETURN_NOT_OK(handler_(std::move(batch)));
+  // The handler consumed the round; its content is final. Journal the round
+  // boundary (fsync point under FsyncPolicy::kEveryRound) before committing.
+  // A failure here cannot roll the Tick back — retrying would hand the
+  // handler the batch twice — so the round still commits, this Tick returns
+  // the journal error, and the writer's sticky failure blocks every later
+  // entry point: the on-disk journal is at most this one boundary behind.
+  const Status journaled = JournalAppend(JournalEvent::Tick());
   next_stream_index_ = next_index;
   active_ = std::move(next_active);
   pending_.clear();
   num_pending_enters_ = 0;
   ++open_round_;
-  return Status::OK();
+  return journaled;
 }
 
 Status IngestSession::AdvanceTo(int64_t t) {

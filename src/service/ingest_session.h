@@ -36,6 +36,7 @@
 
 #include "common/status.h"
 #include "geo/state_space.h"
+#include "journal/journal_writer.h"
 #include "stream/feeder.h"
 
 namespace retrasyn {
@@ -51,6 +52,17 @@ class IngestSession {
   using RoundHandler = std::function<Status(TimestampBatch batch)>;
 
   IngestSession(const StateSpace& states, RoundHandler handler);
+
+  /// Journals every accepted event through \p journal (not owned; may be
+  /// null to detach). Appends happen after validation and *before* the
+  /// session commits any state, extending Tick()'s error-atomic contract to
+  /// durability: an event the journal did not accept is not buffered, and a
+  /// round whose boundary record did not reach the journal... is the one
+  /// exception — the handler has already consumed the batch by then, so the
+  /// round commits in memory, the Tick returns the journal error, and the
+  /// writer's sticky failure poisons every later entry point (the journal
+  /// never silently diverges by more than that one boundary record).
+  void AttachJournal(JournalWriter* journal) { journal_ = journal; }
 
   /// Begins a new stream for \p user, reporting \p location this round.
   /// Fails if the user is already active or has already reported this round.
@@ -99,9 +111,13 @@ class IngestSession {
     CellId last_cell = 0;       ///< last reported (clamped) cell
   };
 
+  /// Appends \p event to the attached journal; OK when detached.
+  Status JournalAppend(const JournalEvent& event);
+
   const StateSpace* states_;
   const Grid* grid_;
   RoundHandler handler_;
+  JournalWriter* journal_ = nullptr;  ///< not owned; null = no journaling
   int64_t open_round_ = 0;
   uint32_t next_stream_index_ = 0;
 

@@ -1,28 +1,139 @@
 #include "service/trajectory_service.h"
 
+#include <cstring>
 #include <string>
 #include <utility>
 
+#include "common/file_io.h"
+
 namespace retrasyn {
+
+namespace {
+
+void HashMix(const void* data, size_t size, uint64_t* h) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {  // FNV-1a 64
+    *h = (*h ^ p[i]) * 1099511628211ull;
+  }
+}
+
+void HashMixU64(uint64_t v, uint64_t* h) { HashMix(&v, sizeof(v), h); }
+
+void HashMixDouble(double v, uint64_t* h) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashMixU64(bits, h);
+}
+
+/// Hash of everything the replayed byte stream depends on: the discretized
+/// space (box + cell layout fix how raw points resolve to states) plus every
+/// engine-config field that steers collection/synthesis. Stamped into each
+/// segment header so Recover under a changed deployment fails loudly —
+/// replay would still *accept* most events, just resolve them differently.
+uint64_t DeploymentFingerprint(const StateSpace& states,
+                               const RetraSynConfig& config) {
+  uint64_t h = 14695981039346656037ull;
+  const BoundingBox& box = states.grid().box();
+  HashMixDouble(box.min_x, &h);
+  HashMixDouble(box.min_y, &h);
+  HashMixDouble(box.max_x, &h);
+  HashMixDouble(box.max_y, &h);
+  HashMixU64(states.num_cells(), &h);
+  HashMixU64(states.size(), &h);
+  HashMixDouble(config.epsilon, &h);
+  HashMixU64(static_cast<uint64_t>(config.window), &h);
+  HashMixU64(static_cast<uint64_t>(config.division), &h);
+  HashMixU64(static_cast<uint64_t>(config.allocation.kind), &h);
+  HashMixDouble(config.allocation.max_portion, &h);
+  HashMixDouble(config.allocation.min_portion, &h);
+  HashMixU64(config.use_dmu ? 1 : 0, &h);
+  HashMixU64(config.use_eq ? 1 : 0, &h);
+  HashMixDouble(config.lambda, &h);
+  HashMixU64(static_cast<uint64_t>(config.collection_mode), &h);
+  HashMixU64(static_cast<uint64_t>(config.oracle), &h);
+  HashMixU64(static_cast<uint64_t>(config.postprocess), &h);
+  HashMixU64(config.seed, &h);
+  HashMixU64(static_cast<uint64_t>(config.num_threads), &h);
+  HashMixU64(config.use_sampler_cache ? 1 : 0, &h);
+  return h;
+}
+
+/// Custom engines (CreateWithEngine/Attach) have no RetraSynConfig; bind
+/// the journal to the state space and the engine's self-reported identity.
+uint64_t DeploymentFingerprint(const StateSpace& states,
+                               const std::string& engine_name) {
+  uint64_t h = 14695981039346656037ull;
+  const BoundingBox& box = states.grid().box();
+  HashMixDouble(box.min_x, &h);
+  HashMixDouble(box.min_y, &h);
+  HashMixDouble(box.max_x, &h);
+  HashMixDouble(box.max_y, &h);
+  HashMixU64(states.num_cells(), &h);
+  HashMixU64(states.size(), &h);
+  HashMix(engine_name.data(), engine_name.size(), &h);
+  return h;
+}
+
+/// Opens the journal writer for \p options when journaling is enabled;
+/// returns nullptr (OK) when it is not. \p require_fresh rejects a directory
+/// that already holds journal segments (the Create factories must not append
+/// to a journal they did not replay — Recover owns that path).
+Result<std::unique_ptr<JournalWriter>> MaybeOpenJournal(
+    const ServiceOptions& options, bool require_fresh, uint64_t fingerprint) {
+  if (options.journal_dir.empty()) {
+    return std::unique_ptr<JournalWriter>();
+  }
+  if (require_fresh) {
+    auto names = ListDirectory(options.journal_dir);
+    if (names.ok()) {
+      for (const std::string& name : names.value()) {
+        uint64_t index = 0;
+        if (JournalWriter::ParseSegmentFileName(name, &index)) {
+          return Status::FailedPrecondition(
+              "journal dir " + options.journal_dir +
+              " already holds a journal (" + name +
+              "); use TrajectoryService::Recover to resume it");
+        }
+      }
+    } else if (names.status().code() != StatusCode::kNotFound) {
+      return names.status();
+    }
+  }
+  JournalOptions journal = options.journal;
+  journal.fingerprint = fingerprint;
+  return JournalWriter::Open(options.journal_dir, journal);
+}
+
+}  // namespace
 
 TrajectoryService::TrajectoryService(const StateSpace& states,
                                      std::unique_ptr<StreamReleaseEngine> owned,
                                      StreamReleaseEngine* engine,
-                                     const ServiceOptions& options)
-    : states_(&states), owned_engine_(std::move(owned)), engine_(engine) {
+                                     const ServiceOptions& options,
+                                     std::unique_ptr<JournalWriter> journal,
+                                     bool defer_async_closer)
+    : states_(&states),
+      owned_engine_(std::move(owned)),
+      engine_(engine),
+      journal_(std::move(journal)) {
   retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
   session_ = std::make_unique<IngestSession>(
       states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); });
-  if (options.sync_policy == SyncPolicy::kAsync) {
-    RoundCloser::Options closer_options;
-    closer_options.queue_capacity =
-        static_cast<size_t>(options.round_queue_capacity);
-    closer_options.backpressure = options.backpressure;
-    closer_ = std::make_unique<RoundCloser>(
-        closer_options,
-        [this](const TimestampBatch& batch) { return CloseRound(batch); },
-        [this](const RoundRelease& round) { return Deliver(round); });
+  if (journal_ != nullptr) session_->AttachJournal(journal_.get());
+  if (options.sync_policy == SyncPolicy::kAsync && !defer_async_closer) {
+    ArmCloser(options);
   }
+}
+
+void TrajectoryService::ArmCloser(const ServiceOptions& options) {
+  RoundCloser::Options closer_options;
+  closer_options.queue_capacity =
+      static_cast<size_t>(options.round_queue_capacity);
+  closer_options.backpressure = options.backpressure;
+  closer_ = std::make_unique<RoundCloser>(
+      closer_options,
+      [this](const TimestampBatch& batch) { return CloseRound(batch); },
+      [this](const RoundRelease& round) { return Deliver(round); });
 }
 
 TrajectoryService::~TrajectoryService() {
@@ -35,6 +146,9 @@ ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
   options.sync_policy = config.sync_policy;
   options.round_queue_capacity = config.round_queue_capacity;
   options.backpressure = config.backpressure;
+  options.journal_dir = config.journal_dir;
+  options.journal.fsync = config.journal_fsync;
+  options.journal.segment_bytes = config.journal_segment_bytes;
   return options;
 }
 
@@ -44,6 +158,9 @@ Status ServiceOptions::Validate() const {
         "round_queue_capacity must be >= 1 sealed batch, got " +
         std::to_string(round_queue_capacity));
   }
+  if (!journal_dir.empty()) {
+    RETRASYN_RETURN_NOT_OK(journal.Validate());
+  }
   return Status::OK();
 }
 
@@ -52,10 +169,14 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
   RETRASYN_RETURN_NOT_OK(config.Validate());
   const ServiceOptions options = ServiceOptions::FromConfig(config);
   RETRASYN_RETURN_NOT_OK(options.Validate());
+  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true,
+                                  DeploymentFingerprint(states, config));
+  if (!journal.ok()) return journal.status();
   auto engine = std::make_unique<RetraSynEngine>(states, config);
   StreamReleaseEngine* raw = engine.get();
   return std::unique_ptr<TrajectoryService>(
-      new TrajectoryService(states, std::move(engine), raw, options));
+      new TrajectoryService(states, std::move(engine), raw, options,
+                            std::move(journal).value()));
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
@@ -65,9 +186,13 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
     return Status::InvalidArgument("engine must not be null");
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
+  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true,
+                                  DeploymentFingerprint(states, engine->name()));
+  if (!journal.ok()) return journal.status();
   StreamReleaseEngine* raw = engine.get();
   return std::unique_ptr<TrajectoryService>(
-      new TrajectoryService(states, std::move(engine), raw, options));
+      new TrajectoryService(states, std::move(engine), raw, options,
+                            std::move(journal).value()));
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
@@ -77,8 +202,135 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
     return Status::InvalidArgument("engine must not be null");
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
+  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true,
+                                  DeploymentFingerprint(states, engine->name()));
+  if (!journal.ok()) return journal.status();
   return std::unique_ptr<TrajectoryService>(
-      new TrajectoryService(states, nullptr, engine, options));
+      new TrajectoryService(states, nullptr, engine, options,
+                            std::move(journal).value()));
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Recover(
+    const StateSpace& states, const RetraSynConfig& config) {
+  RETRASYN_RETURN_NOT_OK(config.Validate());
+  if (config.journal_dir.empty()) {
+    return Status::InvalidArgument(
+        "Recover requires RetraSynConfig::journal_dir");
+  }
+  const ServiceOptions options = ServiceOptions::FromConfig(config);
+  auto engine = std::make_unique<RetraSynEngine>(states, config);
+  StreamReleaseEngine* raw = engine.get();
+  return RecoverImpl(states, std::move(engine), raw, options,
+                     DeploymentFingerprint(states, config));
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverWithEngine(
+    const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine,
+    const ServiceOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  StreamReleaseEngine* raw = engine.get();
+  const uint64_t fingerprint = DeploymentFingerprint(states, raw->name());
+  return RecoverImpl(states, std::move(engine), raw, options, fingerprint);
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverAttached(
+    const StateSpace& states, StreamReleaseEngine* engine,
+    const ServiceOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  return RecoverImpl(states, nullptr, engine, options,
+                     DeploymentFingerprint(states, engine->name()));
+}
+
+Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
+    const StateSpace& states, std::unique_ptr<StreamReleaseEngine> owned,
+    StreamReleaseEngine* engine, const ServiceOptions& options,
+    uint64_t fingerprint) {
+  if (options.journal_dir.empty()) {
+    return Status::InvalidArgument("Recover requires a journal_dir");
+  }
+  RETRASYN_RETURN_NOT_OK(options.Validate());
+
+  // Take the writer lock BEFORE the destructive scan/truncate: if the
+  // crashed process is in fact still alive and appending (a supervisor
+  // restart race), reading its segment mid-write would misdiagnose a torn
+  // tail and truncate away durably acknowledged records.
+  RETRASYN_RETURN_NOT_OK(CreateDirIfMissing(options.journal_dir));
+  auto lock = FileLock::Acquire(options.journal_dir + "/" +
+                                JournalWriter::kLockFileName);
+  if (!lock.ok()) return lock.status();
+
+  auto scan_result = JournalReader::ScanDir(options.journal_dir);
+  if (!scan_result.ok()) return scan_result.status();
+  const JournalScan scan = std::move(scan_result).value();
+  if (scan.has_fingerprint && scan.fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "journal in " + options.journal_dir +
+        " was written by a different deployment (state space / engine "
+        "config changed); replaying it here would silently diverge");
+  }
+  if (scan.torn) {
+    // Cut the torn tail physically so the on-disk journal is clean before a
+    // single new byte is appended after it.
+    RETRASYN_RETURN_NOT_OK(
+        TruncateFile(scan.torn_segment, scan.valid_tail_size));
+  }
+
+  // Replay inline — the closer stays un-armed even under kAsync, and the
+  // journal stays detached so replayed events are not re-journaled.
+  std::unique_ptr<TrajectoryService> service(
+      new TrajectoryService(states, std::move(owned), engine, options,
+                            /*journal=*/nullptr, /*defer_async_closer=*/true));
+  RETRASYN_RETURN_NOT_OK(service->ReplayJournal(scan.events));
+
+  // Re-arm: async closing per the config, then the journal writer, which
+  // adopts the held lock and continues in a fresh segment after the
+  // replayed ones.
+  if (options.sync_policy == SyncPolicy::kAsync) service->ArmCloser(options);
+  JournalOptions journal_options = options.journal;
+  journal_options.fingerprint = fingerprint;
+  auto writer = JournalWriter::OpenLocked(options.journal_dir, journal_options,
+                                          std::move(lock).value());
+  if (!writer.ok()) return writer.status();
+  service->journal_ = std::move(writer).value();
+  service->session_->AttachJournal(service->journal_.get());
+  return service;
+}
+
+Status TrajectoryService::ReplayJournal(
+    const std::vector<JournalEvent>& events) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JournalEvent& e = events[i];
+    Status st;
+    switch (e.type) {
+      case JournalEventType::kEnter:
+        st = session_->Enter(e.user, e.location);
+        break;
+      case JournalEventType::kMove:
+        st = session_->Move(e.user, e.location);
+        break;
+      case JournalEventType::kQuit:
+        st = session_->Quit(e.user);
+        break;
+      case JournalEventType::kTick:
+        st = session_->Tick();
+        break;
+      case JournalEventType::kAdvanceTo:
+        st = session_->AdvanceTo(e.target_t);
+        break;
+    }
+    if (!st.ok()) {
+      // The journal only ever holds events the session accepted, so a
+      // rejection means the journal does not match this config/state space.
+      return Status::Internal(
+          "journal replay rejected record " + std::to_string(i) + " (" +
+          JournalEventTypeName(e.type) + "): " + st.message());
+    }
+  }
+  return Status::OK();
 }
 
 void TrajectoryService::AddSink(ReleaseSink* sink) {

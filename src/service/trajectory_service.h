@@ -26,6 +26,11 @@
 //     before SnapshotRelease(). Failures surface on the next Tick()/Drain().
 //     For a fixed (seed, num_threads) the released bytes equal kInline's.
 //
+// Durability (optional, RetraSynConfig::journal_dir): every accepted event
+// is appended to a segmented write-ahead journal before the session commits
+// it, and TrajectoryService::Recover rebuilds a byte-identical service from
+// the journal after a crash. See docs/durability.md.
+//
 // The session/service surface is single-threaded: drive each service from
 // one ingest thread (the workers it owns are internal).
 
@@ -40,6 +45,8 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/release_sink.h"
+#include "journal/journal_reader.h"
+#include "journal/journal_writer.h"
 #include "service/ingest_session.h"
 #include "service/round_closer.h"
 
@@ -52,6 +59,11 @@ struct ServiceOptions {
   SyncPolicy sync_policy = SyncPolicy::kInline;
   int round_queue_capacity = 8;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Durable event journal directory; empty disables journaling. The
+  /// factories require the directory to hold no existing journal — resume an
+  /// existing one through TrajectoryService::Recover instead.
+  std::string journal_dir;
+  JournalOptions journal;
 
   /// The service-layer fields of \p config, verbatim.
   static ServiceOptions FromConfig(const RetraSynConfig& config);
@@ -78,6 +90,41 @@ class TrajectoryService {
   static Result<std::unique_ptr<TrajectoryService>> Attach(
       const StateSpace& states, StreamReleaseEngine* engine,
       const ServiceOptions& options = {});
+
+  /// Rebuilds a crashed service from its event journal
+  /// (\p config.journal_dir): takes the journal's writer lock (so a live
+  /// writer can never be truncated underneath — FailedPrecondition if one
+  /// holds it), verifies the journal's deployment fingerprint against
+  /// \p states + \p config (FailedPrecondition on mismatch: replaying under
+  /// a changed deployment would silently diverge), scans the segments,
+  /// physically truncates a torn tail in the final segment (at the first
+  /// incomplete or checksum-failing record), replays every surviving event
+  /// through a fresh session *inline* — byte-identical state by the
+  /// Inline-vs-Async invariant — then re-arms the async closer (under
+  /// SyncPolicy::kAsync) and reopens the journal for appending in a new
+  /// segment. The recovered
+  /// service is byte-identical to the pre-crash one as of its last durable
+  /// round boundary; events journaled after that boundary are re-buffered
+  /// into the open round. A missing or empty journal recovers to a fresh
+  /// service, so deployments can always boot through Recover. Sinks are not
+  /// replayed — attach them afterwards (they start with the next closed
+  /// round; ReleaseServer instances that must cover the recovered prefix can
+  /// be rebuilt from SnapshotRelease).
+  static Result<std::unique_ptr<TrajectoryService>> Recover(
+      const StateSpace& states, const RetraSynConfig& config);
+
+  /// Recover counterparts of CreateWithEngine/Attach, for journaled services
+  /// over custom engines: the caller reconstructs the engine exactly as it
+  /// did before the crash (the journal's fingerprint binds the state space
+  /// and the engine's self-reported name; config equality beyond that is the
+  /// caller's contract, exactly as byte-identical replay is). \p options
+  /// must name the journal via ServiceOptions::journal_dir.
+  static Result<std::unique_ptr<TrajectoryService>> RecoverWithEngine(
+      const StateSpace& states, std::unique_ptr<StreamReleaseEngine> engine,
+      const ServiceOptions& options);
+  static Result<std::unique_ptr<TrajectoryService>> RecoverAttached(
+      const StateSpace& states, StreamReleaseEngine* engine,
+      const ServiceOptions& options);
 
   /// Joins the async workers, discarding rounds still queued; Drain() first
   /// to guarantee every submitted round reached the engine and sinks.
@@ -120,15 +167,33 @@ class TrajectoryService {
 
   const StreamReleaseEngine& engine() const { return *engine_; }
 
+  /// The attached event journal; nullptr when journaling is disabled.
+  const JournalWriter* journal() const { return journal_.get(); }
+
   /// The underlying engine when it is a RetraSynEngine (always the case for
   /// Create()-built services); nullptr otherwise. Exposes privacy accounting
   /// (budget ledger, report tracker) to auditors.
   const RetraSynEngine* retrasyn_engine() const { return retrasyn_; }
 
  private:
+  /// \p defer_async_closer leaves the closer un-armed even under kAsync, so
+  /// Recover can replay the journal inline before ArmCloser re-enables it.
   TrajectoryService(const StateSpace& states,
                     std::unique_ptr<StreamReleaseEngine> owned,
-                    StreamReleaseEngine* engine, const ServiceOptions& options);
+                    StreamReleaseEngine* engine, const ServiceOptions& options,
+                    std::unique_ptr<JournalWriter> journal,
+                    bool defer_async_closer = false);
+
+  /// Builds the async round-closing pipeline (kAsync only).
+  void ArmCloser(const ServiceOptions& options);
+  /// Feeds recovered events through the (inline) session.
+  Status ReplayJournal(const std::vector<JournalEvent>& events);
+  /// Shared recovery flow behind Recover/RecoverWithEngine/RecoverAttached:
+  /// lock, fingerprint check, tail truncation, inline replay, re-arm.
+  static Result<std::unique_ptr<TrajectoryService>> RecoverImpl(
+      const StateSpace& states, std::unique_ptr<StreamReleaseEngine> owned,
+      StreamReleaseEngine* engine, const ServiceOptions& options,
+      uint64_t fingerprint);
 
   /// The session's round handler: inline, runs the round to completion;
   /// async, submits it to the closer.
@@ -144,6 +209,7 @@ class TrajectoryService {
   StreamReleaseEngine* engine_;      ///< owned_engine_.get() or caller-owned
   const RetraSynEngine* retrasyn_ = nullptr;
   std::unique_ptr<IngestSession> session_;
+  std::unique_ptr<JournalWriter> journal_;  ///< null = journaling disabled
 
   mutable std::mutex sinks_mu_;  ///< AddSink vs. the delivery worker
   std::vector<ReleaseSink*> sinks_;

@@ -6,9 +6,11 @@
 #define RETRASYN_STREAM_CELL_STREAM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "geo/grid.h"
 
 namespace retrasyn {
@@ -36,15 +38,32 @@ class CellStreamSet {
     active_count_.assign(num_timestamps, 0);
   }
 
-  void Add(CellStream stream) {
-    RETRASYN_CHECK(!stream.cells.empty());
-    RETRASYN_CHECK(stream.enter_time >= 0);
-    RETRASYN_CHECK(stream.end_time() <= num_timestamps_);
+  /// Adds a stream. Returns InvalidArgument (without aborting) when the
+  /// stream is empty or lies outside [0, num_timestamps) — malformed inputs
+  /// must never kill a long-running service. Internal callers whose streams
+  /// are valid by construction (the synthesizer, the feeder) CheckOK();
+  /// nodiscard keeps a dropped stream from passing silently.
+  [[nodiscard]] Status Add(CellStream stream) {
+    if (stream.cells.empty()) {
+      return Status::InvalidArgument("cell stream must cover >= 1 timestamp");
+    }
+    if (stream.enter_time < 0) {
+      return Status::InvalidArgument(
+          "cell stream enters at negative timestamp " +
+          std::to_string(stream.enter_time));
+    }
+    if (stream.end_time() > num_timestamps_) {
+      return Status::InvalidArgument(
+          "cell stream [" + std::to_string(stream.enter_time) + ", " +
+          std::to_string(stream.end_time()) + ") exceeds the horizon of " +
+          std::to_string(num_timestamps_) + " timestamps");
+    }
     total_points_ += stream.cells.size();
     for (int64_t t = stream.enter_time; t < stream.end_time(); ++t) {
       ++active_count_[t];
     }
     streams_.push_back(std::move(stream));
+    return Status::OK();
   }
 
   const std::vector<CellStream>& streams() const { return streams_; }

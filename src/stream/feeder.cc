@@ -53,7 +53,7 @@ StreamFeeder::StreamFeeder(const StreamDatabase& db, const Grid& grid,
       obs.is_quit = true;
       batches_[s.end_time()].observations.push_back(obs);
     }
-    cell_streams_.Add(std::move(cs));
+    cell_streams_.Add(std::move(cs)).CheckOK();
   }
 }
 

@@ -90,7 +90,7 @@ StreamDatabase GenerateHotspotStreams(const HotspotGeneratorConfig& config,
     survivors.reserve(live.size());
     for (Taxi& taxi : live) {
       if (rng.Bernoulli(config.quit_probability)) {
-        db.Add(std::move(taxi.stream));
+        db.Add(std::move(taxi.stream)).CheckOK();
         continue;
       }
       if (taxi.dwelling) {
@@ -132,7 +132,7 @@ StreamDatabase GenerateHotspotStreams(const HotspotGeneratorConfig& config,
         static_cast<uint64_t>(std::ceil(lambda * 2.0)), 0.5);  // ~Poisson
     for (uint64_t i = 0; i < arrivals; ++i) spawn(t);
   }
-  for (Taxi& taxi : live) db.Add(std::move(taxi.stream));
+  for (Taxi& taxi : live) db.Add(std::move(taxi.stream)).CheckOK();
   return db;
 }
 

@@ -125,14 +125,14 @@ Result<StreamDatabase> LoadStreamDatabaseCsv(const std::string& path,
         continue;
       }
       // Gap: close the current run as its own stream and start a new one.
-      db.Add(std::move(current));
+      RETRASYN_RETURN_NOT_OK(db.Add(std::move(current)));
       current = UserStream{};
       current.user_id = ++next_id;
       current.enter_time = rep.t;
       current.points.push_back(rep.p);
     }
     if (!current.points.empty()) {
-      db.Add(std::move(current));
+      RETRASYN_RETURN_NOT_OK(db.Add(std::move(current)));
     }
     ++next_id;
   }

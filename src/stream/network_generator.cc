@@ -127,7 +127,7 @@ StreamDatabase GenerateNetworkStreams(const NetworkGeneratorConfig& config,
         }
       }
       if (quits) {
-        db.Add(std::move(ls.stream));
+        db.Add(std::move(ls.stream)).CheckOK();
       } else {
         ls.stream.points.push_back(ls.object.PositionOn(net));
         survivors.push_back(std::move(ls));
@@ -136,7 +136,7 @@ StreamDatabase GenerateNetworkStreams(const NetworkGeneratorConfig& config,
     live = std::move(survivors);
     for (uint32_t i = 0; i < config.arrivals_per_timestamp; ++i) spawn(t);
   }
-  for (LiveStream& ls : live) db.Add(std::move(ls.stream));
+  for (LiveStream& ls : live) db.Add(std::move(ls.stream)).CheckOK();
   return db;
 }
 

@@ -33,7 +33,7 @@ StreamDatabase GenerateRandomWalkStreams(const RandomWalkConfig& config,
     survivors.reserve(live.size());
     for (Walker& w : live) {
       if (rng.Bernoulli(config.quit_probability)) {
-        db.Add(std::move(w.stream));
+        db.Add(std::move(w.stream)).CheckOK();
         continue;
       }
       w.position = config.box.Clamp(
@@ -47,7 +47,7 @@ StreamDatabase GenerateRandomWalkStreams(const RandomWalkConfig& config,
         static_cast<uint64_t>(std::ceil(config.mean_arrivals * 2.0)), 0.5);
     for (uint64_t i = 0; i < arrivals; ++i) spawn(t);
   }
-  for (Walker& w : live) db.Add(std::move(w.stream));
+  for (Walker& w : live) db.Add(std::move(w.stream)).CheckOK();
   return db;
 }
 

@@ -1,5 +1,7 @@
 #include "stream/stream_database.h"
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace retrasyn {
@@ -10,15 +12,26 @@ StreamDatabase::StreamDatabase(const BoundingBox& box, int64_t num_timestamps)
   active_count_.assign(num_timestamps, 0);
 }
 
-void StreamDatabase::Add(UserStream stream) {
-  RETRASYN_CHECK(!stream.points.empty());
-  RETRASYN_CHECK(stream.enter_time >= 0);
-  RETRASYN_CHECK(stream.end_time() <= num_timestamps_);
+Status StreamDatabase::Add(UserStream stream) {
+  if (stream.points.empty()) {
+    return Status::InvalidArgument("stream must report at least one point");
+  }
+  if (stream.enter_time < 0) {
+    return Status::InvalidArgument("stream enters at negative timestamp " +
+                                   std::to_string(stream.enter_time));
+  }
+  if (stream.end_time() > num_timestamps_) {
+    return Status::InvalidArgument(
+        "stream [" + std::to_string(stream.enter_time) + ", " +
+        std::to_string(stream.end_time()) + ") exceeds the horizon of " +
+        std::to_string(num_timestamps_) + " timestamps");
+  }
   total_points_ += stream.points.size();
   for (int64_t t = stream.enter_time; t < stream.end_time(); ++t) {
     ++active_count_[t];
   }
   streams_.push_back(std::move(stream));
+  return Status::OK();
 }
 
 uint32_t StreamDatabase::ActiveCount(int64_t t) const {
@@ -29,7 +42,7 @@ uint32_t StreamDatabase::ActiveCount(int64_t t) const {
 StreamDatabase StreamDatabase::Subsample(double fraction, Rng& rng) const {
   StreamDatabase out(box_, num_timestamps_);
   for (const UserStream& s : streams_) {
-    if (rng.Bernoulli(fraction)) out.Add(s);
+    if (rng.Bernoulli(fraction)) out.Add(s).CheckOK();
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "geo/point.h"
 
 namespace retrasyn {
@@ -37,8 +38,12 @@ class StreamDatabase {
   StreamDatabase() = default;
   StreamDatabase(const BoundingBox& box, int64_t num_timestamps);
 
-  /// Adds a stream; it must be non-empty and fit within [0, num_timestamps).
-  void Add(UserStream stream);
+  /// Adds a stream. Returns InvalidArgument (without aborting) when the
+  /// stream is empty or does not fit within [0, num_timestamps) — malformed
+  /// input files and journals must never kill a long-running service.
+  /// Internal callers whose streams are valid by construction CheckOK();
+  /// nodiscard keeps a dropped stream from passing silently.
+  [[nodiscard]] Status Add(UserStream stream);
 
   const std::vector<UserStream>& streams() const { return streams_; }
   const BoundingBox& box() const { return box_; }

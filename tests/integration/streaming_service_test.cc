@@ -111,7 +111,7 @@ TEST(StreamingServiceTest, PureEventDrivenReleaseMatchesLegacyBatchReplay) {
     stream.user_id = 0;
     stream.enter_time = trace.enter_time;
     stream.points = trace.points;
-    db.Add(std::move(stream));
+    db.Add(std::move(stream)).CheckOK();
   }
   const StreamFeeder feeder(db, grid, states);
   RetraSynEngine legacy(states, EngineConfig());
@@ -183,7 +183,7 @@ TEST(StreamingServiceTest, PoolEnabledAtOneThreadKeepsByteExactEquivalence) {
     stream.user_id = 0;
     stream.enter_time = trace.enter_time;
     stream.points = trace.points;
-    db.Add(std::move(stream));
+    db.Add(std::move(stream)).CheckOK();
   }
   const StreamFeeder feeder(db, grid, states);
   RetraSynEngine serial(states, EngineConfig());  // no pool at all

@@ -23,8 +23,8 @@ CellStream MakeStream(std::vector<CellId> cells, int64_t enter = 0) {
 TEST(DiameterErrorTest, IdenticalSetsAreZero) {
   const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 4);
   CellStreamSet set(5);
-  set.Add(MakeStream({0, 1, 2, 3}));
-  set.Add(MakeStream({5, 5, 5}));
+  set.Add(MakeStream({0, 1, 2, 3})).CheckOK();
+  set.Add(MakeStream({5, 5, 5})).CheckOK();
   EXPECT_DOUBLE_EQ(DiameterError(set, set, grid), 0.0);
 }
 
@@ -32,10 +32,10 @@ TEST(DiameterErrorTest, StationaryVsCrossingIsMaximal) {
   const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, 4);
   CellStreamSet stay(5), cross(5);
   for (int i = 0; i < 20; ++i) {
-    stay.Add(MakeStream({5, 5, 5}));  // diameter 0
+    stay.Add(MakeStream({5, 5, 5})).CheckOK();  // diameter 0
     // Corner-to-corner walkers: diameter = full diagonal.
     cross.Add(MakeStream({grid.Cell(0, 0), grid.Cell(1, 1), grid.Cell(2, 2),
-                          grid.Cell(3, 3)}));
+                          grid.Cell(3, 3)})).CheckOK();
   }
   EXPECT_NEAR(DiameterError(stay, cross, grid), kLn2, 1e-9);
 }
@@ -48,10 +48,10 @@ TEST(DiameterErrorTest, DiameterUsesMaxPairNotBoundingBoxCorners) {
   CellStreamSet diamond(5), straight(5);
   for (int i = 0; i < 10; ++i) {
     diamond.Add(MakeStream({grid.Cell(0, 2), grid.Cell(2, 0), grid.Cell(2, 4),
-                            grid.Cell(4, 2)}));
+                            grid.Cell(4, 2)})).CheckOK();
     // Straight horizontal walk with the same max pairwise distance (4 cells).
     straight.Add(MakeStream({grid.Cell(2, 0), grid.Cell(2, 2),
-                             grid.Cell(2, 4)}));
+                             grid.Cell(2, 4)})).CheckOK();
   }
   EXPECT_NEAR(DiameterError(diamond, straight, grid), 0.0, 1e-9);
 }

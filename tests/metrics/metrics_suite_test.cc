@@ -37,7 +37,7 @@ class MetricsSuiteTest : public testing::Test {
         const auto& nbrs = grid_.Neighbors(at);
         at = nbrs[rng.UniformInt(uint64_t{nbrs.size()})];
       }
-      set.Add(std::move(s));
+      set.Add(std::move(s)).CheckOK();
     }
     return set;
   }
@@ -80,11 +80,11 @@ TEST_F(MetricsSuiteTest, SpatiallyDisjointSetsScoreWorst) {
     CellStream a;
     a.enter_time = 0;
     a.cells.assign(5, 0);
-    orig.Add(std::move(a));
+    orig.Add(std::move(a)).CheckOK();
     CellStream b;
     b.enter_time = 0;
     b.cells.assign(10, 15);
-    syn.Add(std::move(b));
+    syn.Add(std::move(b)).CheckOK();
   }
   const DensityIndex od(orig, grid_), sd(syn, grid_);
   EXPECT_NEAR(AverageDensityError(od, sd), kLn2, 1e-9);
@@ -117,12 +117,12 @@ TEST_F(MetricsSuiteTest, QueryErrorReactsToScaleMismatch) {
     CellStream s;
     s.enter_time = 0;
     s.cells.assign(10, static_cast<CellId>(i % 16));
-    orig.Add(std::move(s));
+    orig.Add(std::move(s)).CheckOK();
     if (i % 2 == 0) {
       CellStream h;
       h.enter_time = 0;
       h.cells.assign(10, static_cast<CellId>(i % 16));
-      syn.Add(std::move(h));
+      syn.Add(std::move(h)).CheckOK();
     }
   }
   const DensityIndex od(orig, grid_), sd(syn, grid_);
@@ -139,11 +139,11 @@ TEST_F(MetricsSuiteTest, TransitionErrorSeesDirectionFlip) {
     CellStream a;
     a.enter_time = 0;
     a.cells = {grid_.Cell(1, 0), grid_.Cell(1, 1), grid_.Cell(1, 2)};
-    orig.Add(std::move(a));
+    orig.Add(std::move(a)).CheckOK();
     CellStream b;
     b.enter_time = 0;
     b.cells = {grid_.Cell(1, 2), grid_.Cell(1, 1), grid_.Cell(1, 0)};
-    syn.Add(std::move(b));
+    syn.Add(std::move(b)).CheckOK();
   }
   const TransitionIndex ot(orig, states_), st(syn, states_);
   EXPECT_NEAR(AverageTransitionError(ot, st), kLn2, 1e-9);
@@ -158,7 +158,7 @@ TEST_F(MetricsSuiteTest, HotspotNdcgPenalizesWrongRanking) {
       CellStream s;
       s.enter_time = 0;
       s.cells.assign(4, cell);
-      set.Add(std::move(s));
+      set.Add(std::move(s)).CheckOK();
     }
   };
   add_streams(orig, 0, 100);
@@ -181,11 +181,11 @@ TEST_F(MetricsSuiteTest, LengthErrorSeparatesLengthScales) {
     CellStream s;
     s.enter_time = 0;
     s.cells.assign(3, 0);
-    short_set.Add(std::move(s));
+    short_set.Add(std::move(s)).CheckOK();
     CellStream l;
     l.enter_time = 0;
     l.cells.assign(100, 0);
-    long_set.Add(std::move(l));
+    long_set.Add(std::move(l)).CheckOK();
   }
   // All-short vs all-long lands in disjoint buckets: exactly ln 2, the value
   // the never-terminating baselines record in the paper's Table III.

@@ -41,13 +41,13 @@ CellStreamSet RepeatedPatternSet() {
     CellStream s;
     s.enter_time = 0;
     s.cells = {1, 2, 3};
-    set.Add(std::move(s));
+    set.Add(std::move(s)).CheckOK();
   }
   for (int i = 0; i < 3; ++i) {
     CellStream s;
     s.enter_time = 0;
     s.cells = {4, 5};
-    set.Add(std::move(s));
+    set.Add(std::move(s)).CheckOK();
   }
   return set;
 }
@@ -70,7 +70,7 @@ TEST(TopPatternsTest, TimeWindowRestricts) {
   CellStream s;
   s.enter_time = 0;
   s.cells = {1, 2, 3, 4, 5};
-  set.Add(std::move(s));
+  set.Add(std::move(s)).CheckOK();
   // Window [2, 5) only sees cells 3,4,5.
   const auto top = TopPatterns(set, 2, 5, 2, 2, 10);
   const CellId p34[] = {3, 4};
@@ -95,7 +95,7 @@ TEST(TopPatternsTest, ShortStreamsSkipped) {
   CellStream s;
   s.enter_time = 0;
   s.cells = {7};  // too short for any pattern
-  set.Add(std::move(s));
+  set.Add(std::move(s)).CheckOK();
   EXPECT_TRUE(TopPatterns(set, 0, 5, 2, 3, 10).empty());
 }
 

@@ -15,7 +15,7 @@ CellStreamSet MakeSet(int64_t horizon,
     CellStream s;
     s.enter_time = enter;
     s.cells = std::move(cells);
-    set.Add(std::move(s));
+    set.Add(std::move(s)).CheckOK();
   }
   return set;
 }
@@ -55,7 +55,7 @@ TEST(DensityIndexTest, CountMatchesBruteForce) {
       s.cells.push_back(
           static_cast<CellId>(rng.UniformInt(uint64_t{grid.NumCells()})));
     }
-    if (!s.cells.empty()) set.Add(std::move(s));
+    if (!s.cells.empty()) set.Add(std::move(s)).CheckOK();
   }
   const DensityIndex index(set, grid);
   Rng qrng(4);

@@ -47,7 +47,7 @@ class StubEngine : public StreamReleaseEngine {
       CellStream s;
       s.enter_time = 0;
       s.cells = {0};
-      set.Add(std::move(s));
+      set.Add(std::move(s)).CheckOK();
     }
     return set;
   }

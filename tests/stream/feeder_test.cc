@@ -27,13 +27,13 @@ TEST_F(FeederTest, ObservationsPerTimestamp) {
   u0.user_id = 0;
   u0.enter_time = 0;
   u0.points = {CellPoint(0), CellPoint(1), CellPoint(3)};
-  db.Add(u0);
+  db.Add(u0).CheckOK();
   // User 1: enters at t=2 at cell 2, survives to the horizon (no quit event).
   UserStream u1;
   u1.user_id = 1;
   u1.enter_time = 2;
   u1.points = {CellPoint(2), CellPoint(2), CellPoint(0)};
-  db.Add(u1);
+  db.Add(u1).CheckOK();
 
   const StreamFeeder feeder(db, grid_, states_);
   ASSERT_EQ(feeder.num_timestamps(), 5);
@@ -93,7 +93,7 @@ TEST_F(FeederTest, CellStreamsMatchDiscretization) {
   u.user_id = 0;
   u.enter_time = 0;
   u.points = {CellPoint(1), CellPoint(3), CellPoint(2)};
-  db.Add(u);
+  db.Add(u).CheckOK();
   const StreamFeeder feeder(db, grid_, states_);
   const CellStreamSet& cells = feeder.cell_streams();
   ASSERT_EQ(cells.streams().size(), 1u);
@@ -111,7 +111,7 @@ TEST(FeederClampTest, NonAdjacentMovementsAreClamped) {
   u.enter_time = 0;
   u.points = {grid.CellCenter(grid.Cell(0, 0)),
               grid.CellCenter(grid.Cell(0, 4))};
-  db.Add(u);
+  db.Add(u).CheckOK();
   const StreamFeeder feeder(db, grid, states);
   const TimestampBatch& b = feeder.Batch(1);
   ASSERT_EQ(b.observations.size(), 1u);

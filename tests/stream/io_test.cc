@@ -139,7 +139,7 @@ TEST(IoTest, WriteThenLoadRoundTrip) {
   s.user_id = 9;
   s.enter_time = 1;
   s.points = {Point{0.25, 0.75}, Point{0.5, 0.5}};
-  db.Add(s);
+  db.Add(s).CheckOK();
   const std::string path = TempPath("export.csv");
   ASSERT_TRUE(WriteStreamDatabaseCsv(db, path).ok());
 
@@ -159,7 +159,7 @@ TEST(IoTest, WriteCellStreams) {
   CellStream s;
   s.enter_time = 0;
   s.cells = {0, 3};
-  set.Add(s);
+  set.Add(s).CheckOK();
   const std::string path = TempPath("cells.csv");
   ASSERT_TRUE(WriteCellStreamsCsv(set, grid, path).ok());
   auto rows = ReadCsvFile(path);

@@ -28,9 +28,9 @@ TEST(UserStreamTest, TimeAccessors) {
 
 TEST(StreamDatabaseTest, ActiveCountsAndTotals) {
   StreamDatabase db(UnitBox(), 10);
-  db.Add(MakeStream(0, 0, 5));   // active 0..4
-  db.Add(MakeStream(1, 3, 4));   // active 3..6
-  db.Add(MakeStream(2, 8, 2));   // active 8..9
+  db.Add(MakeStream(0, 0, 5)).CheckOK();   // active 0..4
+  db.Add(MakeStream(1, 3, 4)).CheckOK();   // active 3..6
+  db.Add(MakeStream(2, 8, 2)).CheckOK();   // active 8..9
   EXPECT_EQ(db.TotalPoints(), 11u);
   EXPECT_NEAR(db.AverageLength(), 11.0 / 3.0, 1e-12);
   EXPECT_EQ(db.ActiveCount(0), 1u);
@@ -45,7 +45,7 @@ TEST(StreamDatabaseTest, ActiveCountsAndTotals) {
 
 TEST(StreamDatabaseTest, SubsampleKeepsApproximateFraction) {
   StreamDatabase db(UnitBox(), 5);
-  for (int i = 0; i < 2000; ++i) db.Add(MakeStream(i, 0, 3));
+  for (int i = 0; i < 2000; ++i) db.Add(MakeStream(i, 0, 3)).CheckOK();
   Rng rng(77);
   const StreamDatabase half = db.Subsample(0.5, rng);
   EXPECT_NEAR(half.streams().size(), 1000.0, 80.0);
@@ -54,7 +54,7 @@ TEST(StreamDatabaseTest, SubsampleKeepsApproximateFraction) {
 
 TEST(StreamDatabaseTest, SubsampleExtremes) {
   StreamDatabase db(UnitBox(), 5);
-  for (int i = 0; i < 100; ++i) db.Add(MakeStream(i, 0, 2));
+  for (int i = 0; i < 100; ++i) db.Add(MakeStream(i, 0, 2)).CheckOK();
   Rng rng(78);
   EXPECT_EQ(db.Subsample(0.0, rng).streams().size(), 0u);
   EXPECT_EQ(db.Subsample(1.0, rng).streams().size(), 100u);
@@ -76,11 +76,11 @@ TEST(CellStreamSetTest, ActiveCountsAndDensity) {
   CellStream a;
   a.enter_time = 0;
   a.cells = {0, 1, 2};
-  set.Add(a);
+  set.Add(a).CheckOK();
   CellStream b;
   b.enter_time = 1;
   b.cells = {1, 1};
-  set.Add(b);
+  set.Add(b).CheckOK();
   EXPECT_EQ(set.TotalPoints(), 5u);
   EXPECT_EQ(set.ActiveCount(0), 1u);
   EXPECT_EQ(set.ActiveCount(1), 2u);
@@ -89,6 +89,39 @@ TEST(CellStreamSetTest, ActiveCountsAndDensity) {
   const auto density = set.DensityCounts(4, 1);
   EXPECT_EQ(density[1], 2u);  // stream a at cell 1, stream b at cell 1
   EXPECT_EQ(density[0], 0u);
+}
+
+TEST(StreamDatabaseTest, AddRejectsMalformedStreamsWithoutAborting) {
+  // A bad input file must surface as a Status a long-running service can
+  // refuse — never a process abort.
+  StreamDatabase db(UnitBox(), 10);
+  EXPECT_EQ(db.Add(MakeStream(0, 0, 0)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Add(MakeStream(0, -1, 3)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Add(MakeStream(0, 8, 3)).code(), StatusCode::kInvalidArgument);
+  // The failed adds left nothing behind.
+  EXPECT_TRUE(db.streams().empty());
+  EXPECT_EQ(db.TotalPoints(), 0u);
+  EXPECT_TRUE(db.Add(MakeStream(0, 7, 3)).ok());  // [7, 10) just fits
+  EXPECT_EQ(db.streams().size(), 1u);
+}
+
+TEST(CellStreamSetTest, AddRejectsMalformedStreamsWithoutAborting) {
+  CellStreamSet set(5);
+  CellStream empty;
+  EXPECT_EQ(set.Add(empty).code(), StatusCode::kInvalidArgument);
+  CellStream negative;
+  negative.enter_time = -2;
+  negative.cells = {0};
+  EXPECT_EQ(set.Add(negative).code(), StatusCode::kInvalidArgument);
+  CellStream overflow;
+  overflow.enter_time = 3;
+  overflow.cells = {0, 1, 2};
+  EXPECT_EQ(set.Add(overflow).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(set.streams().empty());
+  EXPECT_EQ(set.TotalPoints(), 0u);
+  overflow.enter_time = 2;
+  EXPECT_TRUE(set.Add(overflow).ok());  // [2, 5) just fits
 }
 
 }  // namespace
