@@ -138,14 +138,13 @@ bool RetraSynEngine::ObservationEligible(const UserObservation& obs) const {
 
 void RetraSynEngine::EnsureUser(uint32_t user) {
   if (user < status_.size()) return;
-  // The bookkeeping is dense over user_index: indices must be the compact,
-  // cumulatively-assigned stream indices of the service layer / feeder, not
-  // arbitrary device ids. The cap turns a miskeyed id (which would silently
-  // allocate gigabytes) into an immediate, diagnosable failure while leaving
-  // ample headroom over paper-scale populations (1 or 9 bytes per index; see
-  // ROADMAP for index recycling over unbounded horizons).
-  constexpr uint32_t kMaxUserIndex = 1u << 30;  // ~1.07B stream indices
-  RETRASYN_CHECK_MSG(user < kMaxUserIndex,
+  // The bookkeeping is dense over user_index: indices must be the compact
+  // stream indices of the service layer / feeder (cumulative, or recycled
+  // per RetireQuitted), not arbitrary device ids. The cap turns a miskeyed
+  // id (which would silently allocate gigabytes) into an immediate,
+  // diagnosable failure — IngestSession::Tick() refuses to mint indices at
+  // the cap with kResourceExhausted before they ever reach this check.
+  RETRASYN_CHECK_MSG(user < kMaxStreamIndex,
                      "user_index must be a dense stream index");
   // Grow geometrically so the amortized cost per new user is O(1). The
   // report-slot schedule only exists under the Random allocation strategy.
@@ -156,9 +155,35 @@ void RetraSynEngine::EnsureUser(uint32_t user) {
   }
 }
 
+void RetraSynEngine::RetireQuitted(int64_t t) {
+  retired_last_round_.clear();
+  if (!config_.recycle_stream_indices) return;
+  // A quitted stream's last possible report was its quit round (the quit
+  // transition itself), so once that round leaves the w-window the index's
+  // whole contribution has left it too — Alg. 1's recycle boundary, applied
+  // to the index lifecycle. Resetting to kUnknown makes the slot
+  // indistinguishable from a never-used one, which is why the released bytes
+  // are identical whether the session re-issues the index or mints a fresh
+  // one. This runs before arrival registration: an enter in this very batch
+  // may already carry a retired index.
+  while (!quitted_at_.empty() &&
+         quitted_at_.front().first <= t - config_.window) {
+    for (uint32_t user : quitted_at_.front().second) {
+      status_[user] = UserStatus::kUnknown;
+      if (config_.allocation.kind == AllocationKind::kRandom) {
+        report_slot_[user] = kNoSlot;
+      }
+      retired_last_round_.push_back(user);
+    }
+    total_retired_ += quitted_at_.front().second.size();
+    quitted_at_.pop_front();
+  }
+}
+
 std::vector<uint32_t> RetraSynEngine::PrepareEligible(
     const TimestampBatch& batch) {
   const int64_t t = batch.t;
+  RetireQuitted(t);
   // Register arrivals as active (Alg. 1 line 7).
   for (const UserObservation& obs : batch.observations) {
     if (obs.is_enter) {
@@ -246,6 +271,7 @@ void RetraSynEngine::CommitStatuses(const TimestampBatch& batch,
   }
   // Quitting users never report again (Alg. 1 line 8); this overrides the
   // inactive mark for quitters that were chosen this round.
+  std::vector<uint32_t> quitted;
   for (const UserObservation& obs : batch.observations) {
     if (obs.is_quit) {
       EnsureUser(obs.user_index);
@@ -253,8 +279,10 @@ void RetraSynEngine::CommitStatuses(const TimestampBatch& batch,
       if (config_.allocation.kind == AllocationKind::kRandom) {
         report_slot_[obs.user_index] = kNoSlot;
       }
+      if (config_.recycle_stream_indices) quitted.push_back(obs.user_index);
     }
   }
+  if (!quitted.empty()) quitted_at_.emplace_back(t, std::move(quitted));
 }
 
 void RetraSynEngine::Observe(const TimestampBatch& batch) {

@@ -139,6 +139,18 @@ struct RetraSynConfig {
   /// When false, synthesis samples through legacy linear scans instead of the
   /// cached alias tables (A/B benchmarking; distributionally identical).
   bool use_sampler_cache = true;
+  /// Stream-index lifecycle over unbounded horizons. When true (default) the
+  /// service's IngestSession re-issues the index of a quitted stream once its
+  /// quit round has left the w-window — the last round the stream could
+  /// possibly have reported in — and the engine retires the matching dense
+  /// status/report-slot entries by the same rule, so per-user state is
+  /// bounded by the peak concurrent population plus one window of churn
+  /// instead of growing with every stream ever seen. Retirement is a
+  /// deterministic function of the sealed batch sequence alone (never of
+  /// closer timing or RNG), so Inline, Async, and journal replay all derive
+  /// byte-identical index assignments, and the released bytes are identical
+  /// with recycling on or off. false = legacy cumulative indices for A/B.
+  bool recycle_stream_indices = true;
   /// kAsync moves the round-closing work off the ingest thread onto a
   /// dedicated closer worker per service (the parallel synthesis inside still
   /// uses thread_pool/num_threads). For a fixed (seed, num_threads) the
@@ -213,6 +225,23 @@ class RetraSynEngine : public StreamReleaseEngine {
   /// when the engine runs serially.
   const ThreadPool* thread_pool() const { return pool_.get(); }
 
+  /// Stream indices retired at the start of the last Observe(): their stream
+  /// quit >= window rounds before that batch, so the dense slots were reset
+  /// and the index may carry a new stream from that batch on. Empty unless
+  /// recycle_stream_indices is on (population division — budget division
+  /// keeps no per-user state). The service copies this into the round's
+  /// RoundRelease, so the retired flow rides the round-handler path: under
+  /// SyncPolicy::kAsync it is produced and consumed on the closer worker,
+  /// never racing the ingest thread.
+  const std::vector<uint32_t>& retired_last_round() const {
+    return retired_last_round_;
+  }
+  /// Total indices retired over the engine's lifetime.
+  uint64_t total_retired() const { return total_retired_; }
+  /// Current size of the dense per-user bookkeeping — bounded by the index
+  /// high-water mark, which recycling keeps at O(peak live + window churn).
+  size_t dense_user_slots() const { return status_.size(); }
+
  private:
   enum class UserStatus : uint8_t { kUnknown = 0, kActive, kInactive, kQuitted };
 
@@ -220,6 +249,12 @@ class RetraSynEngine : public StreamReleaseEngine {
 
   /// Grows the dense per-user bookkeeping to cover \p user.
   void EnsureUser(uint32_t user);
+
+  /// Resets the dense slots of indices whose stream quit at or before
+  /// t - window (their last possible report has left the w-window), making
+  /// them safe for the session to re-issue. No-op under
+  /// recycle_stream_indices = false.
+  void RetireQuitted(int64_t t);
 
   /// Registers arrivals, recycles users whose report left the window, and
   /// returns the indices (into batch.observations) of eligible reporters.
@@ -253,6 +288,14 @@ class RetraSynEngine : public StreamReleaseEngine {
   std::vector<UserStatus> status_;
   std::vector<int64_t> report_slot_;  ///< kRandom only; kNoSlot = unscheduled
   std::deque<std::pair<int64_t, std::vector<uint32_t>>> reported_at_;
+  /// Indices whose stream quit, bucketed by quit round; a bucket retires
+  /// once its round leaves the w-window. Empty under
+  /// recycle_stream_indices = false. An index sits in at most one bucket:
+  /// it can only quit again after being re-issued, which happens strictly
+  /// after its previous bucket retired.
+  std::deque<std::pair<int64_t, std::vector<uint32_t>>> quitted_at_;
+  std::vector<uint32_t> retired_last_round_;
+  uint64_t total_retired_ = 0;
 
   uint64_t total_reports_ = 0;
 };

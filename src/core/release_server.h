@@ -13,11 +13,19 @@
 // ingested horizon (including negative ones) answer zero/empty, and range
 // queries are clamped to the grid and horizon instead of indexing out of
 // bounds.
+//
+// Retention: by default every round's density is kept forever, which grows
+// without bound on an infinite stream — the same leak class as cumulative
+// stream indices. Construct with a retention horizon to keep only the
+// trailing `retention_rounds` rounds; evicted timestamps answer zero/empty,
+// exactly like timestamps that were never ingested (the out-of-horizon
+// contract, extended backwards).
 
 #ifndef RETRASYN_CORE_RELEASE_SERVER_H_
 #define RETRASYN_CORE_RELEASE_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/engine.h"
@@ -29,7 +37,11 @@ namespace retrasyn {
 
 class ReleaseServer : public ReleaseSink {
  public:
-  explicit ReleaseServer(const Grid& grid);
+  /// \param retention_rounds  Query horizon: how many trailing rounds stay
+  /// queryable. 0 (default) retains everything — only suitable for bounded
+  /// streams; long-running deployments should set it to their largest query
+  /// window so memory stays O(retention * cells) instead of O(horizon).
+  explicit ReleaseServer(const Grid& grid, int64_t retention_rounds = 0);
 
   /// ReleaseSink: records one closed round. Rounds must arrive in strictly
   /// increasing timestamp order (the service guarantees this); a server
@@ -50,15 +62,23 @@ class ReleaseServer : public ReleaseSink {
   /// Number of ingested timestamps (also the next expected timestamp).
   int64_t horizon() const { return next_t_; }
 
+  /// The configured retention horizon; 0 = unlimited.
+  int64_t retention_rounds() const { return retention_; }
+
+  /// The earliest timestamp still retained (0 until eviction starts).
+  /// Retained rounds are [first_retained(), horizon()).
+  int64_t first_retained() const { return first_retained_; }
+
   /// Released per-cell density at timestamp \p t. All-zero for timestamps
-  /// outside the ingested horizon (not yet ingested, or negative).
+  /// outside the retained horizon (not yet ingested, negative, or evicted
+  /// by the retention bound).
   const std::vector<uint32_t>& DensityAt(int64_t t) const;
 
-  /// Released active population at \p t; zero outside the ingested horizon.
+  /// Released active population at \p t; zero outside the retained horizon.
   uint64_t ActiveAt(int64_t t) const;
 
-  /// Points inside a spatio-temporal range query (clamped to the ingested
-  /// horizon and the grid bounds).
+  /// Points inside a spatio-temporal range query (clamped to the retained
+  /// horizon and the grid bounds; evicted rounds contribute zero).
   uint64_t RangeCount(const RangeQuery& query) const;
 
   /// The k busiest cells over [t_start, t_end), busiest first.
@@ -77,10 +97,15 @@ class ReleaseServer : public ReleaseSink {
   Status Record(int64_t t, std::vector<uint32_t> density, uint64_t active);
 
   const Grid* grid_;
-  std::vector<uint32_t> zeros_;                 ///< out-of-horizon answer
-  std::vector<std::vector<uint32_t>> density_;  ///< [t][cell]
-  std::vector<uint64_t> active_;                ///< per-timestamp totals
-  int64_t next_t_ = 0;  ///< next expected timestamp == rows recorded
+  std::vector<uint32_t> zeros_;  ///< out-of-retention answer
+  /// Retained rounds, densities and totals; index 0 holds timestamp
+  /// first_retained_. Deques so retention eviction pops the front in O(1)
+  /// without invalidating DensityAt's returned references to other rounds.
+  std::deque<std::vector<uint32_t>> density_;
+  std::deque<uint64_t> active_;
+  int64_t next_t_ = 0;           ///< next expected timestamp
+  int64_t retention_ = 0;        ///< trailing rounds kept; 0 = unlimited
+  int64_t first_retained_ = 0;   ///< timestamp held at density_[0]
 };
 
 }  // namespace retrasyn

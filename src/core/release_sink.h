@@ -20,6 +20,12 @@ struct RoundRelease {
   int64_t t = 0;                   ///< the just-closed timestamp
   std::vector<uint32_t> density;   ///< per-cell live synthetic density
   uint64_t active = 0;             ///< total live synthetic population
+  /// Stream indices the engine retired at this round — their stream quit a
+  /// full w-window ago, so the ingest session may have re-issued them from
+  /// this round on (RetraSynConfig::recycle_stream_indices). Observability
+  /// only; empty when recycling is off or the engine keeps no per-index
+  /// state (budget division, custom engines).
+  std::vector<uint32_t> retired;
 };
 
 class ReleaseSink {

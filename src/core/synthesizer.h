@@ -36,6 +36,13 @@
 // + random_init=true reproduce the NoEQ variant of SV-D and the behaviour of
 // the adapted LDP-IDS baselines (streams never terminate and the population
 // is frozen at its initial size).
+//
+// The live set is index-agnostic by design: synthetic streams are anonymous
+// (identified only by position in live_), never keyed by the real stream
+// indices the engine observes. Stream-index recycling
+// (RetraSynConfig::recycle_stream_indices) therefore cannot alias a new
+// real stream onto an old synthetic one — only the per-round active *count*
+// crosses from collection into synthesis.
 
 #ifndef RETRASYN_CORE_SYNTHESIZER_H_
 #define RETRASYN_CORE_SYNTHESIZER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <string>
 #include <utility>
 
@@ -24,9 +25,18 @@ Status ValidateLocation(const Point& p) {
 
 }  // namespace
 
-IngestSession::IngestSession(const StateSpace& states, RoundHandler handler)
-    : states_(&states), grid_(&states.grid()), handler_(std::move(handler)) {
+IngestSession::IngestSession(const StateSpace& states, RoundHandler handler,
+                             IngestSessionOptions options)
+    : states_(&states),
+      grid_(&states.grid()),
+      handler_(std::move(handler)),
+      options_(options) {
   RETRASYN_CHECK(handler_ != nullptr);
+  // Service-layer callers validate first (ServiceOptions::Validate) and
+  // surface a Status; reaching here with a window-less recycling config is a
+  // programming bug.
+  RETRASYN_CHECK_MSG(!options_.recycle_stream_indices || options_.window >= 1,
+                     "recycling requires a w-window of at least 1");
 }
 
 Status IngestSession::Enter(uint64_t user, const Point& location) {
@@ -142,6 +152,12 @@ size_t IngestSession::num_pending_events() const {
   return n;
 }
 
+size_t IngestSession::num_retiring_indices() const {
+  size_t n = 0;
+  for (const auto& [round, indices] : quitted_at_) n += indices.size();
+  return n;
+}
+
 Status IngestSession::Tick() {
   if (journal_ != nullptr) {
     // A poisoned journal fails the Tick before the handler can consume the
@@ -185,24 +201,61 @@ Status IngestSession::Tick() {
     return a.user != b.user ? a.user < b.user : a.phase < b.phase;
   });
 
+  // Stream indices retiring this round: quitted_at_ buckets whose quit round
+  // has left the w-window as of the round being sealed. Only *peeked* here —
+  // nothing is popped until the handler succeeds — and purely a function of
+  // the sealed batch sequence, so a retried Tick(), the async closer, and
+  // journal replay all re-derive the identical assignment.
+  size_t retiring_buckets = 0;
+  size_t retiring_count = 0;
+  while (retiring_buckets < quitted_at_.size() &&
+         quitted_at_[retiring_buckets].first <=
+             open_round_ - options_.window) {
+    retiring_count += quitted_at_[retiring_buckets].second.size();
+    ++retiring_buckets;
+  }
+  const size_t reusable = free_indices_.size() + retiring_count;
+
+  // Cursor over the virtual concatenation [free_indices_ | retiring buckets
+  // | fresh counter], consumed in that (oldest-retired-first) order.
+  size_t free_cursor = 0;
+  size_t bucket = 0;
+  size_t bucket_pos = 0;
+  uint32_t next_index = next_stream_index_;
+  auto next_stream = [&]() -> uint32_t {
+    if (free_cursor < free_indices_.size()) return free_indices_[free_cursor++];
+    if (free_cursor < reusable) {
+      ++free_cursor;
+      while (bucket_pos >= quitted_at_[bucket].second.size()) {
+        ++bucket;
+        bucket_pos = 0;
+      }
+      return quitted_at_[bucket].second[bucket_pos++];
+    }
+    return next_index++;
+  };
+
   // Build the batch without mutating any session state: a failing handler
   // must leave the round open with its events intact, and a retried Tick()
   // must reproduce the identical batch — including the stream indices, which
-  // are therefore drawn from a local counter and committed only on success.
+  // are therefore drawn from local cursors and committed only on success.
   TimestampBatch batch;
   batch.t = open_round_;
   batch.observations.reserve(entries.size());
   std::unordered_map<uint64_t, ActiveStream> next_active;
   next_active.reserve(entries.size());
-  uint32_t next_index = next_stream_index_;
+  std::vector<uint32_t> quit_indices;
   for (const Entry& e : entries) {
     UserObservation obs;
     if (e.phase == 0) {
       obs.user_index = active_.at(e.user).stream_index;
       obs.state = states_->QuitIndex(e.cell);
       obs.is_quit = true;
+      if (options_.recycle_stream_indices) {
+        quit_indices.push_back(obs.user_index);
+      }
     } else if (e.is_enter) {
-      obs.user_index = next_index++;
+      obs.user_index = next_stream();
       obs.state = states_->EnterIndex(e.cell);
       obs.is_enter = true;
       next_active[e.user] = ActiveStream{obs.user_index, e.cell};
@@ -217,6 +270,21 @@ Status IngestSession::Tick() {
     }
     batch.observations.push_back(obs);
   }
+  if (next_index > kMaxStreamIndex) {
+    // Refuse before the handler (and before the engine's dense bookkeeping
+    // would CHECK-abort): the round stays open with its events intact. The
+    // caller can shed pending enters (Quit cancels them) and retry, but a
+    // deployment genuinely holding ~1.07B live-or-window-retained streams
+    // has outgrown the 2^30 index space.
+    return Status::ResourceExhausted(
+        "stream-index space exhausted sealing round " +
+        std::to_string(open_round_) + ": " +
+        std::to_string(next_index - next_stream_index_) +
+        " fresh indices needed past high-water mark " +
+        std::to_string(next_stream_index_) + " (cap " +
+        std::to_string(kMaxStreamIndex) + ", " + std::to_string(reusable) +
+        " recycled indices were available)");
+  }
 
   RETRASYN_RETURN_NOT_OK(handler_(std::move(batch)));
   // The handler consumed the round; its content is final. Journal the round
@@ -227,6 +295,32 @@ Status IngestSession::Tick() {
   // entry point: the on-disk journal is at most this one boundary behind.
   const Status journaled = JournalAppend(JournalEvent::Tick());
   next_stream_index_ = next_index;
+  if (options_.recycle_stream_indices) {
+    // Commit the index lifecycle exactly as the cursors consumed it: drop
+    // the used prefix of the free list, retire the peeked buckets (their
+    // unconsumed suffix joins the free list), and bucket this round's quits
+    // for retirement once the window passes them.
+    const size_t consumed_free =
+        std::min(free_cursor, free_indices_.size());
+    const size_t consumed_retiring = free_cursor - consumed_free;
+    free_indices_.erase(free_indices_.begin(),
+                        free_indices_.begin() +
+                            static_cast<std::ptrdiff_t>(consumed_free));
+    size_t skip = consumed_retiring;
+    for (size_t b = 0; b < retiring_buckets; ++b) {
+      for (uint32_t index : quitted_at_.front().second) {
+        if (skip > 0) {
+          --skip;
+          continue;
+        }
+        free_indices_.push_back(index);
+      }
+      quitted_at_.pop_front();
+    }
+    if (!quit_indices.empty()) {
+      quitted_at_.emplace_back(open_round_, std::move(quit_indices));
+    }
+  }
   active_ = std::move(next_active);
   pending_.clear();
   num_pending_enters_ = 0;

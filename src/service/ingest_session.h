@@ -24,12 +24,26 @@
 // closes every round up to a target timestamp. A user that quit — explicitly
 // or by gap — may Enter again later; that starts a fresh stream.
 //
+// Stream-index lifecycle: each new stream needs an engine-facing index, and
+// over an unbounded horizon a cumulative counter leaks — the engine's dense
+// per-index state grows with the highest index ever minted, even at constant
+// live population. With IngestSessionOptions::recycle_stream_indices the
+// session instead retires an index once its stream's quit round has left the
+// w-window (the last round the stream could have reported in) and re-issues
+// retired indices, oldest first, before minting fresh ones. Retirement is a
+// pure function of the sealed batch sequence — never of round-handler timing
+// — so Inline and Async round closing and journal replay all assign
+// byte-identical indices. Fresh indices are capped at kMaxStreamIndex;
+// Tick() fails with kResourceExhausted (round intact, retryable) instead of
+// overflowing into the engine.
+//
 // All entry points validate and return retrasyn::Status instead of crashing.
 
 #ifndef RETRASYN_SERVICE_INGEST_SESSION_H_
 #define RETRASYN_SERVICE_INGEST_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +55,19 @@
 
 namespace retrasyn {
 
+/// \brief Index-lifecycle knobs for an IngestSession. The service layer
+/// derives these from RetraSynConfig (recycle_stream_indices + window); the
+/// session's consumer — the engine behind the round handler — must apply the
+/// same retirement rule to its dense per-index state (RetraSynEngine does;
+/// see RetraSynEngine::retired_last_round()).
+struct IngestSessionOptions {
+  /// Re-issue the index of a quitted stream once its quit round has left the
+  /// w-window, instead of growing the cumulative counter forever.
+  bool recycle_stream_indices = false;
+  /// The w-event window governing retirement; must be >= 1 when recycling.
+  int window = 0;
+};
+
 class IngestSession {
  public:
   /// Receives each closed round's batch (timestamps are sequential from 0).
@@ -51,7 +78,8 @@ class IngestSession {
   /// passed by value so an asynchronous handler can take ownership.
   using RoundHandler = std::function<Status(TimestampBatch batch)>;
 
-  IngestSession(const StateSpace& states, RoundHandler handler);
+  IngestSession(const StateSpace& states, RoundHandler handler,
+                IngestSessionOptions options = {});
 
   /// Journals every accepted event through \p journal (not owned; may be
   /// null to detach). Appends happen after validation and *before* the
@@ -98,6 +126,24 @@ class IngestSession {
   /// Events buffered for the open round.
   size_t num_pending_events() const;
 
+  /// High-water mark of the cumulative index counter: the next index a fresh
+  /// stream would mint when no retired index is available. With recycling
+  /// this stays bounded by peak concurrent streams + one window of churn;
+  /// without it, it counts every stream ever started.
+  uint32_t index_high_water() const { return next_stream_index_; }
+
+  /// Retired indices currently available for reuse.
+  size_t num_free_indices() const { return free_indices_.size(); }
+
+  /// Quitted indices still inside the w-window, awaiting retirement.
+  size_t num_retiring_indices() const;
+
+  /// Test-only: fast-forwards the cumulative counter so the kMaxStreamIndex
+  /// exhaustion path is reachable without minting a billion streams.
+  void set_next_stream_index_for_testing(uint32_t next) {
+    next_stream_index_ = next;
+  }
+
  private:
   struct PendingRound {
     bool quit = false;          ///< explicit Quit buffered this round
@@ -117,6 +163,7 @@ class IngestSession {
   const StateSpace* states_;
   const Grid* grid_;
   RoundHandler handler_;
+  IngestSessionOptions options_;
   JournalWriter* journal_ = nullptr;  ///< not owned; null = no journaling
   int64_t open_round_ = 0;
   uint32_t next_stream_index_ = 0;
@@ -126,6 +173,18 @@ class IngestSession {
   /// Events buffered for the open round.
   std::unordered_map<uint64_t, PendingRound> pending_;
   size_t num_pending_enters_ = 0;
+
+  // Index lifecycle (recycle_stream_indices only; both containers stay empty
+  // otherwise). An index lives in at most one place: a quitted_at_ bucket
+  // while its quit round is inside the w-window, then free_indices_ until it
+  // is re-issued.
+  /// Quitted indices bucketed by the round their quit observation sealed
+  /// into; a bucket retires into free_indices_ once that round leaves the
+  /// w-window. Within a bucket, indices follow the batch's user-id order —
+  /// deterministic, like everything else about retirement.
+  std::deque<std::pair<int64_t, std::vector<uint32_t>>> quitted_at_;
+  /// Retired indices awaiting reuse, FIFO in retirement order.
+  std::deque<uint32_t> free_indices_;
 };
 
 }  // namespace retrasyn

@@ -55,6 +55,9 @@ uint64_t DeploymentFingerprint(const StateSpace& states,
   HashMixU64(config.seed, &h);
   HashMixU64(static_cast<uint64_t>(config.num_threads), &h);
   HashMixU64(config.use_sampler_cache ? 1 : 0, &h);
+  // Recycling changes which stream indices replayed enters resolve to, so a
+  // journal must never be replayed under the other setting.
+  HashMixU64(config.recycle_stream_indices ? 1 : 0, &h);
   return h;
 }
 
@@ -117,8 +120,12 @@ TrajectoryService::TrajectoryService(const StateSpace& states,
       engine_(engine),
       journal_(std::move(journal)) {
   retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
+  IngestSessionOptions session_options;
+  session_options.recycle_stream_indices = options.recycle_stream_indices;
+  session_options.window = options.recycle_window;
   session_ = std::make_unique<IngestSession>(
-      states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); });
+      states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); },
+      session_options);
   if (journal_ != nullptr) session_->AttachJournal(journal_.get());
   if (options.sync_policy == SyncPolicy::kAsync && !defer_async_closer) {
     ArmCloser(options);
@@ -149,6 +156,8 @@ ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
   options.journal_dir = config.journal_dir;
   options.journal.fsync = config.journal_fsync;
   options.journal.segment_bytes = config.journal_segment_bytes;
+  options.recycle_stream_indices = config.recycle_stream_indices;
+  options.recycle_window = config.window;
   return options;
 }
 
@@ -160,6 +169,12 @@ Status ServiceOptions::Validate() const {
   }
   if (!journal_dir.empty()) {
     RETRASYN_RETURN_NOT_OK(journal.Validate());
+  }
+  if (recycle_stream_indices && recycle_window < 1) {
+    return Status::InvalidArgument(
+        "recycle_stream_indices requires recycle_window >= 1 (the w-event "
+        "window governing when a quitted stream's index retires), got " +
+        std::to_string(recycle_window));
   }
   return Status::OK();
 }
@@ -360,6 +375,11 @@ Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) 
   engine_->Observe(batch);
   RoundRelease round;
   round.t = batch.t;
+  // Surface the engine's retired-index set on the round-handler path. Under
+  // SyncPolicy::kAsync both the retire (inside Observe) and this copy happen
+  // on the closer worker — the ingest thread's own, independently derived
+  // retirement never races it.
+  if (retrasyn_ != nullptr) round.retired = retrasyn_->retired_last_round();
   bool have_sinks;
   {
     std::lock_guard<std::mutex> l(sinks_mu_);

@@ -64,6 +64,15 @@ struct ServiceOptions {
   /// existing one through TrajectoryService::Recover instead.
   std::string journal_dir;
   JournalOptions journal;
+  /// Stream-index recycling for the session (IngestSessionOptions): re-issue
+  /// a quitted stream's index once its quit round has left recycle_window
+  /// rounds. Default OFF here — a custom engine must tolerate index reuse
+  /// (reset its per-index state by the same quit-round + window rule, as
+  /// RetraSynEngine does) before a caller switches it on. Create() copies
+  /// RetraSynConfig::recycle_stream_indices / window, so RetraSyn services
+  /// recycle by default.
+  bool recycle_stream_indices = false;
+  int recycle_window = 0;
 
   /// The service-layer fields of \p config, verbatim.
   static ServiceOptions FromConfig(const RetraSynConfig& config);

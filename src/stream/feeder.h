@@ -23,6 +23,16 @@
 
 namespace retrasyn {
 
+/// \brief Hard cap on engine-facing stream indices (valid indices are
+/// [0, kMaxStreamIndex)). The engine's per-user bookkeeping is dense over
+/// these indices, so the cap turns a miskeyed device id (which would silently
+/// allocate gigabytes) into an immediate, diagnosable failure while leaving
+/// ample headroom over paper-scale populations. IngestSession::Tick() refuses
+/// to mint an index at the cap with kResourceExhausted; with index recycling
+/// (RetraSynConfig::recycle_stream_indices) the cap is only reachable at
+/// ~1.07B streams live or retained inside one w-window.
+constexpr uint32_t kMaxStreamIndex = 1u << 30;
+
 struct UserObservation {
   uint32_t user_index = 0;  ///< index into StreamDatabase::streams()
   StateId state = kInvalidState;

@@ -222,5 +222,81 @@ TEST(EngineTest, RandomAllocationRejectedForBudgetDivision) {
                "only defined under population division");
 }
 
+TimestampBatch QuitBatch(const StateSpace& states, int64_t t, uint32_t index,
+                         CellId at) {
+  TimestampBatch batch;
+  batch.t = t;
+  UserObservation obs;
+  obs.user_index = index;
+  obs.state = states.QuitIndex(at);
+  obs.is_quit = true;
+  batch.observations.push_back(obs);
+  return batch;
+}
+
+TimestampBatch EnterBatch(const StateSpace& states, int64_t t, uint32_t index,
+                          CellId at) {
+  TimestampBatch batch;
+  batch.t = t;
+  batch.num_active = 1;
+  UserObservation obs;
+  obs.user_index = index;
+  obs.state = states.EnterIndex(at);
+  obs.is_enter = true;
+  batch.observations.push_back(obs);
+  return batch;
+}
+
+TEST(EngineTest, RetiresQuitIndexExactlyOneWindowAfterQuit) {
+  // Hand-built batches pin the retire boundary: a stream quitting at round q
+  // surfaces in retired_last_round() at the batch for q + window, not before.
+  const EngineFixture fx(10, 20);
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kPopulation, AllocationKind::kAdaptive);
+  config.window = 3;
+  RetraSynEngine engine(fx.states, config);
+  const CellId cell = fx.grid.Cell(1, 1);
+
+  engine.Observe(EnterBatch(fx.states, 0, 0, cell));
+  engine.Observe(QuitBatch(fx.states, 1, 0, cell));
+  for (int64_t t = 2; t < 4; ++t) {
+    TimestampBatch empty;
+    empty.t = t;
+    engine.Observe(empty);
+    EXPECT_TRUE(engine.retired_last_round().empty()) << "t=" << t;
+  }
+  TimestampBatch boundary;
+  boundary.t = 4;  // quit round 1 + window 3
+  engine.Observe(boundary);
+  ASSERT_EQ(engine.retired_last_round().size(), 1u);
+  EXPECT_EQ(engine.retired_last_round()[0], 0u);
+  EXPECT_EQ(engine.total_retired(), 1u);
+  // The slot is reusable: a new stream on index 0 is eligible again (it gets
+  // registered active and can be chosen), and the dense state never grew
+  // past the single slot.
+  engine.Observe(EnterBatch(fx.states, 5, 0, cell));
+  EXPECT_EQ(engine.dense_user_slots(), 1u);
+  EXPECT_FALSE(engine.report_tracker().HasViolation());
+}
+
+TEST(EngineTest, RecyclingOffKeepsQuittedSlotsForever) {
+  const EngineFixture fx(10, 20);
+  RetraSynConfig config =
+      BaseConfig(DivisionStrategy::kPopulation, AllocationKind::kAdaptive);
+  config.window = 3;
+  config.recycle_stream_indices = false;
+  RetraSynEngine engine(fx.states, config);
+  const CellId cell = fx.grid.Cell(1, 1);
+  engine.Observe(EnterBatch(fx.states, 0, 0, cell));
+  engine.Observe(QuitBatch(fx.states, 1, 0, cell));
+  for (int64_t t = 2; t < 8; ++t) {
+    TimestampBatch empty;
+    empty.t = t;
+    engine.Observe(empty);
+    EXPECT_TRUE(engine.retired_last_round().empty()) << "t=" << t;
+  }
+  EXPECT_EQ(engine.total_retired(), 0u);
+}
+
 }  // namespace
 }  // namespace retrasyn

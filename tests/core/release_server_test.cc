@@ -260,6 +260,91 @@ TEST(ReleaseServerTest, OutOfOrderAndDuplicateRoundsRejected) {
   EXPECT_EQ(server.horizon(), 3);
 }
 
+RoundRelease MakeRound(const Grid& grid, int64_t t, uint32_t fill) {
+  RoundRelease round;
+  round.t = t;
+  round.density.assign(grid.NumCells(), fill);
+  round.active = static_cast<uint64_t>(fill) * grid.NumCells();
+  return round;
+}
+
+TEST(ReleaseServerTest, RetentionEvictsOldRoundsAndTheyAnswerZero) {
+  // Bounded retention: only the trailing retention_rounds stay queryable;
+  // evicted timestamps answer zero/empty exactly like never-ingested ones.
+  const Grid grid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 2);
+  ReleaseServer server(grid, /*retention_rounds=*/5);
+  for (int64_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(server.OnRound(MakeRound(grid, t, static_cast<uint32_t>(t + 1)))
+                    .ok());
+  }
+  EXPECT_EQ(server.horizon(), 20);
+  EXPECT_EQ(server.retention_rounds(), 5);
+  EXPECT_EQ(server.first_retained(), 15);
+  // Retained rounds answer their recorded values...
+  for (int64_t t = 15; t < 20; ++t) {
+    EXPECT_EQ(server.DensityAt(t)[0], static_cast<uint32_t>(t + 1));
+    EXPECT_EQ(server.ActiveAt(t),
+              static_cast<uint64_t>(t + 1) * grid.NumCells());
+  }
+  // ...evicted and out-of-horizon ones answer zero.
+  for (int64_t t : {-1L, 0L, 7L, 14L, 20L, 99L}) {
+    EXPECT_EQ(server.ActiveAt(t), 0u) << "t=" << t;
+    for (uint32_t c : server.DensityAt(t)) EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(ReleaseServerTest, RetentionClampsRangeQueriesAndTrailingMean) {
+  const Grid grid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 2);
+  ReleaseServer server(grid, /*retention_rounds=*/4);
+  for (int64_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(server.OnRound(MakeRound(grid, t, 2)).ok());
+  }
+  ASSERT_EQ(server.first_retained(), 6);
+  // A range spanning evicted rounds counts only the retained suffix: rounds
+  // [6, 10) x 4 cells x 2 points.
+  RangeQuery query;
+  query.t_start = 0;
+  query.t_end = 10;
+  query.row_lo = 0;
+  query.row_hi = grid.k() - 1;
+  query.col_lo = 0;
+  query.col_hi = grid.k() - 1;
+  EXPECT_EQ(server.RangeCount(query), 4u * 4u * 2u);
+  // A fully evicted range counts zero.
+  query.t_end = 5;
+  EXPECT_EQ(server.RangeCount(query), 0u);
+  // TrailingMeanActive over a window wider than retention averages the
+  // retained suffix only (all rounds carry 8 actives here).
+  EXPECT_DOUBLE_EQ(server.TrailingMeanActive(100), 8.0);
+  // Hotspots aggregate only retained rounds — still well-defined.
+  EXPECT_EQ(server.TopHotspots(0, 10, 1).size(), 1u);
+}
+
+TEST(ReleaseServerTest, RetentionFastForwardsLargeBackfillGaps) {
+  // A server with retention subscribed mid-stream far past its horizon must
+  // not materialize a zero row per missed round.
+  const Grid grid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 2);
+  ReleaseServer server(grid, /*retention_rounds=*/8);
+  ASSERT_TRUE(server.OnRound(MakeRound(grid, 0, 1)).ok());
+  ASSERT_TRUE(server.OnRound(MakeRound(grid, 1000000, 3)).ok());
+  EXPECT_EQ(server.horizon(), 1000001);
+  EXPECT_GE(server.first_retained(), 1000001 - 8);
+  EXPECT_EQ(server.DensityAt(1000000)[0], 3u);
+  EXPECT_EQ(server.ActiveAt(0), 0u);        // evicted
+  EXPECT_EQ(server.ActiveAt(999999), 0u);   // backfilled zero or evicted
+}
+
+TEST(ReleaseServerTest, UnlimitedRetentionKeepsLegacyBehavior) {
+  const Grid grid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 2);
+  ReleaseServer server(grid);
+  for (int64_t t = 0; t < 50; ++t) {
+    ASSERT_TRUE(server.OnRound(MakeRound(grid, t, 1)).ok());
+  }
+  EXPECT_EQ(server.retention_rounds(), 0);
+  EXPECT_EQ(server.first_retained(), 0);
+  EXPECT_EQ(server.ActiveAt(0), 4u);
+}
+
 TEST(PrivacyExtremesTest, WindowOneIsEventLevel) {
   // w = 1 degenerates to event-level LDP (paper SII-B): every user may
   // report at every timestamp under population division.

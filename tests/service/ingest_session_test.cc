@@ -502,6 +502,219 @@ TEST(IngestSessionTest, BatchInvariantUnderArrivalPermutations) {
   }
 }
 
+// --- Stream-index lifecycle (recycling + the 2^30 cap) ---------------------
+
+IngestSessionOptions Recycling(int window) {
+  IngestSessionOptions options;
+  options.recycle_stream_indices = true;
+  options.window = window;
+  return options;
+}
+
+TEST(IngestSessionTest, RecyclesQuitIndexOncePastWindow) {
+  SessionFixture fx;
+  std::vector<TimestampBatch> batches;
+  IngestSession session(
+      fx.states,
+      [&batches](TimestampBatch batch) {
+        batches.push_back(std::move(batch));
+        return Status::OK();
+      },
+      Recycling(/*window=*/2));
+
+  // t=0: A (idx 0) and B (idx 1) enter.
+  ASSERT_TRUE(session.Enter(100, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Enter(200, fx.CellPoint(1, 1)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  // t=1: A quits (quit round 1); B moves.
+  ASSERT_TRUE(session.Quit(100).ok());
+  ASSERT_TRUE(session.Move(200, fx.CellPoint(1, 2)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  EXPECT_EQ(session.num_retiring_indices(), 1u);
+  // t=2: quit round 1 is still inside the window (1 > 2 - 2), so a new
+  // enter must mint a fresh index.
+  ASSERT_TRUE(session.Enter(300, fx.CellPoint(2, 2)).ok());
+  ASSERT_TRUE(session.Move(200, fx.CellPoint(1, 1)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  EXPECT_EQ(batches[2].observations[1].user_index, 2u);  // user 300
+  EXPECT_EQ(session.num_free_indices(), 0u);
+  // t=3: quit round 1 <= 3 - 2 — index 0 retires and the next enter takes it.
+  ASSERT_TRUE(session.Enter(400, fx.CellPoint(3, 3)).ok());
+  ASSERT_TRUE(session.Move(200, fx.CellPoint(1, 2)).ok());
+  ASSERT_TRUE(session.Move(300, fx.CellPoint(2, 3)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  const TimestampBatch& reuse = batches[3];
+  ASSERT_EQ(reuse.observations.size(), 3u);
+  bool saw_reuse = false;
+  for (const UserObservation& obs : reuse.observations) {
+    if (obs.is_enter) {
+      EXPECT_EQ(obs.user_index, 0u);  // recycled, not a fresh 3
+      saw_reuse = true;
+    }
+  }
+  EXPECT_TRUE(saw_reuse);
+  EXPECT_EQ(session.index_high_water(), 3u);
+  EXPECT_EQ(session.num_retiring_indices(), 0u);
+  EXPECT_EQ(session.num_free_indices(), 0u);
+}
+
+TEST(IngestSessionTest, RecycledIndicesReusedOldestFirst) {
+  SessionFixture fx;
+  std::vector<TimestampBatch> batches;
+  IngestSession session(
+      fx.states,
+      [&batches](TimestampBatch batch) {
+        batches.push_back(std::move(batch));
+        return Status::OK();
+      },
+      Recycling(/*window=*/1));
+
+  // Three streams enter; they quit in rounds 1 (idx 1), 2 (idx 0 and 2).
+  for (uint64_t u : {0u, 1u, 2u}) {
+    ASSERT_TRUE(session.Enter(u, fx.CellPoint(u % 4, u % 4)).ok());
+  }
+  ASSERT_TRUE(session.Tick().ok());  // t=0
+  ASSERT_TRUE(session.Quit(1).ok());
+  ASSERT_TRUE(session.Move(0, fx.CellPoint(0, 1)).ok());
+  ASSERT_TRUE(session.Move(2, fx.CellPoint(2, 3)).ok());
+  ASSERT_TRUE(session.Tick().ok());  // t=1: quit bucket (1, [1])
+  ASSERT_TRUE(session.Quit(0).ok());
+  ASSERT_TRUE(session.Quit(2).ok());
+  ASSERT_TRUE(session.Tick().ok());  // t=2: quit bucket (2, [0, 2])
+  // t=3 (window 1): all three indices retired; new enters reuse them in
+  // retirement order — bucket round, then user-id order inside the bucket —
+  // before any fresh index.
+  for (uint64_t u : {10u, 11u, 12u, 13u}) {
+    ASSERT_TRUE(session.Enter(u, fx.CellPoint(u % 4, (u / 2) % 4)).ok());
+  }
+  ASSERT_TRUE(session.Tick().ok());
+  const TimestampBatch& batch = batches[3];
+  ASSERT_EQ(batch.observations.size(), 4u);
+  EXPECT_EQ(batch.observations[0].user_index, 1u);  // quit earliest
+  EXPECT_EQ(batch.observations[1].user_index, 0u);  // round-2 bucket, idx 0
+  EXPECT_EQ(batch.observations[2].user_index, 2u);  // round-2 bucket, idx 2
+  EXPECT_EQ(batch.observations[3].user_index, 3u);  // fresh
+  EXPECT_EQ(session.index_high_water(), 4u);
+}
+
+TEST(IngestSessionTest, RecyclingOffKeepsCumulativeIndices) {
+  SessionFixture fx;
+  std::vector<TimestampBatch> batches;
+  IngestSession session(fx.states, [&batches](TimestampBatch batch) {
+    batches.push_back(std::move(batch));
+    return Status::OK();
+  });
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_TRUE(session.Quit(1).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_TRUE(session.Tick().ok());
+  // Way past any window: a new enter still mints index 1.
+  ASSERT_TRUE(session.Enter(2, fx.CellPoint(1, 1)).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  EXPECT_EQ(batches.back().observations[0].user_index, 1u);
+  EXPECT_EQ(session.num_free_indices(), 0u);
+  EXPECT_EQ(session.num_retiring_indices(), 0u);
+}
+
+TEST(IngestSessionTest, FailedHandlerRetryDoesNotConsumeRecycledIndices) {
+  // The free list is part of the round's error-atomic state: a failing
+  // handler must not burn recycled indices, and the retry must hand out the
+  // identical assignment.
+  SessionFixture fx;
+  std::vector<TimestampBatch> batches;
+  int failures_left = 2;
+  IngestSession session(
+      fx.states,
+      [&batches, &failures_left](TimestampBatch batch) {
+        if (batch.t == 2 && failures_left > 0) {
+          --failures_left;
+          return Status::IOError("collector offline");
+        }
+        batches.push_back(std::move(batch));
+        return Status::OK();
+      },
+      Recycling(/*window=*/1));
+
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Tick().ok());  // t=0: idx 0
+  ASSERT_TRUE(session.Quit(1).ok());
+  ASSERT_TRUE(session.Tick().ok());  // t=1: quit round 1
+  // t=2: idx 0 retires this round; the enter should reuse it — across two
+  // failed attempts and the final success.
+  ASSERT_TRUE(session.Enter(2, fx.CellPoint(1, 1)).ok());
+  EXPECT_EQ(session.Tick().code(), StatusCode::kIOError);
+  EXPECT_EQ(session.num_retiring_indices(), 1u);  // nothing committed
+  EXPECT_EQ(session.Tick().code(), StatusCode::kIOError);
+  ASSERT_TRUE(session.Tick().ok());
+  EXPECT_EQ(batches.back().observations[0].user_index, 0u);
+  EXPECT_EQ(session.index_high_water(), 1u);
+  EXPECT_EQ(session.num_retiring_indices(), 0u);
+}
+
+TEST(IngestSessionTest, StreamIndexCapReturnsResourceExhausted) {
+  SessionFixture fx;
+  std::vector<TimestampBatch> batches;
+  IngestSession session(fx.states, [&batches](TimestampBatch batch) {
+    batches.push_back(std::move(batch));
+    return Status::OK();
+  });
+  session.set_next_stream_index_for_testing(kMaxStreamIndex - 1);
+
+  // Two fresh enters need indices {cap-1, cap}; the second overflows, so the
+  // Tick must refuse before the handler runs — the engine's dense
+  // bookkeeping would abort on index 2^30.
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Enter(2, fx.CellPoint(1, 1)).ok());
+  const size_t pending = session.num_pending_events();
+  Status st = session.Tick();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("stream-index space exhausted"),
+            std::string::npos);
+  // Error-atomic: round open, events intact, nothing reached the handler.
+  EXPECT_EQ(session.open_round(), 0);
+  EXPECT_EQ(session.num_pending_events(), pending);
+  EXPECT_TRUE(batches.empty());
+  // Shedding one pending enter (Quit cancels it) makes the round sealable,
+  // and the last valid index is handed out.
+  ASSERT_TRUE(session.Quit(2).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].observations.size(), 1u);
+  EXPECT_EQ(batches[0].observations[0].user_index, kMaxStreamIndex - 1);
+}
+
+TEST(IngestSessionTest, StreamIndexCapReachableWithRecyclingOn) {
+  // Recycling delays exhaustion but cannot prevent it: when every retired
+  // index is consumed and the fresh counter sits at the cap, the next enter
+  // still fails with kResourceExhausted.
+  SessionFixture fx;
+  std::vector<TimestampBatch> batches;
+  IngestSession session(
+      fx.states,
+      [&batches](TimestampBatch batch) {
+        batches.push_back(std::move(batch));
+        return Status::OK();
+      },
+      Recycling(/*window=*/1));
+  session.set_next_stream_index_for_testing(kMaxStreamIndex - 1);
+
+  ASSERT_TRUE(session.Enter(1, fx.CellPoint(0, 0)).ok());
+  ASSERT_TRUE(session.Tick().ok());  // consumes cap-1
+  ASSERT_TRUE(session.Quit(1).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  // One retired index is available again two rounds later; a single enter
+  // reuses it, a second one would need a fresh index past the cap.
+  ASSERT_TRUE(session.Enter(2, fx.CellPoint(1, 1)).ok());
+  ASSERT_TRUE(session.Enter(3, fx.CellPoint(2, 2)).ok());
+  Status st = session.Tick();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(session.Quit(3).ok());
+  ASSERT_TRUE(session.Tick().ok());
+  EXPECT_EQ(batches.back().observations[0].user_index, kMaxStreamIndex - 1);
+}
+
 TEST(IngestSessionTest, ReplayedEngineReleaseIsByteIdenticalToLegacyPath) {
   // Same trajectories + same seed: legacy batch pipeline and service replay
   // must release the same synthetic database.

@@ -221,6 +221,146 @@ TEST(RecoveryTest, AsyncRecoverMatchesInlineAndReArmsTheCloser) {
   ExpectSameRelease(got.value(), want.value());
 }
 
+TEST(RecoveryTest, RecoverDirHoldingOnlyLockFileYieldsEmptyService) {
+  // A supervisor that crashes between taking the journal lock and writing
+  // the first segment leaves a directory holding nothing but LOCK. Recover
+  // must treat it as a fresh deployment, not an error.
+  const BoundingBox box{0.0, 0.0, 400.0, 400.0};
+  const Grid grid(box, 4);
+  const StateSpace states(grid);
+  const auto traces = MakeWorkload(61, 20);
+  TempDir dir;
+  {
+    std::FILE* f = std::fopen((dir.path() + "/LOCK").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+
+  RetraSynConfig journaled = BaseConfig();
+  journaled.journal_dir = dir.path();
+  {
+    auto recovered = TrajectoryService::Recover(states, journaled);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value()->rounds_closed(), 0);
+    ASSERT_NE(recovered.value()->journal(), nullptr);
+    // The empty service is fully usable: ingest, close rounds, journal.
+    DriveRounds(recovered.value()->session(), traces, 0, kHorizon);
+  }
+  auto again = TrajectoryService::Recover(states, journaled);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value()->rounds_closed(), kHorizon);
+}
+
+TEST(RecoveryTest, RecoverSingleZeroByteSegmentYieldsEmptyService) {
+  // A crash between segment creation and the header flush leaves a single
+  // zero-byte segment (and no LOCK if the dir was never locked before).
+  // That is clean-empty: no acknowledged record can live in a segment
+  // without bytes.
+  const BoundingBox box{0.0, 0.0, 400.0, 400.0};
+  const Grid grid(box, 4);
+  const StateSpace states(grid);
+  const auto traces = MakeWorkload(67, 20);
+  TempDir dir;
+  {
+    std::FILE* f = std::fopen(
+        (dir.path() + "/" + JournalWriter::SegmentFileName(0)).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+
+  RetraSynConfig journaled = BaseConfig();
+  journaled.journal_dir = dir.path();
+  {
+    auto recovered = TrajectoryService::Recover(states, journaled);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value()->rounds_closed(), 0);
+    ASSERT_NE(recovered.value()->journal(), nullptr);
+    DriveRounds(recovered.value()->session(), traces, 0, kHorizon);
+  }
+  // The second incarnation appended after the empty segment; everything
+  // replays, and the empty segment stays harmless mid-journal.
+  auto again = TrajectoryService::Recover(states, journaled);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value()->rounds_closed(), kHorizon);
+}
+
+/// Drives rounds [from, to) of a steady-churn workload: `churn` fresh
+/// user-ids enter every round and every stream lives exactly live/churn
+/// rounds before its explicit quit, so the live population is constant while
+/// stream indices retire and recycle continuously. Pure function of t —
+/// resumable from any round, e.g. on a recovered service.
+void DriveChurnRounds(IngestSession& session, const Grid& grid, int64_t from,
+                      int64_t to, int64_t live, int64_t churn) {
+  const int64_t lifetime = live / churn;
+  const int64_t cells = static_cast<int64_t>(grid.NumCells());
+  auto at = [&](int64_t u, int64_t t) {
+    return grid.CellCenter(static_cast<CellId>((u * 7 + t) % cells));
+  };
+  for (int64_t t = from; t < to; ++t) {
+    const int64_t first = std::max<int64_t>(0, (t - lifetime) * churn);
+    for (int64_t u = first; u < (t + 1) * churn; ++u) {
+      const int64_t entered = u / churn;
+      if (entered == t) {
+        ASSERT_TRUE(session.Enter(static_cast<uint64_t>(u), at(u, t)).ok());
+      } else if (t < entered + lifetime) {
+        ASSERT_TRUE(session.Move(static_cast<uint64_t>(u), at(u, t)).ok());
+      } else if (t == entered + lifetime) {
+        ASSERT_TRUE(session.Quit(static_cast<uint64_t>(u)).ok());
+      }
+    }
+    ASSERT_TRUE(session.Tick().ok());
+  }
+}
+
+TEST(RecoveryTest, ChurnKillAndRecoverByteIdenticalWithRecycling) {
+  // The acceptance scenario for index recycling: under steady churn (indices
+  // being retired and re-issued every round), killing the service at an
+  // arbitrary round and recovering from the journal must reproduce the
+  // uninterrupted run byte for byte — index assignments included, because
+  // retirement depends only on the replayed batch sequence.
+  const BoundingBox box{0.0, 0.0, 400.0, 400.0};
+  const Grid grid(box, 4);
+  const StateSpace states(grid);
+  TempDir dir;
+  constexpr int64_t kLive = 20, kChurn = 4, kRounds = 30, kCrashAt = 17;
+
+  RetraSynConfig journaled = BaseConfig();  // window 8, recycling default-on
+  journaled.journal_dir = dir.path();
+  {
+    auto service = TrajectoryService::Create(states, journaled);
+    ASSERT_TRUE(service.ok());
+    DriveChurnRounds(service.value()->session(), grid, 0, kCrashAt, kLive,
+                     kChurn);
+  }
+
+  auto recovered = TrajectoryService::Recover(states, journaled);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered.value()->rounds_closed(), kCrashAt);
+  DriveChurnRounds(recovered.value()->session(), grid, kCrashAt, kRounds,
+                   kLive, kChurn);
+
+  auto reference = TrajectoryService::Create(states, BaseConfig());
+  ASSERT_TRUE(reference.ok());
+  DriveChurnRounds(reference.value()->session(), grid, 0, kRounds, kLive,
+                   kChurn);
+
+  // Index lifecycle state matches the uninterrupted run exactly...
+  const IngestSession& got_session = recovered.value()->session();
+  const IngestSession& want_session = reference.value()->session();
+  EXPECT_EQ(got_session.index_high_water(), want_session.index_high_water());
+  EXPECT_EQ(got_session.num_free_indices(), want_session.num_free_indices());
+  EXPECT_EQ(got_session.num_retiring_indices(),
+            want_session.num_retiring_indices());
+  // ...recycling actually happened (high-water far below streams started)...
+  EXPECT_LT(got_session.index_high_water(), kChurn * kRounds);
+  // ...and the released bytes are identical.
+  auto got = recovered.value()->SnapshotRelease();
+  auto want = reference.value()->SnapshotRelease();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(want.ok());
+  ExpectSameRelease(got.value(), want.value());
+}
+
 TEST(RecoveryTest, JournalingDoesNotPerturbTheRelease) {
   // The journal must be a pure tap: a journaled run and a plain run release
   // identical bytes, and the ReleaseServer sink sees identical rounds.
