@@ -6,14 +6,20 @@
 // recycling on and off. For each mode the bench reports per-round Tick()
 // cost early in the run (rounds [100, 200)) vs at the end of the horizon,
 // the session's index high-water mark, the engine's dense per-user slot
-// count, and the process RSS before/after the run. Without recycling the
-// index space and dense vectors grow linearly with every stream ever
+// count, and the process RSS before/mid/after the run. Without recycling
+// the index space and dense vectors grow linearly with every stream ever
 // started; with it they stay at the steady-state pool
 // (live + churn * (window + 2)).
 //
-// The recycle_on mode runs first so its RSS reading is not inflated by
-// allocator pages the recycle_off run grew (the reverse pollution — off
-// reusing on's pages — only shrinks the reported gap, never fakes one).
+// A third mode, recycle_on_spill, additionally journals the workload and
+// checkpoints every `every` rounds with history spill: closed streams move
+// to checkpoint-owned spill files instead of accumulating in the engine,
+// so steady-state RSS is flat in the horizon (rss_mid == rss_end) where
+// plain recycle_on still grows linearly with the closed-stream history.
+//
+// Modes run smallest-footprint first (spill, on, off) so no reading is
+// inflated by allocator pages a bigger earlier run grew (pollution in this
+// order only shrinks the reported gaps, never fakes one).
 //
 // Output: a table on stderr and a JSON array (--json, default
 // BENCH_horizon.json); --quick shrinks the workload for CI smoke runs.
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
@@ -58,7 +65,9 @@ struct ModeResult {
   size_t dense_user_slots = 0;
   size_t free_indices = 0;
   uint64_t total_retired = 0;
+  uint64_t streams_spilled = 0;
   double rss_start_mb = 0.0;
+  double rss_mid_mb = 0.0;  ///< sampled at rounds / 2
   double rss_end_mb = 0.0;
   double total_s = 0.0;
 };
@@ -72,9 +81,9 @@ double MeanRange(const std::vector<double>& v, size_t lo, size_t hi) {
   return sum / static_cast<double>(hi - lo);
 }
 
-ModeResult RunMode(bool recycle, const StateSpace& states, const Grid& grid,
-                   int64_t rounds, int64_t live, int64_t churn, int window,
-                   uint64_t seed) {
+ModeResult RunMode(bool recycle, bool spill, const StateSpace& states,
+                   const Grid& grid, int64_t rounds, int64_t live,
+                   int64_t churn, int window, int64_t every, uint64_t seed) {
   RetraSynConfig config;
   config.epsilon = 1.0;
   config.window = window;
@@ -82,9 +91,19 @@ ModeResult RunMode(bool recycle, const StateSpace& states, const Grid& grid,
   config.lambda = static_cast<double>(live) / static_cast<double>(churn);
   config.seed = seed;
   config.recycle_stream_indices = recycle;
+  std::string journal_dir, checkpoint_dir;
+  if (spill) {
+    journal_dir = MakeTempDir("bench-horizon-journal-", ".").ValueOrDie();
+    checkpoint_dir = MakeTempDir("bench-horizon-ckpt-", ".").ValueOrDie();
+    config.journal_dir = journal_dir;
+    config.journal_fsync = FsyncPolicy::kNever;
+    config.journal_segment_bytes = 1 << 20;  // rotate → compactable prefix
+    config.checkpoint_dir = checkpoint_dir;
+    config.checkpoint_every_rounds = every;
+  }
 
   ModeResult result;
-  result.mode = recycle ? "recycle_on" : "recycle_off";
+  result.mode = spill ? "recycle_on_spill" : (recycle ? "recycle_on" : "recycle_off");
   result.rss_start_mb = RssMb();
 
   auto service = TrajectoryService::Create(states, config);
@@ -118,7 +137,9 @@ ModeResult RunMode(bool recycle, const StateSpace& states, const Grid& grid,
     Stopwatch watch;
     session.Tick().CheckOK();
     tick_ms.push_back(watch.ElapsedSeconds() * 1e3);
+    if (t == rounds / 2) result.rss_mid_mb = RssMb();
   }
+  if (spill) service.value()->Drain().CheckOK();
   result.total_s = total.ElapsedSeconds();
   result.rss_end_mb = RssMb();
 
@@ -136,6 +157,12 @@ ModeResult RunMode(bool recycle, const StateSpace& states, const Grid& grid,
   const RetraSynEngine* engine = service.value()->retrasyn_engine();
   result.dense_user_slots = engine->dense_user_slots();
   result.total_retired = engine->total_retired();
+  if (spill) {
+    result.streams_spilled = service.value()->checkpoint()->streams_spilled();
+    service.value().reset();
+    RemoveDirTree(journal_dir).CheckOK();
+    RemoveDirTree(checkpoint_dir).CheckOK();
+  }
   return result;
 }
 
@@ -154,14 +181,17 @@ bool WriteJson(const std::string& path, uint32_t grid_k, int64_t rounds,
         "\"tick_early_ms\": %.4f, \"tick_late_ms\": %.4f, "
         "\"tick_p99_ms\": %.4f, \"index_high_water\": %u, "
         "\"dense_user_slots\": %zu, \"free_indices\": %zu, "
-        "\"total_retired\": %llu, \"rss_start_mb\": %.1f, "
+        "\"total_retired\": %llu, \"streams_spilled\": %llu, "
+        "\"rss_start_mb\": %.1f, \"rss_mid_mb\": %.1f, "
         "\"rss_end_mb\": %.1f, \"total_s\": %.3f}%s\n",
         grid_k, static_cast<long long>(rounds), static_cast<long long>(live),
         static_cast<long long>(churn), window, m.mode.c_str(),
         m.tick_early_ms, m.tick_late_ms, m.tick_p99_ms, m.index_high_water,
         m.dense_user_slots, m.free_indices,
-        static_cast<unsigned long long>(m.total_retired), m.rss_start_mb,
-        m.rss_end_mb, m.total_s, i + 1 < results.size() ? "," : "");
+        static_cast<unsigned long long>(m.total_retired),
+        static_cast<unsigned long long>(m.streams_spilled), m.rss_start_mb,
+        m.rss_mid_mb, m.rss_end_mb, m.total_s,
+        i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -177,6 +207,7 @@ int Main(int argc, char** argv) {
   const uint32_t grid_k =
       static_cast<uint32_t>(flags.GetInt("grid", quick ? 8 : 16));
   const int window = static_cast<int>(flags.GetInt("window", 20));
+  const int64_t every = flags.GetInt("every", 50);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string json_path = flags.GetString("json", "BENCH_horizon.json");
   if (live % churn != 0) {
@@ -190,22 +221,24 @@ int Main(int argc, char** argv) {
   const StateSpace states(grid);
 
   std::vector<ModeResult> results;
-  results.push_back(
-      RunMode(true, states, grid, rounds, live, churn, window, seed));
-  results.push_back(
-      RunMode(false, states, grid, rounds, live, churn, window, seed));
+  results.push_back(RunMode(true, true, states, grid, rounds, live, churn,
+                            window, every, seed));
+  results.push_back(RunMode(true, false, states, grid, rounds, live, churn,
+                            window, every, seed));
+  results.push_back(RunMode(false, false, states, grid, rounds, live, churn,
+                            window, every, seed));
   for (const ModeResult& m : results) {
     std::fprintf(
         stderr,
-        "grid=%2ux%-2u rounds=%6lld live=%5lld churn=%4lld %-11s  "
+        "grid=%2ux%-2u rounds=%6lld live=%5lld churn=%4lld %-16s  "
         "tick@100=%7.3f ms  tick@end=%7.3f ms  p99=%7.3f ms  "
-        "high_water=%8u  dense_slots=%9zu  rss=%6.1f->%6.1f MiB  "
+        "high_water=%8u  dense_slots=%9zu  rss=%6.1f->%6.1f->%6.1f MiB  "
         "total=%6.2f s\n",
         grid_k, grid_k, static_cast<long long>(rounds),
         static_cast<long long>(live), static_cast<long long>(churn),
         m.mode.c_str(), m.tick_early_ms, m.tick_late_ms, m.tick_p99_ms,
-        m.index_high_water, m.dense_user_slots, m.rss_start_mb, m.rss_end_mb,
-        m.total_s);
+        m.index_high_water, m.dense_user_slots, m.rss_start_mb, m.rss_mid_mb,
+        m.rss_end_mb, m.total_s);
   }
   if (!WriteJson(json_path, grid_k, rounds, live, churn, window, results)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -1,0 +1,212 @@
+// Periodic checkpoint writer + journal compactor.
+//
+// The manager turns the unbounded-replay recovery model (PR 4) into an
+// O(window) one: every `every_rounds` closed rounds it captures the full
+// service state — engine and ingest session — on the threads that own them,
+// pairs the two halves by round, and hands them to a single background
+// worker that:
+//
+//   1. spills the engine's closed synthetic streams to a `history-*.hst`
+//      file (when spill_history is on), so steady-state RSS stays flat while
+//      SnapshotRelease still serves the complete history;
+//   2. writes `checkpoint-*.ckpt` atomically (tmp + fsync + rename + dir
+//      fsync) — a crash never leaves a half-written checkpoint under its
+//      final name;
+//   3. prunes checkpoints beyond the retention count; and
+//   4. retires journal segments that ended at or before the oldest retained
+//      checkpoint's round minus the w-window, through the BASE declaration
+//      of journal_compaction.h — recovery then replays only the suffix.
+//
+// Capture happens at round boundaries on the owning threads (the session
+// half on the ingest thread via the round-commit hook, the engine half on
+// the round-closing thread right after Observe), so the worker never touches
+// live state; it serializes privately owned copies. The first I/O failure
+// poisons the manager exactly like JournalWriter: status() turns sticky,
+// later captures are dropped, and the service surfaces the error on the
+// next Tick — the journal itself is unaffected, so nothing durable is lost.
+
+#ifndef RETRASYN_CHECKPOINT_CHECKPOINT_MANAGER_H_
+#define RETRASYN_CHECKPOINT_CHECKPOINT_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkpoint/checkpoint_format.h"
+#include "common/status.h"
+#include "journal/journal_reader.h"
+#include "journal/journal_writer.h"
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+
+struct CheckpointOptions {
+  /// Directory for checkpoint and history spill files. Owned by the service
+  /// that owns the journal (the journal LOCK covers both).
+  std::string dir;
+  /// Write a checkpoint every N closed rounds; 0 disables checkpointing.
+  int64_t every_rounds = 0;
+  /// Newest checkpoints kept on disk; older ones are pruned. At least 1 —
+  /// two by default, so a checkpoint corrupted in place still leaves a
+  /// bounded-replay recovery path.
+  int retain = 2;
+  /// Move closed synthetic streams out of memory into history spill files at
+  /// every checkpoint; SnapshotRelease reads them back on demand.
+  bool spill_history = true;
+  /// Deployment fingerprint stamped into every file (same hash the journal
+  /// carries); a checkpoint only loads into the deployment that wrote it.
+  uint64_t fingerprint = 0;
+  /// The w-event window; journal retirement keeps a full window of rounds
+  /// behind the oldest retained checkpoint.
+  int window = 0;
+  /// The journal directory compaction retires segments from; empty disables
+  /// retirement (checkpoints still bound recovery *time*, not disk).
+  std::string journal_dir;
+
+  Status Validate() const;
+};
+
+class CheckpointManager {
+ public:
+  /// Scans \p dir, removing orphaned `*.tmp` files, and opens a manager.
+  /// With \p require_fresh (Service::Create), any existing checkpoint or
+  /// history file fails with FailedPrecondition — a fresh service must never
+  /// silently shadow recoverable state.
+  static Result<std::unique_ptr<CheckpointManager>> Open(
+      const CheckpointOptions& options, bool require_fresh);
+
+  /// Loads the newest usable checkpoint for recovery: tries checkpoints
+  /// newest-first, skipping (and deleting) corrupt ones — torn frame, CRC
+  /// failure, malformed body, missing referenced spill file — and returns
+  /// the first that loads. A checkpoint that is structurally VALID but
+  /// carries a different deployment fingerprint fails loudly with
+  /// FailedPrecondition instead of falling back: silently replaying the full
+  /// journal under a changed deployment is exactly the divergence the
+  /// fingerprint exists to prevent. kNotFound when no checkpoint exists.
+  /// On success \p surviving_rounds holds the retained checkpoint rounds
+  /// (for retention seeding) and unreferenced history files are deleted.
+  static Result<CheckpointState> LoadForRecovery(
+      const std::string& dir, uint64_t fingerprint,
+      std::vector<int64_t>* surviving_rounds);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+  ~CheckpointManager();
+
+  /// The journal whose sealed segments retirement may delete (not owned;
+  /// null detaches — retirement then only considers recovery-seeded
+  /// segments).
+  void AttachJournal(JournalWriter* journal);
+
+  /// Seeds post-recovery bookkeeping: the recovered checkpoint's spill
+  /// manifest (served file-backed from day one), the surviving checkpoint
+  /// rounds (retention), and the scanned journal segments (retirement
+  /// candidates whose suffix the new writer continues).
+  Status SeedRecovered(const CheckpointState& state,
+                       std::vector<int64_t> surviving_rounds,
+                       const std::vector<ScannedSegment>& segments);
+
+  /// True when a checkpoint is due at the round boundary that sealed round
+  /// \p t — i.e. every `every_rounds` closed rounds.
+  bool DueAt(int64_t sealed_round) const {
+    return options_.every_rounds > 0 &&
+           (sealed_round + 1) % options_.every_rounds == 0;
+  }
+
+  /// Engine half, from the round-closing thread right after Observe(t).
+  /// \p spilled holds the closed streams taken from the engine this round
+  /// (empty when spill_history is off); they are servable from memory
+  /// immediately and from their spill file once the worker persists them.
+  void OnRoundClosed(int64_t sealed_round, EngineCheckpointState engine,
+                     std::vector<CellStream> spilled);
+
+  /// Session half, from the ingest thread's round-commit hook.
+  void OnRoundCommitted(int64_t sealed_round, SessionCheckpointState session);
+
+  /// Appends every spilled stream to \p out in spill order (ascending
+  /// checkpoint round, original order within). The caller appends the
+  /// engine's in-memory snapshot after — the concatenation reproduces the
+  /// no-spill snapshot byte-for-byte.
+  Status AppendSpilledHistory(CellStreamSet* out) const;
+  bool has_spilled_history() const;
+
+  /// Sticky first failure (OK while healthy).
+  Status status() const;
+
+  /// Blocks until the worker has drained every ready checkpoint; returns
+  /// status(). Used by Drain and tests for deterministic error surfacing.
+  Status WaitIdle();
+
+  uint64_t checkpoints_written() const;
+  uint64_t segments_retired() const;
+  uint64_t streams_spilled() const;
+  /// The newest durable checkpoint's round; -1 before the first one.
+  int64_t last_checkpoint_round() const;
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  /// A spilled batch of closed streams: memory-backed until its file is
+  /// durable, file-backed after.
+  struct SpillEntry {
+    int64_t round = 0;
+    uint64_t count = 0;
+    bool file_backed = false;
+    std::vector<CellStream> streams;  ///< empty once file_backed
+  };
+
+  /// The two capture halves of one due round, paired by round.
+  struct PendingCapture {
+    bool have_engine = false;
+    bool have_session = false;
+    EngineCheckpointState engine;
+    SessionCheckpointState session;
+  };
+
+  explicit CheckpointManager(CheckpointOptions options);
+
+  void WorkerLoop();
+  /// One full checkpoint: spill file, checkpoint file, pruning, retirement.
+  Status WriteCheckpoint(int64_t round, EngineCheckpointState engine,
+                         SessionCheckpointState session);
+  Status PruneCheckpoints();
+  Status RetireJournalPrefix();
+  void MaybeEnqueueLocked(int64_t round);
+
+  const CheckpointOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool stop_ = false;
+  bool busy_ = false;
+  Status error_;  ///< first failure; sticky
+  std::map<int64_t, PendingCapture> pending_;  ///< halves awaiting their pair
+  std::deque<int64_t> ready_;                  ///< fully captured rounds
+  JournalWriter* journal_ = nullptr;           ///< not owned
+
+  // Worker-only state (no lock needed once the worker owns it).
+  std::vector<int64_t> retained_rounds_;       ///< on-disk checkpoints, asc
+  std::vector<SealedSegment> retire_candidates_;  ///< sorted by index
+  uint64_t first_live_segment_ = 0;  ///< lowest journal index not retired
+  bool first_live_segment_known_ = false;
+  int64_t retired_base_round_ = 0;   ///< rounds summarized by retired prefix
+
+  mutable std::mutex spill_mu_;
+  std::vector<SpillEntry> spills_;  ///< ascending by round
+  uint64_t streams_spilled_ = 0;
+
+  uint64_t checkpoints_written_ = 0;
+  uint64_t segments_retired_ = 0;
+  int64_t last_checkpoint_round_ = -1;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_CHECKPOINT_CHECKPOINT_MANAGER_H_

@@ -117,6 +117,13 @@ Status RemoveFile(const std::string& path) {
   return Status::OK();
 }
 
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("rename", from + " -> " + to));
+  }
+  return Status::OK();
+}
+
 Result<std::string> MakeTempDir(const std::string& prefix,
                                 const std::string& base_dir) {
   std::string base = base_dir;

@@ -39,6 +39,11 @@ Status TruncateFile(const std::string& path, int64_t size);
 /// \brief Removes the file at \p path.
 Status RemoveFile(const std::string& path);
 
+/// \brief Atomically renames \p from to \p to (same filesystem), replacing
+/// any existing \p to. The caller must SyncDir afterwards for the new name
+/// to survive a crash — rename alone only orders against other metadata.
+Status RenameFile(const std::string& from, const std::string& to);
+
 /// \brief Creates a unique fresh directory `<prefix>XXXXXX` under
 /// \p base_dir — or under $TMPDIR (fallback /tmp) when \p base_dir is empty
 /// — and returns its path. Used by benches and tests for throwaway journal

@@ -7,6 +7,7 @@
 #ifndef RETRASYN_COMMON_RNG_H_
 #define RETRASYN_COMMON_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -99,6 +100,21 @@ class Rng {
   /// Derives an independent child generator; useful for giving each simulated
   /// user or component its own deterministic stream.
   Rng Fork() { return Rng((*this)()); }
+
+  // --- Raw state access (checkpointing) ------------------------------------
+  //
+  // The full generator state, so a serialized engine resumes the *identical*
+  // random sequence. The all-zero state is a fixed point of xoshiro256** and
+  // never arises from Seed(); set_state rejects it (no-op) rather than
+  // bricking the generator on a hand-crafted checkpoint.
+
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  bool set_state(const std::array<uint64_t, 4>& s) {
+    if ((s[0] | s[1] | s[2] | s[3]) == 0) return false;
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+    return true;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

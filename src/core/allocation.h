@@ -76,6 +76,23 @@ class PortionAllocator {
 
   const AllocationConfig& config() const { return config_; }
 
+  // --- Checkpoint state (the Eq. 9-10 histories are part of the replayed
+  // byte stream: Portion() at the next round depends on them exactly) -------
+
+  int64_t rounds_recorded() const { return rounds_recorded_; }
+  const std::deque<std::vector<double>>& freq_history() const {
+    return freq_history_;
+  }
+  const std::deque<double>& ratio_history() const { return ratio_history_; }
+
+  void Restore(int64_t rounds_recorded,
+               std::deque<std::vector<double>> freq_history,
+               std::deque<double> ratio_history) {
+    rounds_recorded_ = rounds_recorded;
+    freq_history_ = std::move(freq_history);
+    ratio_history_ = std::move(ratio_history);
+  }
+
  private:
   AllocationConfig config_;
   int window_;

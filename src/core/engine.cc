@@ -59,7 +59,8 @@ Status RetraSynConfig::Validate() const {
         "num_threads " + std::to_string(num_threads) +
         " exceeds the sanity cap of " + std::to_string(kMaxThreads));
   }
-  // round_queue_capacity and the journal_* fields are service-layer state
+  // round_queue_capacity and the journal_*/checkpoint_* fields are
+  // service-layer state
   // (ignored by bare engines); ServiceOptions::Validate owns their checks,
   // via the TrajectoryService factories.
   return Status::OK();
@@ -376,6 +377,121 @@ void RetraSynEngine::Observe(const TimestampBatch& batch) {
     }
   }
   times_.synthesis.Add(syn_watch.ElapsedSeconds());
+}
+
+EngineCheckpointState RetraSynEngine::SaveCheckpointState() const {
+  EngineCheckpointState state;
+  state.rng_state = rng_.state();
+  state.collected_once = collected_once_;
+  state.total_reports = total_reports_;
+  state.model_freq = model_.frequencies();
+  state.model_initialized = model_.initialized();
+  state.live = synthesizer_.live_streams();
+  state.finished = synthesizer_.finished_streams();
+  state.total_points = synthesizer_.total_points();
+  state.synth_initialized = synthesizer_.initialized();
+  state.allocator_rounds_recorded = allocator_.rounds_recorded();
+  state.allocator_freq_history = allocator_.freq_history();
+  state.allocator_ratio_history = allocator_.ratio_history();
+  state.ledger_spends = ledger_.spends();
+  state.ledger_window_sum = ledger_.window_sum();
+  state.ledger_last_t = ledger_.last_t();
+  state.ledger_max_window_spend = ledger_.MaxWindowSpend();
+  state.tracker_last_report.assign(tracker_.last_reports().begin(),
+                                   tracker_.last_reports().end());
+  std::sort(state.tracker_last_report.begin(),
+            state.tracker_last_report.end());
+  state.tracker_violation = tracker_.HasViolation();
+  state.tracker_num_reports = tracker_.num_reports();
+  state.status.reserve(status_.size());
+  for (UserStatus s : status_) {
+    state.status.push_back(static_cast<uint8_t>(s));
+  }
+  state.report_slot = report_slot_;
+  state.reported_at = reported_at_;
+  state.quitted_at = quitted_at_;
+  state.total_retired = total_retired_;
+  return state;
+}
+
+Status RetraSynEngine::RestoreCheckpointState(EngineCheckpointState state) {
+  if (state.model_freq.size() != states_->size()) {
+    return Status::InvalidArgument(
+        "checkpointed model has " + std::to_string(state.model_freq.size()) +
+        " states, this deployment has " + std::to_string(states_->size()));
+  }
+  // The dense vectors may legitimately exceed kMaxStreamIndex by the final
+  // geometric-growth doubling, never by more.
+  if (state.status.size() > 2 * static_cast<size_t>(kMaxStreamIndex)) {
+    return Status::InvalidArgument("checkpointed dense state impossibly big");
+  }
+  for (uint8_t s : state.status) {
+    if (s > static_cast<uint8_t>(UserStatus::kQuitted)) {
+      return Status::InvalidArgument("checkpointed user status out of range");
+    }
+  }
+  const bool random_slots =
+      config_.allocation.kind == AllocationKind::kRandom;
+  if (random_slots ? state.report_slot.size() != state.status.size()
+                   : !state.report_slot.empty()) {
+    return Status::InvalidArgument(
+        "checkpointed report-slot schedule does not match the allocation "
+        "strategy");
+  }
+  const uint32_t num_cells = states_->num_cells();
+  auto streams_valid = [&](const std::vector<CellStream>& streams) {
+    for (const CellStream& s : streams) {
+      if (s.cells.empty() || s.enter_time < 0) return false;
+      for (CellId c : s.cells) {
+        if (c >= num_cells) return false;
+      }
+    }
+    return true;
+  };
+  if (!streams_valid(state.live) || !streams_valid(state.finished)) {
+    return Status::InvalidArgument(
+        "checkpointed synthetic stream holds an out-of-range cell");
+  }
+  auto buckets_valid =
+      [&](const std::deque<std::pair<int64_t, std::vector<uint32_t>>>& b) {
+        for (const auto& bucket : b) {
+          for (uint32_t user : bucket.second) {
+            if (user >= state.status.size()) return false;
+          }
+        }
+        return true;
+      };
+  if (!buckets_valid(state.reported_at) || !buckets_valid(state.quitted_at)) {
+    return Status::InvalidArgument(
+        "checkpointed report/quit bucket references an unknown index");
+  }
+  if (!rng_.set_state(state.rng_state)) {
+    return Status::InvalidArgument("checkpointed RNG state is all-zero");
+  }
+  collected_once_ = state.collected_once;
+  total_reports_ = state.total_reports;
+  model_.Restore(std::move(state.model_freq), state.model_initialized);
+  synthesizer_.Restore(std::move(state.live), std::move(state.finished),
+                       state.total_points, state.synth_initialized);
+  allocator_.Restore(state.allocator_rounds_recorded,
+                     std::move(state.allocator_freq_history),
+                     std::move(state.allocator_ratio_history));
+  ledger_.Restore(std::move(state.ledger_spends), state.ledger_window_sum,
+                  state.ledger_last_t, state.ledger_max_window_spend);
+  tracker_.Restore({state.tracker_last_report.begin(),
+                    state.tracker_last_report.end()},
+                   state.tracker_violation, state.tracker_num_reports);
+  status_.clear();
+  status_.reserve(state.status.size());
+  for (uint8_t s : state.status) {
+    status_.push_back(static_cast<UserStatus>(s));
+  }
+  report_slot_ = std::move(state.report_slot);
+  reported_at_ = std::move(state.reported_at);
+  quitted_at_ = std::move(state.quitted_at);
+  retired_last_round_.clear();
+  total_retired_ = state.total_retired;
+  return Status::OK();
 }
 
 CellStreamSet RetraSynEngine::SnapshotRelease(int64_t num_timestamps) const {

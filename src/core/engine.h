@@ -20,11 +20,13 @@
 #ifndef RETRASYN_CORE_ENGINE_H_
 #define RETRASYN_CORE_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -177,6 +179,23 @@ struct RetraSynConfig {
   FsyncPolicy journal_fsync = FsyncPolicy::kEveryRound;
   /// Journal segment rotation threshold in bytes.
   int64_t journal_segment_bytes = 64 << 20;
+  /// Write a full service checkpoint every N closed rounds (0 = off).
+  /// Requires journal_dir and checkpoint_dir. Recovery then loads the newest
+  /// checkpoint and replays only the journal suffix behind it — O(window)
+  /// instead of O(horizon) — and compaction retires journal segments older
+  /// than the oldest retained checkpoint minus the w-window. Deliberately
+  /// NOT part of the deployment fingerprint: cadence and retention may
+  /// change across restarts. See docs/durability.md.
+  int64_t checkpoint_every_rounds = 0;
+  /// Directory for checkpoint and history spill files.
+  std::string checkpoint_dir;
+  /// Newest checkpoints kept on disk (>= 1; default 2, so one corrupted
+  /// checkpoint still leaves a bounded-replay recovery path).
+  int checkpoint_retain = 2;
+  /// Move closed synthetic streams into history spill files at every
+  /// checkpoint, keeping steady-state memory flat over unbounded horizons;
+  /// SnapshotRelease reads them back on demand.
+  bool checkpoint_spill_history = true;
 
   /// Upper bound Validate accepts for num_threads.
   static constexpr int kMaxThreads = 256;
@@ -185,6 +204,57 @@ struct RetraSynConfig {
   /// crashing the process. TrajectoryService::Create and the engine
   /// constructor both route through this.
   Status Validate() const;
+};
+
+/// \brief The complete mutable state of a RetraSynEngine at a round boundary
+/// — everything a restored engine needs to continue the byte-identical
+/// sequence an uninterrupted run would produce. Purely derived state (the
+/// transition-sampler cache, which rebuilds deterministically from the
+/// restored model, and the wall-clock accumulators) is deliberately absent.
+/// Produced by SaveCheckpointState, persisted by the checkpoint subsystem
+/// (src/checkpoint/), consumed by RestoreCheckpointState.
+struct EngineCheckpointState {
+  // RNG + collection progress.
+  std::array<uint64_t, 4> rng_state = {0, 0, 0, 0};
+  bool collected_once = false;
+  uint64_t total_reports = 0;
+
+  // Global mobility model (stored frequencies are already clamped).
+  std::vector<double> model_freq;
+  bool model_initialized = false;
+
+  // Synthesizer: the evolving T_syn. `finished` holds only the in-memory
+  // remainder — history the checkpoint manager spilled to disk is carried by
+  // the checkpoint's manifest, not here. `total_points` counts spilled
+  // points too.
+  std::vector<CellStream> live;
+  std::vector<CellStream> finished;
+  uint64_t total_points = 0;
+  bool synth_initialized = false;
+
+  // Adaptive-allocation histories (Eq. 9-10).
+  int64_t allocator_rounds_recorded = 0;
+  std::deque<std::vector<double>> allocator_freq_history;
+  std::deque<double> allocator_ratio_history;
+
+  // Budget ledger (budget division; the clock advances under population too).
+  std::deque<std::pair<int64_t, double>> ledger_spends;
+  double ledger_window_sum = 0.0;
+  int64_t ledger_last_t = std::numeric_limits<int64_t>::min();
+  double ledger_max_window_spend = 0.0;
+
+  // Report-per-window audit, sorted by user for deterministic bytes.
+  std::vector<std::pair<uint64_t, int64_t>> tracker_last_report;
+  bool tracker_violation = false;
+  int64_t tracker_num_reports = 0;
+
+  // Dense per-user bookkeeping, at its exact current size (the size itself
+  // steers future geometric growth, so it is part of the replayed behavior).
+  std::vector<uint8_t> status;
+  std::vector<int64_t> report_slot;  ///< kRandom only, else empty
+  std::deque<std::pair<int64_t, std::vector<uint32_t>>> reported_at;
+  std::deque<std::pair<int64_t, std::vector<uint32_t>>> quitted_at;
+  uint64_t total_retired = 0;
 };
 
 /// \brief Per-component wall-clock accumulators (paper Table V).
@@ -241,6 +311,25 @@ class RetraSynEngine : public StreamReleaseEngine {
   /// Current size of the dense per-user bookkeeping — bounded by the index
   /// high-water mark, which recycling keeps at O(peak live + window churn).
   size_t dense_user_slots() const { return status_.size(); }
+
+  // --- Checkpointing (src/checkpoint/) ------------------------------------
+
+  /// Captures the engine's complete mutable state. Call only at a round
+  /// boundary (after Observe returns); under SyncPolicy::kAsync that means
+  /// on the closer worker, where the service's checkpoint trigger runs.
+  EngineCheckpointState SaveCheckpointState() const;
+
+  /// Restores a freshly constructed engine (same StateSpace + config as the
+  /// checkpointed one — the checkpoint fingerprint enforces that upstream)
+  /// to the captured state. Rejects structurally impossible state with
+  /// InvalidArgument instead of corrupting dense bookkeeping.
+  Status RestoreCheckpointState(EngineCheckpointState state);
+
+  /// Moves the synthesizer's finished-stream history out (history spill):
+  /// the caller becomes responsible for serving those streams in snapshots.
+  std::vector<CellStream> TakeFinishedStreams() {
+    return synthesizer_.TakeFinished();
+  }
 
  private:
   enum class UserStatus : uint8_t { kUnknown = 0, kActive, kInactive, kQuitted };

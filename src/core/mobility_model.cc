@@ -37,6 +37,16 @@ void GlobalMobilityModel::UpdateStates(const std::vector<StateId>& selected,
   }
 }
 
+void GlobalMobilityModel::Restore(std::vector<double> frequencies,
+                                  bool initialized) {
+  RETRASYN_CHECK(frequencies.size() == freq_.size());
+  freq_ = std::move(frequencies);
+  initialized_ = initialized;
+  ++version_;
+  replace_version_ = version_;
+  dirty_log_.clear();
+}
+
 std::vector<double> GlobalMobilityModel::MoveAndQuitDistribution(
     CellId from) const {
   const Grid& grid = states_->grid();

@@ -40,6 +40,13 @@ class GlobalMobilityModel {
   void UpdateStates(const std::vector<StateId>& selected,
                     const std::vector<double>& frequencies);
 
+  /// Restores a checkpointed model verbatim: \p frequencies must have one
+  /// entry per state (already clamped — ReplaceAll/UpdateStates never store
+  /// negatives, and restore must not re-transform the bytes it was handed).
+  /// Counts as a full invalidation for change tracking, so a consumer cache
+  /// rebuilt against the restored model re-derives every cell.
+  void Restore(std::vector<double> frequencies, bool initialized);
+
   double frequency(StateId s) const { return freq_[s]; }
   const std::vector<double>& frequencies() const { return freq_; }
   bool initialized() const { return initialized_; }

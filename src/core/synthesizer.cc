@@ -271,6 +271,21 @@ void Synthesizer::Step(const GlobalMobilityModel& model,
   if (deficit > 0) Spawn(model, deficit, t, rng);
 }
 
+std::vector<CellStream> Synthesizer::TakeFinished() {
+  std::vector<CellStream> taken = std::move(finished_);
+  finished_.clear();
+  return taken;
+}
+
+void Synthesizer::Restore(std::vector<CellStream> live,
+                          std::vector<CellStream> finished,
+                          uint64_t total_points, bool initialized) {
+  live_ = std::move(live);
+  finished_ = std::move(finished);
+  total_points_ = total_points;
+  initialized_ = initialized;
+}
+
 CellStreamSet Synthesizer::Snapshot(int64_t num_timestamps) const {
   CellStreamSet out(num_timestamps);
   for (const CellStream& s : finished_) out.Add(s).CheckOK();

@@ -129,6 +129,25 @@ class Synthesizer {
   /// benches assert rebuilds track model changes, not sample counts).
   const SamplerCacheStats& cache_stats() const { return cache_.stats(); }
 
+  // --- Checkpoint / history-spill hooks ------------------------------------
+
+  /// Streams that already terminated (the per-horizon history Snapshot
+  /// serves before the live set).
+  const std::vector<CellStream>& finished_streams() const { return finished_; }
+
+  /// Moves the finished history out, leaving it empty; live streams and
+  /// counters are untouched. Snapshot() afterwards covers only the remainder,
+  /// so the caller owns re-prepending the extracted prefix (the checkpoint
+  /// manager serves it from spill files).
+  std::vector<CellStream> TakeFinished();
+
+  /// Restores a checkpointed synthesizer verbatim. \p total_points counts
+  /// every point ever generated, including points in spilled (taken) history.
+  /// The sampler cache is left stale on purpose: restoring the model counts
+  /// as a full invalidation, so the next Step rebuilds it deterministically.
+  void Restore(std::vector<CellStream> live, std::vector<CellStream> finished,
+               uint64_t total_points, bool initialized);
+
  private:
   void Spawn(const GlobalMobilityModel& model, uint32_t count, int64_t t,
              Rng& rng);

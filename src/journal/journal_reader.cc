@@ -4,9 +4,21 @@
 #include <utility>
 
 #include "common/file_io.h"
+#include "journal/journal_compaction.h"
 #include "journal/journal_writer.h"
 
 namespace retrasyn {
+
+namespace {
+
+bool IsTempFileName(const std::string& name) {
+  constexpr char kSuffix[] = ".tmp";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  return name.size() >= kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
+
+}  // namespace
 
 Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
   JournalScan scan;
@@ -16,15 +28,57 @@ Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
     return names.status();
   }
 
+  // Compaction summary first: it decides which segment files are data and
+  // which are corpses a crashed retirement left behind.
+  auto base = ReadJournalBase(dir);
+  uint64_t first_surviving_index = 0;
+  if (base.ok()) {
+    first_surviving_index = base.value().first_surviving_index;
+    scan.base_round = base.value().base_round;
+  } else if (base.status().code() != StatusCode::kNotFound) {
+    return base.status();
+  }
+
   std::vector<std::pair<uint64_t, std::string>> segments;
   for (const std::string& name : names.value()) {
+    // Orphaned tmp files are atomic writes that never renamed; the write
+    // they belonged to never happened, so they are garbage under any name.
+    if (IsTempFileName(name)) {
+      RETRASYN_RETURN_NOT_OK(RemoveFile(dir + "/" + name));
+      ++scan.files_cleaned;
+      continue;
+    }
     uint64_t index = 0;
     if (JournalWriter::ParseSegmentFileName(name, &index)) {
+      if (index < first_surviving_index) {
+        // Durably declared dead by BASE; the unlink just never finished.
+        RETRASYN_RETURN_NOT_OK(RemoveFile(dir + "/" + name));
+        ++scan.files_cleaned;
+        continue;
+      }
       segments.emplace_back(index, name);
     }
   }
+  if (scan.files_cleaned > 0) RETRASYN_RETURN_NOT_OK(SyncDir(dir));
   std::sort(segments.begin(), segments.end());
-  if (segments.empty()) return scan;
+  if (segments.empty()) {
+    if (first_surviving_index > 0) {
+      // BASE promises a surviving suffix that is not there: the compacted
+      // prefix is unreplayable, so this is data loss, not a fresh journal.
+      return Status::IOError(
+          "journal BASE declares surviving segments from " +
+          JournalWriter::SegmentFileName(first_surviving_index) +
+          " but the directory holds none");
+    }
+    return scan;
+  }
+  if (first_surviving_index > 0 && segments[0].first != first_surviving_index) {
+    return Status::IOError(
+        "journal BASE declares " +
+        JournalWriter::SegmentFileName(first_surviving_index) +
+        " as the first surviving segment but the scan found " +
+        segments[0].second);
+  }
   for (size_t i = 0; i < segments.size(); ++i) {
     if (segments[i].first != segments[0].first + i) {
       return Status::IOError("journal segment gap: " + segments[i].second +
@@ -32,6 +86,9 @@ Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
     }
   }
 
+  // Absolute closed-round cursor across segments, continuing from the
+  // compacted-away prefix.
+  int64_t round_cursor = scan.base_round;
   for (size_t i = 0; i < segments.size(); ++i) {
     const bool last = (i + 1 == segments.size());
     const std::string path = dir + "/" + segments[i].second;
@@ -47,7 +104,10 @@ Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
     // then continues in a fresh segment *after* it — so an old 0-byte file
     // can end up mid-journal. No acknowledged record can be lost this way:
     // a segment gets bytes before its successor is ever created.
-    if (data.empty()) continue;
+    if (data.empty()) {
+      scan.segments.push_back(ScannedSegment{segments[i].first, round_cursor});
+      continue;
+    }
 
     size_t offset = 0;
     uint64_t fingerprint = 0;
@@ -68,6 +128,11 @@ Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
       while (offset < data.size()) {
         st = DecodeRecord(data.data(), data.size(), &offset, &event);
         if (!st.ok()) break;
+        if (event.type == JournalEventType::kTick) {
+          ++round_cursor;
+        } else if (event.type == JournalEventType::kAdvanceTo) {
+          round_cursor = std::max(round_cursor, event.target_t);
+        }
         scan.events.push_back(event);
       }
     }
@@ -83,6 +148,7 @@ Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
       scan.valid_tail_size =
           static_cast<int64_t>(offset < kSegmentHeaderSize ? 0 : offset);
     }
+    scan.segments.push_back(ScannedSegment{segments[i].first, round_cursor});
   }
   return scan;
 }

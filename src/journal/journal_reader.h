@@ -27,11 +27,29 @@
 
 namespace retrasyn {
 
+/// \brief One scanned segment and the absolute closed-round count at its
+/// end (base_round + every boundary decoded up to and including it). The
+/// checkpoint manager seeds its compaction bookkeeping from these.
+struct ScannedSegment {
+  uint64_t index = 0;
+  int64_t end_round = 0;
+};
+
 /// \brief The result of scanning a journal directory.
 struct JournalScan {
   std::vector<JournalEvent> events;  ///< decoded, in append order
   uint64_t num_segments = 0;
   uint64_t bytes_scanned = 0;
+  /// Absolute closed rounds summarized by a compacted-away prefix (from the
+  /// BASE file; 0 when the journal was never compacted). The decoded events
+  /// continue round numbering from here.
+  int64_t base_round = 0;
+  /// The surviving segments in index order, each with its absolute end
+  /// round. Empty for an empty/missing journal.
+  std::vector<ScannedSegment> segments;
+  /// Orphaned `*.tmp` files (a crash mid atomic write) and segments below
+  /// the BASE that a crashed compaction left behind, deleted by the scan.
+  uint64_t files_cleaned = 0;
   /// Deployment fingerprint from the segment headers (all segments must
   /// agree; mismatching segments fail the scan). Meaningless unless
   /// has_fingerprint — a journal of only empty segments carries none.
@@ -50,7 +68,11 @@ struct JournalScan {
 class JournalReader {
  public:
   /// Scans every segment under \p dir. See the header comment for the
-  /// tolerance rules.
+  /// tolerance rules. Also performs the journal's crash janitor duties:
+  /// deletes orphaned `*.tmp` files (an atomic write that never renamed)
+  /// and segments a durable BASE file has declared dead (a compaction that
+  /// crashed between its BASE write and its unlinks). Callers that mutate
+  /// the journal afterwards must hold the `<dir>/LOCK` before scanning.
   static Result<JournalScan> ScanDir(const std::string& dir);
 };
 

@@ -215,7 +215,15 @@ Status JournalWriter::Append(const JournalEvent& event) {
       ++rounds_appended_;
       // Rotate only at a durable round boundary: every finished segment ends
       // on a closed round, so a torn tail can only live in the last one.
-      if (segment_size_ >= options_.segment_bytes) st = RotateSegment();
+      if (segment_size_ >= options_.segment_bytes) {
+        {
+          std::lock_guard<std::mutex> l(sealed_mu_);
+          sealed_.push_back(SealedSegment{
+              next_segment_index_ - 1,
+              base_round_ + static_cast<int64_t>(rounds_appended_)});
+        }
+        st = RotateSegment();
+      }
     }
   }
   if (!st.ok()) {
@@ -225,6 +233,13 @@ Status JournalWriter::Append(const JournalEvent& event) {
   ++records_appended_;
   bytes_appended_ += record_bytes;
   return Status::OK();
+}
+
+std::vector<SealedSegment> JournalWriter::TakeSealedSegments() {
+  std::lock_guard<std::mutex> l(sealed_mu_);
+  std::vector<SealedSegment> taken = std::move(sealed_);
+  sealed_.clear();
+  return taken;
 }
 
 Status JournalWriter::Sync() {

@@ -36,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/file_io.h"
 #include "common/status.h"
@@ -43,6 +44,15 @@
 #include "journal/journal_options.h"
 
 namespace retrasyn {
+
+/// \brief A finished (rotated-away) segment: its file index and the absolute
+/// closed-round count at its end. The checkpoint manager uses end_round to
+/// decide when a whole segment has left the retention horizon and can be
+/// deleted by compaction.
+struct SealedSegment {
+  uint64_t index = 0;
+  int64_t end_round = 0;
+};
 
 class JournalWriter {
  public:
@@ -88,6 +98,18 @@ class JournalWriter {
   /// before doing work the failure would strand.
   Status status() const { return error_; }
 
+  /// Seeds the absolute closed-round count this writer's rounds continue
+  /// from: recovery passes the number of rounds already in the journal, a
+  /// fresh deployment passes 0 (the default). Call right after
+  /// Open/OpenLocked, before the first Append, so sealed segments carry
+  /// absolute end rounds.
+  void set_base_round(int64_t base) { base_round_ = base; }
+
+  /// Drains the segments sealed (rotated away) since the last call, each
+  /// tagged with the absolute closed-round count at its end. Thread-safe:
+  /// the checkpoint manager's worker drains while the ingest thread appends.
+  std::vector<SealedSegment> TakeSealedSegments();
+
   const std::string& dir() const { return dir_; }
   uint64_t records_appended() const { return records_appended_; }
   uint64_t rounds_appended() const { return rounds_appended_; }
@@ -129,8 +151,13 @@ class JournalWriter {
   uint64_t rounds_appended_ = 0;
   uint64_t segments_created_ = 0;
   uint64_t bytes_appended_ = 0;
+  int64_t base_round_ = 0;  ///< absolute rounds preceding this writer's first
   Status error_;  ///< first I/O failure; sticky
   bool closed_ = false;
+
+  /// Segments rotated away and not yet drained by TakeSealedSegments().
+  std::mutex sealed_mu_;
+  std::vector<SealedSegment> sealed_;
 
   // Background data presync (kEveryRound): one worker, started lazily on
   // the first BeginRoundSync, fdatasync-ing the current segment while the

@@ -43,6 +43,22 @@ class BudgetLedger {
   /// w-event guarantee holds iff this never exceeds total() (+ float slack).
   double MaxWindowSpend() const { return max_window_spend_; }
 
+  // --- Checkpoint state ----------------------------------------------------
+
+  const std::deque<std::pair<int64_t, double>>& spends() const {
+    return spends_;
+  }
+  double window_sum() const { return window_sum_; }
+  int64_t last_t() const { return last_t_; }
+
+  void Restore(std::deque<std::pair<int64_t, double>> spends,
+               double window_sum, int64_t last_t, double max_window_spend) {
+    spends_ = std::move(spends);
+    window_sum_ = window_sum;
+    last_t_ = last_t;
+    max_window_spend_ = max_window_spend;
+  }
+
  private:
   void EvictBefore(int64_t t_min);
 
@@ -67,6 +83,19 @@ class ReportWindowTracker {
 
   bool HasViolation() const { return violation_; }
   int64_t num_reports() const { return num_reports_; }
+
+  // --- Checkpoint state ----------------------------------------------------
+
+  const std::unordered_map<uint64_t, int64_t>& last_reports() const {
+    return last_report_;
+  }
+
+  void Restore(std::unordered_map<uint64_t, int64_t> last_report,
+               bool violation, int64_t num_reports) {
+    last_report_ = std::move(last_report);
+    violation_ = violation;
+    num_reports_ = num_reports;
+  }
 
  private:
   int window_;

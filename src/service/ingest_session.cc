@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -156,6 +157,95 @@ size_t IngestSession::num_retiring_indices() const {
   size_t n = 0;
   for (const auto& [round, indices] : quitted_at_) n += indices.size();
   return n;
+}
+
+SessionCheckpointState IngestSession::SaveCheckpointState() const {
+  RETRASYN_CHECK_MSG(pending_.empty(),
+                     "checkpoint capture requires a round boundary");
+  SessionCheckpointState state;
+  state.open_round = open_round_;
+  state.next_stream_index = next_stream_index_;
+  state.active.reserve(active_.size());
+  for (const auto& [user, stream] : active_) {
+    state.active.push_back(SessionCheckpointState::ActiveEntry{
+        user, stream.stream_index, stream.last_cell});
+  }
+  std::sort(state.active.begin(), state.active.end(),
+            [](const SessionCheckpointState::ActiveEntry& a,
+               const SessionCheckpointState::ActiveEntry& b) {
+              return a.user < b.user;
+            });
+  state.quitted_at = quitted_at_;
+  state.free_indices = free_indices_;
+  return state;
+}
+
+Status IngestSession::RestoreCheckpointState(SessionCheckpointState state) {
+  if (open_round_ != 0 || next_stream_index_ != 0 || !active_.empty() ||
+      !pending_.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoint state can only be restored into a fresh session");
+  }
+  if (state.open_round < 0) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint: negative open round");
+  }
+  if (state.next_stream_index > kMaxStreamIndex) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint: stream-index high-water mark " +
+        std::to_string(state.next_stream_index) + " exceeds the cap");
+  }
+  if (!options_.recycle_stream_indices &&
+      (!state.quitted_at.empty() || !state.free_indices.empty())) {
+    return Status::InvalidArgument(
+        "checkpoint carries index-recycling state but recycling is disabled");
+  }
+  // Every index must sit below the high-water mark and live in at most one
+  // place (a live stream, a retiring bucket, or the free list).
+  std::unordered_set<uint32_t> seen;
+  auto claim_index = [&](uint32_t index) {
+    return index < state.next_stream_index && seen.insert(index).second;
+  };
+  for (size_t i = 0; i < state.active.size(); ++i) {
+    const SessionCheckpointState::ActiveEntry& e = state.active[i];
+    if (!claim_index(e.stream_index) || e.last_cell >= states_->num_cells() ||
+        (i > 0 && e.user <= state.active[i - 1].user)) {
+      return Status::InvalidArgument(
+          "corrupt checkpoint: invalid live-stream entry for user " +
+          std::to_string(e.user));
+    }
+  }
+  int64_t prev_round = INT64_MIN;
+  for (const auto& [round, indices] : state.quitted_at) {
+    if (round <= prev_round || round >= state.open_round) {
+      return Status::InvalidArgument(
+          "corrupt checkpoint: retirement bucket rounds out of order");
+    }
+    prev_round = round;
+    for (uint32_t index : indices) {
+      if (!claim_index(index)) {
+        return Status::InvalidArgument(
+            "corrupt checkpoint: invalid retiring stream index " +
+            std::to_string(index));
+      }
+    }
+  }
+  for (uint32_t index : state.free_indices) {
+    if (!claim_index(index)) {
+      return Status::InvalidArgument(
+          "corrupt checkpoint: invalid free stream index " +
+          std::to_string(index));
+    }
+  }
+  open_round_ = state.open_round;
+  next_stream_index_ = state.next_stream_index;
+  active_.reserve(state.active.size());
+  for (const SessionCheckpointState::ActiveEntry& e : state.active) {
+    active_.emplace(e.user, ActiveStream{e.stream_index, e.last_cell});
+  }
+  quitted_at_ = std::move(state.quitted_at);
+  free_indices_ = std::move(state.free_indices);
+  return Status::OK();
 }
 
 Status IngestSession::Tick() {
@@ -324,7 +414,12 @@ Status IngestSession::Tick() {
   active_ = std::move(next_active);
   pending_.clear();
   num_pending_enters_ = 0;
+  const int64_t sealed_round = open_round_;
   ++open_round_;
+  // Fire the commit hook only when the boundary record reached the journal:
+  // a checkpoint captured here must never describe a round the journal does
+  // not hold, or recovery could not bridge from checkpoint to journal tail.
+  if (journaled.ok() && commit_hook_) commit_hook_(sealed_round);
   return journaled;
 }
 

@@ -68,6 +68,27 @@ struct IngestSessionOptions {
   int window = 0;
 };
 
+/// \brief Everything a checkpoint needs to reconstruct a session at a round
+/// boundary (where pending events are empty by construction). Captured via
+/// IngestSession::SaveCheckpointState and reinstated on recovery via
+/// RestoreCheckpointState; containers are in deterministic order so two
+/// captures of the same logical state serialize byte-identically.
+struct SessionCheckpointState {
+  int64_t open_round = 0;
+  uint32_t next_stream_index = 0;
+  struct ActiveEntry {
+    uint64_t user = 0;
+    uint32_t stream_index = 0;
+    CellId last_cell = 0;
+  };
+  /// Live streams, sorted by user id.
+  std::vector<ActiveEntry> active;
+  /// Quit-round buckets awaiting retirement, oldest first.
+  std::deque<std::pair<int64_t, std::vector<uint32_t>>> quitted_at;
+  /// Retired indices awaiting reuse, FIFO in retirement order.
+  std::deque<uint32_t> free_indices;
+};
+
 class IngestSession {
  public:
   /// Receives each closed round's batch (timestamps are sequential from 0).
@@ -144,6 +165,26 @@ class IngestSession {
     next_stream_index_ = next;
   }
 
+  /// Captures the session's round-boundary state for a checkpoint. Only legal
+  /// between rounds — no buffered events — which the round-commit hook point
+  /// satisfies by construction.
+  SessionCheckpointState SaveCheckpointState() const;
+
+  /// Reinstates checkpointed state into a freshly constructed session (no
+  /// rounds closed, no events buffered). Validates index-lifecycle integrity
+  /// — every index below the high-water mark, held in at most one place —
+  /// and refuses corrupt state with kInvalidArgument.
+  Status RestoreCheckpointState(SessionCheckpointState state);
+
+  /// Invoked at the end of every successful Tick() — after the round has
+  /// committed in memory AND its boundary record reached the journal — with
+  /// the sealed round's timestamp. The checkpoint subsystem hooks this to
+  /// capture SaveCheckpointState() at a consistent boundary; a checkpoint
+  /// therefore never describes a round the journal does not yet hold.
+  void SetRoundCommitHook(std::function<void(int64_t)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
  private:
   struct PendingRound {
     bool quit = false;          ///< explicit Quit buffered this round
@@ -165,6 +206,7 @@ class IngestSession {
   RoundHandler handler_;
   IngestSessionOptions options_;
   JournalWriter* journal_ = nullptr;  ///< not owned; null = no journaling
+  std::function<void(int64_t)> commit_hook_;
   int64_t open_round_ = 0;
   uint32_t next_stream_index_ = 0;
 

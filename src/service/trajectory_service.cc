@@ -1,8 +1,10 @@
 #include "service/trajectory_service.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/file_io.h"
 
@@ -107,6 +109,49 @@ Result<std::unique_ptr<JournalWriter>> MaybeOpenJournal(
   return JournalWriter::Open(options.journal_dir, journal);
 }
 
+/// The checkpoint subsystem's options from the service's: the same
+/// fingerprint the journal stamps, retirement window = the w-event window.
+/// The cadence/retention knobs are deliberately NOT fingerprinted — they may
+/// change across restarts without invalidating durable state.
+CheckpointOptions CheckpointOptionsFor(const ServiceOptions& options,
+                                       uint64_t fingerprint) {
+  CheckpointOptions checkpoint;
+  checkpoint.dir = options.checkpoint_dir;
+  checkpoint.every_rounds = options.checkpoint_every_rounds;
+  checkpoint.retain = options.checkpoint_retain;
+  checkpoint.spill_history = options.checkpoint_spill_history;
+  checkpoint.fingerprint = fingerprint;
+  checkpoint.window = options.recycle_window;
+  checkpoint.journal_dir = options.journal_dir;
+  return checkpoint;
+}
+
+/// Checkpointing serializes the engine's dense state, which only a
+/// RetraSynEngine can do; a custom engine must keep the full-replay model.
+Status CheckCheckpointable(const ServiceOptions& options,
+                           const StreamReleaseEngine* engine) {
+  if (options.checkpoint_every_rounds > 0 &&
+      dynamic_cast<const RetraSynEngine*>(engine) == nullptr) {
+    return Status::InvalidArgument(
+        "checkpointing requires a RetraSynEngine (custom engines have no "
+        "serializable checkpoint state); leave checkpoint_every_rounds at 0");
+  }
+  return Status::OK();
+}
+
+/// Opens the checkpoint manager when checkpointing is enabled; nullptr (OK)
+/// when it is not. Runs BEFORE the journal writer opens so a stale
+/// checkpoint directory is refused without leaving a fresh journal segment
+/// behind.
+Result<std::unique_ptr<CheckpointManager>> MaybeOpenCheckpoints(
+    const ServiceOptions& options, uint64_t fingerprint, bool require_fresh) {
+  if (options.checkpoint_every_rounds <= 0) {
+    return std::unique_ptr<CheckpointManager>();
+  }
+  return CheckpointManager::Open(CheckpointOptionsFor(options, fingerprint),
+                                 require_fresh);
+}
+
 }  // namespace
 
 TrajectoryService::TrajectoryService(const StateSpace& states,
@@ -120,6 +165,7 @@ TrajectoryService::TrajectoryService(const StateSpace& states,
       engine_(engine),
       journal_(std::move(journal)) {
   retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
+  retrasyn_mutable_ = dynamic_cast<RetraSynEngine*>(engine_);
   IngestSessionOptions session_options;
   session_options.recycle_stream_indices = options.recycle_stream_indices;
   session_options.window = options.recycle_window;
@@ -127,6 +173,19 @@ TrajectoryService::TrajectoryService(const StateSpace& states,
       states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); },
       session_options);
   if (journal_ != nullptr) session_->AttachJournal(journal_.get());
+  if (options.checkpoint_every_rounds > 0) {
+    // The session half of a due checkpoint, captured on the ingest thread the
+    // moment the round boundary is durable in the journal (the hook only
+    // fires for journaled boundaries). checkpoint_ attaches after
+    // construction — and stays null throughout recovery replay, so replay
+    // never rewrites checkpoints — hence the re-check at fire time.
+    session_->SetRoundCommitHook([this](int64_t sealed_round) {
+      if (checkpoint_ != nullptr && checkpoint_->DueAt(sealed_round)) {
+        checkpoint_->OnRoundCommitted(sealed_round,
+                                      session_->SaveCheckpointState());
+      }
+    });
+  }
   if (options.sync_policy == SyncPolicy::kAsync && !defer_async_closer) {
     ArmCloser(options);
   }
@@ -144,8 +203,11 @@ void TrajectoryService::ArmCloser(const ServiceOptions& options) {
 }
 
 TrajectoryService::~TrajectoryService() {
-  // Stop the async workers before the engine and session they close over.
+  // Stop the async workers before the engine and session they close over;
+  // the closer first (it hands the checkpoint manager engine halves), then
+  // the checkpoint worker (it drains sealed segments from the journal).
   closer_.reset();
+  checkpoint_.reset();
 }
 
 ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
@@ -158,6 +220,10 @@ ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
   options.journal.segment_bytes = config.journal_segment_bytes;
   options.recycle_stream_indices = config.recycle_stream_indices;
   options.recycle_window = config.window;
+  options.checkpoint_every_rounds = config.checkpoint_every_rounds;
+  options.checkpoint_dir = config.checkpoint_dir;
+  options.checkpoint_retain = config.checkpoint_retain;
+  options.checkpoint_spill_history = config.checkpoint_spill_history;
   return options;
 }
 
@@ -176,6 +242,20 @@ Status ServiceOptions::Validate() const {
         "window governing when a quitted stream's index retires), got " +
         std::to_string(recycle_window));
   }
+  if (checkpoint_every_rounds < 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every_rounds must be >= 0 (0 disables checkpointing), "
+        "got " +
+        std::to_string(checkpoint_every_rounds));
+  }
+  if (checkpoint_every_rounds > 0) {
+    if (journal_dir.empty()) {
+      return Status::InvalidArgument(
+          "checkpointing requires a journal (journal_dir): a checkpoint only "
+          "bridges recovery to the journal suffix behind it");
+    }
+    RETRASYN_RETURN_NOT_OK(CheckpointOptionsFor(*this, 0).Validate());
+  }
   return Status::OK();
 }
 
@@ -184,14 +264,22 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
   RETRASYN_RETURN_NOT_OK(config.Validate());
   const ServiceOptions options = ServiceOptions::FromConfig(config);
   RETRASYN_RETURN_NOT_OK(options.Validate());
-  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true,
-                                  DeploymentFingerprint(states, config));
+  const uint64_t fingerprint = DeploymentFingerprint(states, config);
+  auto checkpoint =
+      MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
+  if (!checkpoint.ok()) return checkpoint.status();
+  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true, fingerprint);
   if (!journal.ok()) return journal.status();
   auto engine = std::make_unique<RetraSynEngine>(states, config);
   StreamReleaseEngine* raw = engine.get();
-  return std::unique_ptr<TrajectoryService>(
+  std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, std::move(engine), raw, options,
                             std::move(journal).value()));
+  if (checkpoint.value() != nullptr) {
+    service->checkpoint_ = std::move(checkpoint).value();
+    service->checkpoint_->AttachJournal(service->journal_.get());
+  }
+  return service;
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
@@ -201,13 +289,22 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
     return Status::InvalidArgument("engine must not be null");
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
-  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true,
-                                  DeploymentFingerprint(states, engine->name()));
+  RETRASYN_RETURN_NOT_OK(CheckCheckpointable(options, engine.get()));
+  const uint64_t fingerprint = DeploymentFingerprint(states, engine->name());
+  auto checkpoint =
+      MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
+  if (!checkpoint.ok()) return checkpoint.status();
+  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true, fingerprint);
   if (!journal.ok()) return journal.status();
   StreamReleaseEngine* raw = engine.get();
-  return std::unique_ptr<TrajectoryService>(
+  std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, std::move(engine), raw, options,
                             std::move(journal).value()));
+  if (checkpoint.value() != nullptr) {
+    service->checkpoint_ = std::move(checkpoint).value();
+    service->checkpoint_->AttachJournal(service->journal_.get());
+  }
+  return service;
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
@@ -217,12 +314,21 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
     return Status::InvalidArgument("engine must not be null");
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
-  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true,
-                                  DeploymentFingerprint(states, engine->name()));
+  RETRASYN_RETURN_NOT_OK(CheckCheckpointable(options, engine));
+  const uint64_t fingerprint = DeploymentFingerprint(states, engine->name());
+  auto checkpoint =
+      MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
+  if (!checkpoint.ok()) return checkpoint.status();
+  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true, fingerprint);
   if (!journal.ok()) return journal.status();
-  return std::unique_ptr<TrajectoryService>(
+  std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, nullptr, engine, options,
                             std::move(journal).value()));
+  if (checkpoint.value() != nullptr) {
+    service->checkpoint_ = std::move(checkpoint).value();
+    service->checkpoint_->AttachJournal(service->journal_.get());
+  }
+  return service;
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Recover(
@@ -294,16 +400,60 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
         TruncateFile(scan.torn_segment, scan.valid_tail_size));
   }
 
+  // Load the newest usable checkpoint (checkpointing configured only). A
+  // structurally valid checkpoint under the wrong fingerprint fails loudly
+  // here — never a silent fall-through to full replay.
+  RETRASYN_RETURN_NOT_OK(CheckCheckpointable(options, engine));
+  CheckpointState ckpt;
+  bool have_checkpoint = false;
+  std::vector<int64_t> surviving;
+  if (options.checkpoint_every_rounds > 0) {
+    auto loaded = CheckpointManager::LoadForRecovery(options.checkpoint_dir,
+                                                     fingerprint, &surviving);
+    if (loaded.ok()) {
+      ckpt = std::move(loaded).value();
+      have_checkpoint = true;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+  if (!have_checkpoint && scan.base_round > 0) {
+    return Status::IOError(
+        "journal in " + options.journal_dir + " was compacted past round " +
+        std::to_string(scan.base_round) +
+        " but no usable checkpoint covers the retired prefix (checkpoint "
+        "directory missing, wiped, or checkpointing disabled); the service "
+        "cannot be reconstructed");
+  }
+  if (have_checkpoint && ckpt.round < scan.base_round) {
+    return Status::IOError(
+        "newest usable checkpoint (round " + std::to_string(ckpt.round) +
+        ") predates the journal's compaction base (round " +
+        std::to_string(scan.base_round) +
+        "); the rounds between them are unrecoverable");
+  }
+
   // Replay inline — the closer stays un-armed even under kAsync, and the
-  // journal stays detached so replayed events are not re-journaled.
+  // journal stays detached so replayed events are not re-journaled. With a
+  // checkpoint, restore its state first and replay only the journal suffix
+  // behind its round.
   std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, std::move(owned), engine, options,
                             /*journal=*/nullptr, /*defer_async_closer=*/true));
-  RETRASYN_RETURN_NOT_OK(service->ReplayJournal(scan.events));
+  int64_t resume_round = scan.base_round;
+  if (have_checkpoint) {
+    resume_round = ckpt.round;
+    RETRASYN_RETURN_NOT_OK(service->retrasyn_mutable_->RestoreCheckpointState(
+        std::move(ckpt.engine)));
+    RETRASYN_RETURN_NOT_OK(
+        service->session_->RestoreCheckpointState(std::move(ckpt.session)));
+  }
+  RETRASYN_RETURN_NOT_OK(
+      service->ReplayJournal(scan.events, scan.base_round, resume_round));
 
   // Re-arm: async closing per the config, then the journal writer, which
   // adopts the held lock and continues in a fresh segment after the
-  // replayed ones.
+  // replayed ones (its round accounting continues from the replayed total).
   if (options.sync_policy == SyncPolicy::kAsync) service->ArmCloser(options);
   JournalOptions journal_options = options.journal;
   journal_options.fingerprint = fingerprint;
@@ -311,14 +461,45 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
                                           std::move(lock).value());
   if (!writer.ok()) return writer.status();
   service->journal_ = std::move(writer).value();
+  service->journal_->set_base_round(service->rounds_closed());
   service->session_->AttachJournal(service->journal_.get());
+
+  // Finally the checkpoint subsystem, seeded with the recovered manifest,
+  // the surviving checkpoints, and the scanned segments (its future
+  // retirement candidates).
+  if (options.checkpoint_every_rounds > 0) {
+    auto manager =
+        MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/false);
+    if (!manager.ok()) return manager.status();
+    service->checkpoint_ = std::move(manager).value();
+    service->checkpoint_->AttachJournal(service->journal_.get());
+    RETRASYN_RETURN_NOT_OK(service->checkpoint_->SeedRecovered(
+        ckpt, std::move(surviving), scan.segments));
+  }
   return service;
 }
 
 Status TrajectoryService::ReplayJournal(
-    const std::vector<JournalEvent>& events) {
+    const std::vector<JournalEvent>& events, int64_t base_round,
+    int64_t resume_round) {
+  // Rounds closed before events[i]'s round. While it trails resume_round the
+  // event's effect is already inside the restored checkpoint — count round
+  // boundaries but feed nothing to the session. One exception: an AdvanceTo
+  // that straddles the checkpoint boundary is applied, because the restored
+  // session already sits at resume_round and advancing closes exactly the
+  // suffix rounds the checkpoint does not cover.
+  int64_t round = base_round;
   for (size_t i = 0; i < events.size(); ++i) {
     const JournalEvent& e = events[i];
+    const bool skip =
+        round < resume_round && !(e.type == JournalEventType::kAdvanceTo &&
+                                  e.target_t > resume_round);
+    if (e.type == JournalEventType::kTick) {
+      ++round;
+    } else if (e.type == JournalEventType::kAdvanceTo) {
+      round = std::max(round, e.target_t);
+    }
+    if (skip) continue;
     Status st;
     switch (e.type) {
       case JournalEventType::kEnter:
@@ -355,6 +536,10 @@ void TrajectoryService::AddSink(ReleaseSink* sink) {
 }
 
 Status TrajectoryService::OnRound(TimestampBatch batch) {
+  // A poisoned checkpoint subsystem fails the Tick cleanly BEFORE the round
+  // is consumed: the session rolls back, the journal is untouched, and the
+  // journal always outruns the checkpoints — Recover loses nothing.
+  if (checkpoint_ != nullptr) RETRASYN_RETURN_NOT_OK(checkpoint_->status());
   if (closer_ != nullptr) return closer_->Submit(std::move(batch));
   // Surface a previous sink failure before consuming another round, mirroring
   // the async pipeline's poisoned state.
@@ -380,6 +565,19 @@ Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) 
   // on the closer worker — the ingest thread's own, independently derived
   // retirement never races it.
   if (retrasyn_ != nullptr) round.retired = retrasyn_->retired_last_round();
+  if (checkpoint_ != nullptr && checkpoint_->DueAt(batch.t)) {
+    // Engine half of the due checkpoint, captured right after Observe on the
+    // round-closing thread. Spilling first keeps the dense state and the
+    // spill manifest disjoint: the checkpoint's finished set excludes every
+    // stream the spill registry now owns.
+    std::vector<CellStream> spilled;
+    if (checkpoint_->options().spill_history) {
+      spilled = retrasyn_mutable_->TakeFinishedStreams();
+    }
+    checkpoint_->OnRoundClosed(batch.t,
+                               retrasyn_mutable_->SaveCheckpointState(),
+                               std::move(spilled));
+  }
   bool have_sinks;
   {
     std::lock_guard<std::mutex> l(sinks_mu_);
@@ -409,8 +607,12 @@ Status TrajectoryService::Deliver(const RoundRelease& round) {
 }
 
 Status TrajectoryService::Drain() {
-  if (closer_ == nullptr) return inline_error_;
-  return closer_->Drain();
+  RETRASYN_RETURN_NOT_OK(closer_ == nullptr ? inline_error_
+                                            : closer_->Drain());
+  // Checkpoint barrier: every captured round durable (or the sticky failure
+  // surfaced) before Drain reports clean.
+  if (checkpoint_ != nullptr) return checkpoint_->WaitIdle();
+  return Status::OK();
 }
 
 Result<CellStreamSet> TrajectoryService::SnapshotRelease() const {
@@ -445,6 +647,18 @@ Result<CellStreamSet> TrajectoryService::SnapshotRelease(
           " rounds); Drain() the service before snapshotting");
     }
     RETRASYN_RETURN_NOT_OK(closer_->deferred_error());
+  }
+  if (checkpoint_ != nullptr && checkpoint_->has_spilled_history()) {
+    // Spilled history first (ascending checkpoint round, original order
+    // within), then the engine's remaining finished + live streams: the
+    // concatenation reproduces the no-spill snapshot byte-for-byte.
+    CellStreamSet merged(num_timestamps);
+    RETRASYN_RETURN_NOT_OK(checkpoint_->AppendSpilledHistory(&merged));
+    const CellStreamSet rest = engine_->SnapshotRelease(num_timestamps);
+    for (const CellStream& s : rest.streams()) {
+      RETRASYN_RETURN_NOT_OK(merged.Add(s));
+    }
+    return merged;
   }
   return engine_->SnapshotRelease(num_timestamps);
 }

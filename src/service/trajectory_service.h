@@ -42,6 +42,7 @@
 #include <mutex>
 #include <vector>
 
+#include "checkpoint/checkpoint_manager.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/release_sink.h"
@@ -73,6 +74,19 @@ struct ServiceOptions {
   /// recycle by default.
   bool recycle_stream_indices = false;
   int recycle_window = 0;
+  /// Periodic checkpointing + journal compaction (checkpoint_manager.h):
+  /// every N closed rounds the service captures its full state into
+  /// checkpoint_dir and retires journal segments older than the oldest
+  /// retained checkpoint minus the w-window, so recovery replays O(window)
+  /// rounds instead of the full horizon. Requires journal_dir (a checkpoint
+  /// only bridges to a journal suffix) and a RetraSynEngine (custom engines
+  /// have no serializable state). 0 disables checkpointing.
+  int64_t checkpoint_every_rounds = 0;
+  std::string checkpoint_dir;
+  int checkpoint_retain = 2;
+  /// Spill closed synthetic streams to history files at every checkpoint,
+  /// keeping steady-state memory flat over unbounded horizons.
+  bool checkpoint_spill_history = true;
 
   /// The service-layer fields of \p config, verbatim.
   static ServiceOptions FromConfig(const RetraSynConfig& config);
@@ -179,6 +193,9 @@ class TrajectoryService {
   /// The attached event journal; nullptr when journaling is disabled.
   const JournalWriter* journal() const { return journal_.get(); }
 
+  /// The checkpoint + compaction subsystem; nullptr when disabled.
+  const CheckpointManager* checkpoint() const { return checkpoint_.get(); }
+
   /// The underlying engine when it is a RetraSynEngine (always the case for
   /// Create()-built services); nullptr otherwise. Exposes privacy accounting
   /// (budget ledger, report tracker) to auditors.
@@ -195,8 +212,12 @@ class TrajectoryService {
 
   /// Builds the async round-closing pipeline (kAsync only).
   void ArmCloser(const ServiceOptions& options);
-  /// Feeds recovered events through the (inline) session.
-  Status ReplayJournal(const std::vector<JournalEvent>& events);
+  /// Feeds recovered events through the (inline) session. \p base_round is
+  /// the round count the journal's first event continues from (BASE file);
+  /// events belonging to rounds before \p resume_round are skipped — a
+  /// restored checkpoint already holds their effect.
+  Status ReplayJournal(const std::vector<JournalEvent>& events,
+                       int64_t base_round, int64_t resume_round);
   /// Shared recovery flow behind Recover/RecoverWithEngine/RecoverAttached:
   /// lock, fingerprint check, tail truncation, inline replay, re-arm.
   static Result<std::unique_ptr<TrajectoryService>> RecoverImpl(
@@ -217,8 +238,12 @@ class TrajectoryService {
   std::unique_ptr<StreamReleaseEngine> owned_engine_;
   StreamReleaseEngine* engine_;      ///< owned_engine_.get() or caller-owned
   const RetraSynEngine* retrasyn_ = nullptr;
+  /// Mutable view of retrasyn_, for checkpoint capture/restore (state
+  /// save/take/restore are non-const). Null for custom engines.
+  RetraSynEngine* retrasyn_mutable_ = nullptr;
   std::unique_ptr<IngestSession> session_;
   std::unique_ptr<JournalWriter> journal_;  ///< null = journaling disabled
+  std::unique_ptr<CheckpointManager> checkpoint_;  ///< null = disabled
 
   mutable std::mutex sinks_mu_;  ///< AddSink vs. the delivery worker
   std::vector<ReleaseSink*> sinks_;
