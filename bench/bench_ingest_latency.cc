@@ -17,17 +17,47 @@
 // Quick mode for CI smoke runs: --quick shrinks the workload.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/file_io.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/release_server.h"
 #include "geo/state_space.h"
 #include "service/trajectory_service.h"
+
+/// Global allocation counter, so the sharded sweep can pin the seal-buffer
+/// reuse claim ("steady state allocates nothing proportional to the
+/// population") with a measured allocs-per-round number instead of prose.
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_allocated_bytes{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace retrasyn {
 namespace {
@@ -133,9 +163,125 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
   return result;
 }
 
+/// A row of the sharded ingest throughput sweep.
+struct ShardResult {
+  int shards = 0;
+  uint32_t users = 0;
+  int rounds = 0;
+  bool reuse_buffers = true;
+  double events_per_s = 0.0;
+  double tick_mean_ms = 0.0;   ///< seal + merge + commit, per round
+  double seal_s = 0.0;         ///< cumulative parallel per-shard seal
+  double merge_s = 0.0;        ///< cumulative k-way merge
+  double commit_s = 0.0;       ///< cumulative post-handler commit
+  double allocs_per_round = 0.0;  ///< steady-state (first round excluded)
+  double alloc_bytes_per_round = 0.0;  ///< ditto, bytes requested
+};
+
+/// Observe/LiveDensity no-ops: the sweep measures the ingest path (shard
+/// locking, seal, merge, commit), not synthesis — that is bench_round_latency.
+class NullEngine : public StreamReleaseEngine {
+ public:
+  void Observe(const TimestampBatch&) override {}
+  CellStreamSet SnapshotRelease(int64_t n) const override {
+    return CellStreamSet(n);
+  }
+  std::vector<uint32_t> LiveDensity() const override { return {}; }
+  CellStreamSet Finish(int64_t n) override { return CellStreamSet(n); }
+  std::string name() const override { return "bench-null"; }
+};
+
+/// The session's user -> shard hash (splitmix64 finalizer), replicated so
+/// each producer thread feeds exactly one shard — the intended deployment
+/// shape (shard-affine producers never contend on a shard mutex).
+uint64_t ShardOf(uint64_t user, int shards) {
+  uint64_t x = user + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x % static_cast<uint64_t>(shards);
+}
+
+ShardResult RunShardSweep(const StateSpace& states, const BoundingBox& box,
+                          int shards, uint32_t users, int rounds,
+                          bool reuse_buffers) {
+  ServiceOptions options;
+  options.ingest_shards = shards;
+  options.reuse_seal_buffers = reuse_buffers;
+  auto service = TrajectoryService::CreateWithEngine(
+      states, std::make_unique<NullEngine>(), options);
+  service.status().CheckOK();
+  IngestSession& session = service.value()->session();
+
+  // Shard-affine user lists, fixed report points (the ingest cost is in
+  // validation + locking + seal, not in where the point lands).
+  std::vector<std::vector<uint64_t>> by_shard(static_cast<size_t>(shards));
+  for (uint64_t u = 0; u < users; ++u) {
+    by_shard[ShardOf(u, shards)].push_back(u);
+  }
+  auto point_of = [&](uint64_t u) {
+    return Point{box.min_x + (static_cast<double>(u % 997) / 997.0) * box.Width(),
+                 box.min_y +
+                     (static_cast<double>(u % 991) / 991.0) * box.Height()};
+  };
+
+  ShardResult result;
+  result.shards = shards;
+  result.users = users;
+  result.rounds = rounds;
+  result.reuse_buffers = reuse_buffers;
+  uint64_t steady_allocs = 0;
+  uint64_t steady_bytes = 0;
+  Stopwatch total;
+  for (int t = 0; t < rounds; ++t) {
+    std::vector<std::thread> producers;
+    producers.reserve(by_shard.size());
+    for (const std::vector<uint64_t>& mine : by_shard) {
+      producers.emplace_back([&session, &mine, &point_of, t] {
+        for (uint64_t u : mine) {
+          (t == 0 ? session.Enter(u, point_of(u))
+                  : session.Move(u, point_of(u + static_cast<uint64_t>(t))))
+              .CheckOK();
+        }
+      });
+    }
+    for (auto& thread : producers) thread.join();
+    // The allocation count covers the seal + merge + commit inside Tick()
+    // (the reuse knob's domain), not the producers' pending-event buffering.
+    // Rounds 0 and 1 are warmup: round 0 runs with every buffer cold, and
+    // round 1 is the first with live streams, so the entry and observation
+    // buffers grow once to their steady capacity there. The claim is steady
+    // state, which starts at round 2.
+    const uint64_t allocs_before = g_allocations.load();
+    const uint64_t bytes_before = g_allocated_bytes.load();
+    session.Tick().CheckOK();
+    if (t > 1) {
+      steady_allocs += g_allocations.load() - allocs_before;
+      steady_bytes += g_allocated_bytes.load() - bytes_before;
+    }
+  }
+  const double elapsed = total.ElapsedSeconds();
+  service.value()->Drain().CheckOK();
+
+  const IngestStats stats = service.value()->ingest_stats();
+  result.events_per_s =
+      static_cast<double>(users) * static_cast<double>(rounds) / elapsed;
+  result.tick_mean_ms =
+      (stats.seal_seconds + stats.merge_seconds + stats.commit_seconds) /
+      static_cast<double>(rounds) * 1e3;
+  result.seal_s = stats.seal_seconds;
+  result.merge_s = stats.merge_seconds;
+  result.commit_s = stats.commit_seconds;
+  result.allocs_per_round =
+      rounds > 2 ? static_cast<double>(steady_allocs) / (rounds - 2) : 0.0;
+  result.alloc_bytes_per_round =
+      rounds > 2 ? static_cast<double>(steady_bytes) / (rounds - 2) : 0.0;
+  return result;
+}
+
 bool WriteJson(const std::string& path, uint32_t grid_k, uint32_t users,
-               int rounds, int threads,
-               const std::vector<ModeResult>& results) {
+               int rounds, int threads, const std::vector<ModeResult>& results,
+               const std::vector<ShardResult>& shard_results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "[\n");
@@ -150,7 +296,23 @@ bool WriteJson(const std::string& path, uint32_t grid_k, uint32_t users,
         "\"tick_mean_ms\": %.4f, \"drain_ms\": %.2f, \"total_s\": %.3f}%s\n",
         grid_k, users, rounds, m.queue_capacity, threads, m.mode.c_str(),
         m.journaled ? "every_round" : "off", m.p50_ms, m.p99_ms, m.max_ms,
-        m.mean_ms, m.drain_ms, m.total_s, i + 1 < results.size() ? "," : "");
+        m.mean_ms, m.drain_ms, m.total_s,
+        i + 1 < results.size() || !shard_results.empty() ? "," : "");
+  }
+  const int cores = ThreadPool::DefaultConcurrency();
+  for (size_t i = 0; i < shard_results.size(); ++i) {
+    const ShardResult& r = shard_results[i];
+    std::fprintf(
+        f,
+        "  {\"bench\": \"ingest_sharded\", \"shards\": %d, \"users\": %u, "
+        "\"rounds\": %d, \"cores\": %d, \"reuse_seal_buffers\": %s, "
+        "\"events_per_s\": %.0f, \"tick_mean_ms\": %.3f, "
+        "\"seal_s\": %.4f, \"merge_s\": %.4f, \"commit_s\": %.4f, "
+        "\"allocs_per_round\": %.1f, \"alloc_bytes_per_round\": %.0f}%s\n",
+        r.shards, r.users, r.rounds, cores,
+        r.reuse_buffers ? "true" : "false", r.events_per_s, r.tick_mean_ms,
+        r.seal_s, r.merge_s, r.commit_s, r.allocs_per_round,
+        r.alloc_bytes_per_round, i + 1 < shard_results.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -212,7 +374,48 @@ int Main(int argc, char** argv) {
                  m.queue_capacity, m.p50_ms, m.p99_ms, m.max_ms, m.drain_ms,
                  m.total_s);
   }
-  if (!WriteJson(json_path, grid_k, users, rounds, threads, results)) {
+
+  // Sharded ingest throughput sweep: shard count x live population, against
+  // a no-op engine so the measurement isolates the ingest path. Expect
+  // near-linear scaling in min(shards, cores) — the "cores" JSON field
+  // records what the host could actually exercise. The pinned reuse-off rows
+  // measure what the seal-buffer reuse saves: with reuse on, steady-state
+  // allocs per round is O(1); off, it is O(population).
+  std::vector<ShardResult> shard_results;
+  if (!flags.GetBool("no_sweep", false)) {
+    const std::vector<uint32_t> populations =
+        quick ? std::vector<uint32_t>{20'000}
+              : std::vector<uint32_t>{65'536, 262'144, 1'048'576};
+    const std::vector<int> shard_counts =
+        quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+    const int sweep_rounds = static_cast<int>(
+        flags.GetInt("sweep_rounds", quick ? 4 : 6));
+    for (uint32_t population : populations) {
+      for (int shards : shard_counts) {
+        shard_results.push_back(RunShardSweep(states, box, shards, population,
+                                              sweep_rounds,
+                                              /*reuse_buffers=*/true));
+      }
+    }
+    // The allocation A/B pair, pinned at the smallest population.
+    shard_results.push_back(RunShardSweep(states, box, shard_counts.back(),
+                                          populations.front(), sweep_rounds,
+                                          /*reuse_buffers=*/false));
+    for (const ShardResult& r : shard_results) {
+      std::fprintf(stderr,
+                   "shards=%d users=%7u rounds=%d reuse=%-3s  "
+                   "%10.0f events/s  tick mean=%7.3f ms  "
+                   "(seal %.3fs merge %.3fs commit %.3fs)  "
+                   "allocs/round=%.1f (%.0f KiB)\n",
+                   r.shards, r.users, r.rounds, r.reuse_buffers ? "on" : "off",
+                   r.events_per_s, r.tick_mean_ms, r.seal_s, r.merge_s,
+                   r.commit_s, r.allocs_per_round,
+                   r.alloc_bytes_per_round / 1024.0);
+    }
+  }
+
+  if (!WriteJson(json_path, grid_k, users, rounds, threads, results,
+                 shard_results)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }

@@ -72,7 +72,12 @@ Status CheckpointOptions::Validate() const {
 }
 
 CheckpointManager::CheckpointManager(CheckpointOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  journals_.resize(options_.journal_dirs.size());
+  for (size_t i = 0; i < journals_.size(); ++i) {
+    journals_[i].dir = options_.journal_dirs[i];
+  }
+}
 
 Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
     const CheckpointOptions& options, bool require_fresh) {
@@ -106,18 +111,30 @@ CheckpointManager::~CheckpointManager() {
   if (worker_.joinable()) worker_.join();
 }
 
-void CheckpointManager::AttachJournal(JournalWriter* journal) {
+void CheckpointManager::AttachJournals(std::vector<JournalWriter*> journals) {
   std::lock_guard<std::mutex> l(mu_);
-  journal_ = journal;
+  if (journals.empty()) {
+    for (JournalRetireState& j : journals_) j.writer = nullptr;
+    return;
+  }
+  RETRASYN_CHECK_MSG(journals.size() == journals_.size(),
+                     "AttachJournals needs one writer per journal_dirs entry");
+  for (size_t i = 0; i < journals_.size(); ++i) {
+    journals_[i].writer = journals[i];
+  }
 }
 
 Status CheckpointManager::SeedRecovered(
     const CheckpointState& state, std::vector<int64_t> surviving_rounds,
-    const std::vector<ScannedSegment>& segments) {
+    const std::vector<std::vector<ScannedSegment>>& segments_per_journal) {
   std::lock_guard<std::mutex> l(mu_);
   if (busy_ || !ready_.empty() || !pending_.empty()) {
     return Status::FailedPrecondition(
         "SeedRecovered must run before the first captured round");
+  }
+  if (segments_per_journal.size() != journals_.size()) {
+    return Status::InvalidArgument(
+        "SeedRecovered needs one segment list per journal_dirs entry");
   }
   std::lock_guard<std::mutex> sl(spill_mu_);
   spills_.clear();
@@ -132,14 +149,16 @@ Status CheckpointManager::SeedRecovered(
   if (!retained_rounds_.empty()) {
     last_checkpoint_round_ = retained_rounds_.back();
   }
-  retire_candidates_.clear();
-  for (const ScannedSegment& segment : segments) {
-    retire_candidates_.push_back(
-        SealedSegment{segment.index, segment.end_round});
-  }
-  if (!retire_candidates_.empty()) {
-    first_live_segment_ = retire_candidates_.front().index;
-    first_live_segment_known_ = true;
+  for (size_t i = 0; i < journals_.size(); ++i) {
+    JournalRetireState& j = journals_[i];
+    j.candidates.clear();
+    for (const ScannedSegment& segment : segments_per_journal[i]) {
+      j.candidates.push_back(SealedSegment{segment.index, segment.end_round});
+    }
+    if (!j.candidates.empty()) {
+      j.first_live = j.candidates.front().index;
+      j.first_live_known = true;
+    }
   }
   return Status::OK();
 }
@@ -298,45 +317,50 @@ Status CheckpointManager::PruneCheckpoints() {
 }
 
 Status CheckpointManager::RetireJournalPrefix() {
-  if (options_.journal_dir.empty() || retained_rounds_.empty()) {
+  if (journals_.empty() || retained_rounds_.empty()) {
     return Status::OK();
-  }
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    if (journal_ != nullptr) {
-      for (SealedSegment segment : journal_->TakeSealedSegments()) {
-        retire_candidates_.push_back(segment);
-      }
-    }
-  }
-  std::sort(retire_candidates_.begin(), retire_candidates_.end(),
-            [](const SealedSegment& a, const SealedSegment& b) {
-              return a.index < b.index;
-            });
-  if (!first_live_segment_known_ && !retire_candidates_.empty()) {
-    first_live_segment_ = retire_candidates_.front().index;
-    first_live_segment_known_ = true;
   }
   // Recovery may fall back to the OLDEST retained checkpoint, and its replay
   // suffix must reach back a full window behind that round; everything a
-  // sealed segment holds at or before the cutoff is unreachable.
+  // sealed segment holds at or before the cutoff is unreachable. The cutoff
+  // is global; each shard journal's segments retire against it
+  // independently (every shard journal closes every round).
   const int64_t cutoff =
       retained_rounds_.front() - static_cast<int64_t>(options_.window);
   uint64_t retired_now = 0;
-  int64_t base_round = 0;
-  while (!retire_candidates_.empty() &&
-         retire_candidates_.front().index == first_live_segment_ &&
-         retire_candidates_.front().end_round <= cutoff) {
-    base_round = retire_candidates_.front().end_round;
-    first_live_segment_ = retire_candidates_.front().index + 1;
-    retire_candidates_.erase(retire_candidates_.begin());
-    ++retired_now;
+  for (JournalRetireState& j : journals_) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (j.writer != nullptr) {
+        for (SealedSegment segment : j.writer->TakeSealedSegments()) {
+          j.candidates.push_back(segment);
+        }
+      }
+    }
+    std::sort(j.candidates.begin(), j.candidates.end(),
+              [](const SealedSegment& a, const SealedSegment& b) {
+                return a.index < b.index;
+              });
+    if (!j.first_live_known && !j.candidates.empty()) {
+      j.first_live = j.candidates.front().index;
+      j.first_live_known = true;
+    }
+    uint64_t journal_retired = 0;
+    int64_t base_round = 0;
+    while (!j.candidates.empty() && j.candidates.front().index == j.first_live &&
+           j.candidates.front().end_round <= cutoff) {
+      base_round = j.candidates.front().end_round;
+      j.first_live = j.candidates.front().index + 1;
+      j.candidates.erase(j.candidates.begin());
+      ++journal_retired;
+    }
+    if (journal_retired == 0) continue;
+    RETRASYN_RETURN_NOT_OK(
+        RetireJournalSegments(j.dir, j.first_live, base_round));
+    j.retired_base_round = base_round;
+    retired_now += journal_retired;
   }
   if (retired_now == 0) return Status::OK();
-  RETRASYN_RETURN_NOT_OK(RetireJournalSegments(options_.journal_dir,
-                                               first_live_segment_,
-                                               base_round));
-  retired_base_round_ = base_round;
   std::lock_guard<std::mutex> l(mu_);
   segments_retired_ += retired_now;
   return Status::OK();

@@ -65,9 +65,12 @@ struct CheckpointOptions {
   /// The w-event window; journal retirement keeps a full window of rounds
   /// behind the oldest retained checkpoint.
   int window = 0;
-  /// The journal directory compaction retires segments from; empty disables
-  /// retirement (checkpoints still bound recovery *time*, not disk).
-  std::string journal_dir;
+  /// The journal directories compaction retires segments from — one per
+  /// ingest shard (a single entry for unsharded deployments); empty disables
+  /// retirement (checkpoints still bound recovery *time*, not disk). Every
+  /// shard journal carries one boundary record per round, so one cutoff
+  /// round drives retirement in all of them independently.
+  std::vector<std::string> journal_dirs;
 
   Status Validate() const;
 };
@@ -99,18 +102,20 @@ class CheckpointManager {
   CheckpointManager& operator=(const CheckpointManager&) = delete;
   ~CheckpointManager();
 
-  /// The journal whose sealed segments retirement may delete (not owned;
-  /// null detaches — retirement then only considers recovery-seeded
-  /// segments).
-  void AttachJournal(JournalWriter* journal);
+  /// The journals whose sealed segments retirement may delete (not owned),
+  /// one per entry of options.journal_dirs, in the same order; an empty
+  /// vector detaches — retirement then only considers recovery-seeded
+  /// segments.
+  void AttachJournals(std::vector<JournalWriter*> journals);
 
   /// Seeds post-recovery bookkeeping: the recovered checkpoint's spill
   /// manifest (served file-backed from day one), the surviving checkpoint
-  /// rounds (retention), and the scanned journal segments (retirement
-  /// candidates whose suffix the new writer continues).
-  Status SeedRecovered(const CheckpointState& state,
-                       std::vector<int64_t> surviving_rounds,
-                       const std::vector<ScannedSegment>& segments);
+  /// rounds (retention), and the scanned journal segments — one vector per
+  /// entry of options.journal_dirs — as retirement candidates whose suffix
+  /// the new writers continue.
+  Status SeedRecovered(
+      const CheckpointState& state, std::vector<int64_t> surviving_rounds,
+      const std::vector<std::vector<ScannedSegment>>& segments_per_journal);
 
   /// True when a checkpoint is due at the round boundary that sealed round
   /// \p t — i.e. every `every_rounds` closed rounds.
@@ -169,6 +174,17 @@ class CheckpointManager {
     SessionCheckpointState session;
   };
 
+  /// Per-journal retirement bookkeeping, one per options.journal_dirs entry.
+  struct JournalRetireState {
+    std::string dir;
+    JournalWriter* writer = nullptr;  ///< not owned; null = detached
+    // Worker-only once the worker owns it.
+    std::vector<SealedSegment> candidates;  ///< sorted by index
+    uint64_t first_live = 0;   ///< lowest journal index not retired
+    bool first_live_known = false;
+    int64_t retired_base_round = 0;  ///< rounds summarized by retired prefix
+  };
+
   explicit CheckpointManager(CheckpointOptions options);
 
   void WorkerLoop();
@@ -189,14 +205,11 @@ class CheckpointManager {
   Status error_;  ///< first failure; sticky
   std::map<int64_t, PendingCapture> pending_;  ///< halves awaiting their pair
   std::deque<int64_t> ready_;                  ///< fully captured rounds
-  JournalWriter* journal_ = nullptr;           ///< not owned
 
-  // Worker-only state (no lock needed once the worker owns it).
+  // Worker-only state (no lock needed once the worker owns it), except the
+  // writer pointers inside (guarded by mu_ like the old journal_ field).
+  std::vector<JournalRetireState> journals_;
   std::vector<int64_t> retained_rounds_;       ///< on-disk checkpoints, asc
-  std::vector<SealedSegment> retire_candidates_;  ///< sorted by index
-  uint64_t first_live_segment_ = 0;  ///< lowest journal index not retired
-  bool first_live_segment_known_ = false;
-  int64_t retired_base_round_ = 0;   ///< rounds summarized by retired prefix
 
   mutable std::mutex spill_mu_;
   std::vector<SpillEntry> spills_;  ///< ascending by round

@@ -66,6 +66,26 @@ Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
   return names;
 }
 
+Result<std::vector<std::string>> ListSubdirectories(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return Status::IOError(ErrnoMessage("opendir", dir));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 Result<int64_t> FileSize(const std::string& path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
@@ -141,12 +161,28 @@ Result<std::string> MakeTempDir(const std::string& prefix,
 }
 
 Status RemoveDirTree(const std::string& dir) {
-  auto names = ListDirectory(dir);
-  if (!names.ok()) {
-    if (names.status().code() == StatusCode::kNotFound) return Status::OK();
-    return names.status();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError(ErrnoMessage("opendir", dir));
   }
-  for (const std::string& name : names.value()) {
+  std::vector<std::string> files;
+  std::vector<std::string> subdirs;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      subdirs.push_back(name);
+    } else {
+      files.push_back(name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& name : subdirs) {
+    RETRASYN_RETURN_NOT_OK(RemoveDirTree(dir + "/" + name));
+  }
+  for (const std::string& name : files) {
     RETRASYN_RETURN_NOT_OK(RemoveFile(dir + "/" + name));
   }
   if (::rmdir(dir.c_str()) != 0) {

@@ -26,6 +26,10 @@ Status SyncDir(const std::string& dir);
 /// \brief Names (not paths) of the regular files in \p dir, sorted.
 Result<std::vector<std::string>> ListDirectory(const std::string& dir);
 
+/// \brief Names (not paths) of the subdirectories of \p dir, sorted
+/// ("." and ".." excluded). NotFound when \p dir itself does not exist.
+Result<std::vector<std::string>> ListSubdirectories(const std::string& dir);
+
 /// \brief Size of the file at \p path in bytes.
 Result<int64_t> FileSize(const std::string& path);
 
@@ -53,8 +57,8 @@ Status RenameFile(const std::string& from, const std::string& to);
 Result<std::string> MakeTempDir(const std::string& prefix,
                                 const std::string& base_dir = "");
 
-/// \brief Removes every regular file in \p dir, then \p dir itself (the
-/// flat layout journal directories use; does not recurse into subdirs).
+/// \brief Removes \p dir and everything beneath it, recursing into
+/// subdirectories (sharded journal directories hold one subdir per shard).
 Status RemoveDirTree(const std::string& dir);
 
 /// \brief An exclusive advisory lock on a file (LevelDB-style LOCK file),

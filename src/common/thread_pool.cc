@@ -12,6 +12,11 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   }
 }
 
+int ThreadPool::DefaultConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -46,6 +46,12 @@ class ThreadPool {
   /// Total executors (background workers + the calling thread).
   int num_threads() const { return num_threads_; }
 
+  /// The hardware's concurrency, floored at 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms). The natural pool size for CPU-bound work
+  /// like per-shard batch sealing: more threads than cores just adds
+  /// scheduling churn.
+  static int DefaultConcurrency();
+
   /// Runs fn(chunk) for every chunk in [0, num_chunks) and returns when all
   /// have completed. Chunks are claimed dynamically (an atomic ticket), so
   /// uneven chunks balance across workers. Safe to call from multiple threads

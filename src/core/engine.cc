@@ -59,6 +59,16 @@ Status RetraSynConfig::Validate() const {
         "num_threads " + std::to_string(num_threads) +
         " exceeds the sanity cap of " + std::to_string(kMaxThreads));
   }
+  if (ingest_shards < 1) {
+    return Status::InvalidArgument(
+        "ingest_shards must be >= 1 (1 = unsharded ingestion), got " +
+        std::to_string(ingest_shards));
+  }
+  if (ingest_shards > kMaxIngestShards) {
+    return Status::InvalidArgument(
+        "ingest_shards " + std::to_string(ingest_shards) +
+        " exceeds the sanity cap of " + std::to_string(kMaxIngestShards));
+  }
   // round_queue_capacity and the journal_*/checkpoint_* fields are
   // service-layer state
   // (ignored by bare engines); ServiceOptions::Validate owns their checks,

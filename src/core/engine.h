@@ -153,6 +153,23 @@ struct RetraSynConfig {
   /// byte-identical index assignments, and the released bytes are identical
   /// with recycling on or off. false = legacy cumulative indices for A/B.
   bool recycle_stream_indices = true;
+  /// Ingest shards: the service's IngestSession partitions users across this
+  /// many shards (hash of user id), each owning its slice of validation,
+  /// pending-event state, and — when journaling — its own journal segment
+  /// stream under journal_dir/shard-NNN. Shards admit events concurrently
+  /// (one producer thread per shard scales batch production across cores);
+  /// Tick() seals every shard in parallel and k-way-merges the sorted shard
+  /// batches into the same deterministic observation sequence a single shard
+  /// produces, so for a fixed shard count the released bytes are identical
+  /// to ingest_shards = 1. The shard count is part of the deployment
+  /// fingerprint: a journal written under N shards only replays under N.
+  /// Values above kMaxIngestShards are rejected by Validate.
+  int ingest_shards = 1;
+  /// When true (default) the session reuses its per-shard seal scratch and
+  /// recycles TimestampBatch observation buffers across rounds, so sealing
+  /// at steady state allocates nothing proportional to the population.
+  /// false = allocate fresh per round (A/B; byte-identical output).
+  bool reuse_seal_buffers = true;
   /// kAsync moves the round-closing work off the ingest thread onto a
   /// dedicated closer worker per service (the parallel synthesis inside still
   /// uses thread_pool/num_threads). For a fixed (seed, num_threads) the
@@ -199,6 +216,8 @@ struct RetraSynConfig {
 
   /// Upper bound Validate accepts for num_threads.
   static constexpr int kMaxThreads = 256;
+  /// Upper bound Validate accepts for ingest_shards.
+  static constexpr int kMaxIngestShards = 64;
 
   /// Rejects nonsensical configurations with a descriptive error instead of
   /// crashing the process. TrajectoryService::Create and the engine

@@ -125,15 +125,24 @@ Result<JournalScan> JournalReader::ScanDir(const std::string& dir) {
     }
     if (st.ok()) {
       JournalEvent event;
+      size_t last_record_start = 0;
+      bool any_records = false;
       while (offset < data.size()) {
+        const size_t record_start = offset;
         st = DecodeRecord(data.data(), data.size(), &offset, &event);
         if (!st.ok()) break;
+        last_record_start = record_start;
+        any_records = true;
         if (event.type == JournalEventType::kTick) {
           ++round_cursor;
         } else if (event.type == JournalEventType::kAdvanceTo) {
           round_cursor = std::max(round_cursor, event.target_t);
         }
         scan.events.push_back(event);
+      }
+      if (any_records) {
+        scan.last_record_segment = path;
+        scan.last_record_offset = static_cast<int64_t>(last_record_start);
       }
     }
     if (!st.ok()) {

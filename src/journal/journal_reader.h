@@ -63,6 +63,15 @@ struct JournalScan {
   bool torn = false;
   std::string torn_segment;
   int64_t valid_tail_size = 0;
+
+  /// Path of the segment holding the final decoded record and the byte
+  /// offset where that record starts. Sharded recovery's handle for
+  /// dropping a trailing round boundary that a sibling shard's journal
+  /// never got (a crash or I/O failure mid-boundary): truncating
+  /// `last_record_segment` to `last_record_offset` removes exactly that
+  /// record. Meaningful only when `events` is non-empty.
+  std::string last_record_segment;
+  int64_t last_record_offset = 0;
 };
 
 class JournalReader {

@@ -66,6 +66,27 @@ bool JournalWriter::ParseSegmentFileName(const std::string& name,
   return true;
 }
 
+std::string ShardJournalDirName(int shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%03d", shard);
+  return buf;
+}
+
+bool ParseShardJournalDirName(const std::string& name, int* shard) {
+  // shard-NNN, at least 3 digits.
+  constexpr char kPrefix[] = "shard-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.size() < kPrefixLen + 3) return false;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  int value = 0;
+  for (size_t i = kPrefixLen; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + (name[i] - '0');
+  }
+  *shard = value;
+  return true;
+}
+
 Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
     const std::string& dir, const JournalOptions& options) {
   RETRASYN_RETURN_NOT_OK(CreateDirIfMissing(dir));

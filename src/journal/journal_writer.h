@@ -171,6 +171,17 @@ class JournalWriter {
   Status presync_error_;
 };
 
+/// `shard-%03d` — the per-shard journal subdirectory under the configured
+/// journal_dir when ingest_shards > 1. Each subdirectory is a complete
+/// journal in its own right (LOCK, segments, BASE); the flat layout is
+/// reserved for single-shard deployments, so a layout mismatch between the
+/// on-disk journal and the configured shard count is detectable before any
+/// record is read.
+std::string ShardJournalDirName(int shard);
+/// Parses a shard subdirectory name back into its shard index; false for
+/// other names.
+bool ParseShardJournalDirName(const std::string& name, int* shard);
+
 }  // namespace retrasyn
 
 #endif  // RETRASYN_JOURNAL_JOURNAL_WRITER_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace retrasyn {
 
@@ -24,6 +25,9 @@ Status ValidateLocation(const Point& p) {
   return Status::OK();
 }
 
+/// Observation buffers kept for reuse; beyond this, RecycleBatch frees.
+constexpr size_t kMaxPooledObservationBuffers = 8;
+
 }  // namespace
 
 IngestSession::IngestSession(const StateSpace& states, RoundHandler handler,
@@ -34,86 +38,196 @@ IngestSession::IngestSession(const StateSpace& states, RoundHandler handler,
       options_(options) {
   RETRASYN_CHECK(handler_ != nullptr);
   // Service-layer callers validate first (ServiceOptions::Validate) and
-  // surface a Status; reaching here with a window-less recycling config is a
-  // programming bug.
+  // surface a Status; reaching here with a window-less recycling config or a
+  // nonsensical shard count is a programming bug.
   RETRASYN_CHECK_MSG(!options_.recycle_stream_indices || options_.window >= 1,
                      "recycling requires a w-window of at least 1");
+  RETRASYN_CHECK_MSG(options_.num_shards >= 1,
+                     "an ingest session needs at least one shard");
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.num_shards > 1) {
+    seal_pool_ = std::make_unique<ThreadPool>(
+        std::min(options_.num_shards, ThreadPool::DefaultConcurrency()));
+  }
+}
+
+uint32_t IngestSession::ShardOf(uint64_t user, int num_shards) {
+  RETRASYN_DCHECK(num_shards >= 1);
+  // splitmix64 finalizer: sequential user ids spread evenly across shards.
+  uint64_t x = user + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % static_cast<uint64_t>(num_shards));
+}
+
+void IngestSession::AttachJournal(JournalWriter* journal) {
+  RETRASYN_CHECK_MSG(shards_.size() == 1,
+                     "AttachJournal is the single-shard entry point; sharded "
+                     "sessions attach one journal per shard (AttachJournals)");
+  shards_[0]->journal = journal;
+}
+
+void IngestSession::AttachJournals(std::vector<JournalWriter*> journals) {
+  if (journals.empty()) {
+    for (auto& shard : shards_) shard->journal = nullptr;
+    return;
+  }
+  RETRASYN_CHECK_MSG(journals.size() == shards_.size(),
+                     "a sharded session needs exactly one journal per shard");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    RETRASYN_CHECK(journals[i] != nullptr);
+    shards_[i]->journal = journals[i];
+  }
+}
+
+Status IngestSession::BoundaryPoison() const {
+  if (!boundary_poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  return poison_status_;
 }
 
 Status IngestSession::Enter(uint64_t user, const Point& location) {
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());
+  Shard& shard = shard_of(user);
+  std::lock_guard<std::mutex> l(shard.mu);
+  // Re-check under the lock: Tick() sets the poison while holding every
+  // shard mutex, so a producer that passed the fast-path check and then
+  // blocked here must not journal an event after a skewed boundary.
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());
+  Status st = EnterLocked(shard, user, location);
+  if (st.ok()) {
+    ++shard.events_accepted;
+  } else if (st.code() == StatusCode::kFailedPrecondition ||
+             st.code() == StatusCode::kInvalidArgument) {
+    ++shard.events_rejected;
+  }
+  return st;
+}
+
+Status IngestSession::EnterLocked(Shard& shard, uint64_t user,
+                                  const Point& location) {
   RETRASYN_RETURN_NOT_OK(ValidateLocation(location));
-  auto pending = pending_.find(user);
-  if (pending != pending_.end() && pending->second.has_location) {
+  auto pending = shard.pending.find(user);
+  if (pending != shard.pending.end() && pending->second.has_location) {
     return Status::FailedPrecondition(
         UserTag(user) + " already reported a location in round " +
         std::to_string(open_round_) + " (duplicate Enter?)");
   }
-  const bool active = active_.count(user) != 0;
-  const bool quitting = pending != pending_.end() && pending->second.quit;
+  const bool active = shard.active.count(user) != 0;
+  const bool quitting = pending != shard.pending.end() && pending->second.quit;
   if (active && !quitting) {
     return Status::FailedPrecondition(
         UserTag(user) + " already has a live stream; Move to report its next "
         "location or Quit to end it before re-entering");
   }
-  RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Enter(user, location)));
-  PendingRound& round = pending_[user];
+  if (shard.journal != nullptr) {
+    RETRASYN_RETURN_NOT_OK(
+        shard.journal->Append(JournalEvent::Enter(user, location)));
+  }
+  PendingRound& round = shard.pending[user];
   round.has_location = true;
   round.is_enter = true;
   round.cell = grid_->Locate(location);
-  ++num_pending_enters_;
+  ++shard.num_pending_enters;
+  ++shard.num_pending_events;
+  shard.peak_pending_events =
+      std::max<uint64_t>(shard.peak_pending_events, shard.num_pending_events);
   return Status::OK();
 }
 
 Status IngestSession::Move(uint64_t user, const Point& location) {
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());
+  Shard& shard = shard_of(user);
+  std::lock_guard<std::mutex> l(shard.mu);
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());  // see Enter
+  Status st = MoveLocked(shard, user, location);
+  if (st.ok()) {
+    ++shard.events_accepted;
+  } else if (st.code() == StatusCode::kFailedPrecondition ||
+             st.code() == StatusCode::kInvalidArgument) {
+    ++shard.events_rejected;
+  }
+  return st;
+}
+
+Status IngestSession::MoveLocked(Shard& shard, uint64_t user,
+                                 const Point& location) {
   RETRASYN_RETURN_NOT_OK(ValidateLocation(location));
-  auto pending = pending_.find(user);
-  if (pending != pending_.end() && pending->second.quit) {
+  auto pending = shard.pending.find(user);
+  if (pending != shard.pending.end() && pending->second.quit) {
     return Status::FailedPrecondition(
         UserTag(user) + " quit in round " + std::to_string(open_round_) +
         "; Enter to start a new stream");
   }
-  if (pending != pending_.end() && pending->second.has_location) {
+  if (pending != shard.pending.end() && pending->second.has_location) {
     return Status::FailedPrecondition(
         UserTag(user) + " already reported a location in round " +
         std::to_string(open_round_) + " (one report per timestamp)");
   }
-  auto active = active_.find(user);
-  if (active == active_.end()) {
+  auto active = shard.active.find(user);
+  if (active == shard.active.end()) {
     return Status::FailedPrecondition(
         UserTag(user) + " has no live stream at round " +
         std::to_string(open_round_) +
         " (never entered, quit, or lapsed by a reporting gap); Enter first");
   }
-  RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Move(user, location)));
-  PendingRound& round = pending_[user];
+  if (shard.journal != nullptr) {
+    RETRASYN_RETURN_NOT_OK(
+        shard.journal->Append(JournalEvent::Move(user, location)));
+  }
+  PendingRound& round = shard.pending[user];
   round.has_location = true;
   round.is_enter = false;
   round.cell = grid_->ClampToReachable(active->second.last_cell,
                                        grid_->Locate(location));
+  ++shard.num_pending_events;
+  shard.peak_pending_events =
+      std::max<uint64_t>(shard.peak_pending_events, shard.num_pending_events);
   return Status::OK();
 }
 
 Status IngestSession::Quit(uint64_t user) {
-  auto pending = pending_.find(user);
-  if (pending != pending_.end() && pending->second.quit &&
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());
+  Shard& shard = shard_of(user);
+  std::lock_guard<std::mutex> l(shard.mu);
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());  // see Enter
+  Status st = QuitLocked(shard, user);
+  if (st.ok()) {
+    ++shard.events_accepted;
+  } else if (st.code() == StatusCode::kFailedPrecondition ||
+             st.code() == StatusCode::kInvalidArgument) {
+    ++shard.events_rejected;
+  }
+  return st;
+}
+
+Status IngestSession::QuitLocked(Shard& shard, uint64_t user) {
+  auto pending = shard.pending.find(user);
+  if (pending != shard.pending.end() && pending->second.quit &&
       !pending->second.has_location) {
     return Status::FailedPrecondition(UserTag(user) + " already quit in round " +
                                       std::to_string(open_round_));
   }
-  if (pending != pending_.end() && pending->second.has_location) {
+  if (pending != shard.pending.end() && pending->second.has_location) {
     if (pending->second.is_enter) {
       // The enter is still buffered — no report left the device — so quitting
       // simply cancels it. An explicit quit buffered before the enter (the
       // Quit -> Enter -> Quit ordering) stays: it closes the *old* stream.
       // The cancellation is journaled as the raw Quit it is; replay repeats
       // the same cancellation deterministically.
-      RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Quit(user)));
-      --num_pending_enters_;
+      if (shard.journal != nullptr) {
+        RETRASYN_RETURN_NOT_OK(shard.journal->Append(JournalEvent::Quit(user)));
+      }
+      --shard.num_pending_enters;
+      --shard.num_pending_events;
       if (pending->second.quit) {
         pending->second.has_location = false;
         pending->second.is_enter = false;
       } else {
-        pending_.erase(pending);
+        shard.pending.erase(pending);
       }
       return Status::OK();
     }
@@ -123,34 +237,81 @@ Status IngestSession::Quit(uint64_t user) {
         "; the quit transition carries the previous round's location, so quit "
         "in the next round or just stop reporting");
   }
-  if (active_.count(user) == 0) {
+  if (shard.active.count(user) == 0) {
     return Status::FailedPrecondition(UserTag(user) +
                                       " has no live stream to quit");
   }
-  RETRASYN_RETURN_NOT_OK(JournalAppend(JournalEvent::Quit(user)));
-  pending_[user].quit = true;
+  if (shard.journal != nullptr) {
+    RETRASYN_RETURN_NOT_OK(shard.journal->Append(JournalEvent::Quit(user)));
+  }
+  shard.pending[user].quit = true;
+  ++shard.num_pending_quits;
+  ++shard.num_pending_events;
+  shard.peak_pending_events =
+      std::max<uint64_t>(shard.peak_pending_events, shard.num_pending_events);
   return Status::OK();
 }
 
-Status IngestSession::JournalAppend(const JournalEvent& event) {
-  if (journal_ == nullptr) return Status::OK();
-  return journal_->Append(event);
-}
-
 size_t IngestSession::num_active_users() const {
-  size_t quits = 0;
-  for (const auto& [user, round] : pending_) {
-    if (round.quit) ++quits;
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    n += shard->active.size() - shard->num_pending_quits +
+         shard->num_pending_enters;
   }
-  return active_.size() - quits + num_pending_enters_;
+  return n;
 }
 
 size_t IngestSession::num_pending_events() const {
   size_t n = 0;
-  for (const auto& [user, round] : pending_) {
-    n += (round.quit ? 1 : 0) + (round.has_location ? 1 : 0);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    n += shard->num_pending_events;
   }
   return n;
+}
+
+IngestStats IngestSession::stats() const {
+  IngestStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    IngestShardStats s;
+    s.events_accepted = shard->events_accepted;
+    s.events_rejected = shard->events_rejected;
+    s.pending_events = shard->num_pending_events;
+    s.peak_pending_events = shard->peak_pending_events;
+    s.active_streams = shard->active.size();
+    stats.shards.push_back(s);
+  }
+  std::lock_guard<std::mutex> l(stats_mu_);
+  stats.rounds_sealed = rounds_sealed_;
+  stats.entries_merged = entries_merged_;
+  stats.seal_seconds = seal_seconds_;
+  stats.merge_seconds = merge_seconds_;
+  stats.commit_seconds = commit_seconds_;
+  stats.obs_buffers_reused = obs_buffers_reused_;
+  return stats;
+}
+
+void IngestSession::RecycleBatch(TimestampBatch&& batch) {
+  if (!options_.reuse_seal_buffers) return;
+  std::lock_guard<std::mutex> l(obs_pool_mu_);
+  if (obs_pool_.size() >= kMaxPooledObservationBuffers) return;
+  batch.observations.clear();
+  obs_pool_.push_back(std::move(batch.observations));
+}
+
+std::vector<UserObservation> IngestSession::AcquireObservationBuffer(
+    bool* reused) {
+  *reused = false;
+  if (!options_.reuse_seal_buffers) return {};
+  std::lock_guard<std::mutex> l(obs_pool_mu_);
+  if (obs_pool_.empty()) return {};
+  std::vector<UserObservation> buffer = std::move(obs_pool_.back());
+  obs_pool_.pop_back();
+  *reused = true;
+  return buffer;
 }
 
 size_t IngestSession::num_retiring_indices() const {
@@ -160,16 +321,26 @@ size_t IngestSession::num_retiring_indices() const {
 }
 
 SessionCheckpointState IngestSession::SaveCheckpointState() const {
-  RETRASYN_CHECK_MSG(pending_.empty(),
+  size_t total_active = 0;
+  size_t total_pending = 0;
+  for (const auto& shard : shards_) {
+    total_active += shard->active.size();
+    total_pending += shard->num_pending_events;
+  }
+  RETRASYN_CHECK_MSG(total_pending == 0,
                      "checkpoint capture requires a round boundary");
   SessionCheckpointState state;
   state.open_round = open_round_;
   state.next_stream_index = next_stream_index_;
-  state.active.reserve(active_.size());
-  for (const auto& [user, stream] : active_) {
-    state.active.push_back(SessionCheckpointState::ActiveEntry{
-        user, stream.stream_index, stream.last_cell});
+  state.active.reserve(total_active);
+  for (const auto& shard : shards_) {
+    for (const auto& [user, stream] : shard->active) {
+      state.active.push_back(SessionCheckpointState::ActiveEntry{
+          user, stream.stream_index, stream.last_cell});
+    }
   }
+  // User order merges the shard slices into the same vector a single shard
+  // produces: the checkpoint bytes are shard-count agnostic.
   std::sort(state.active.begin(), state.active.end(),
             [](const SessionCheckpointState::ActiveEntry& a,
                const SessionCheckpointState::ActiveEntry& b) {
@@ -181,8 +352,11 @@ SessionCheckpointState IngestSession::SaveCheckpointState() const {
 }
 
 Status IngestSession::RestoreCheckpointState(SessionCheckpointState state) {
-  if (open_round_ != 0 || next_stream_index_ != 0 || !active_.empty() ||
-      !pending_.empty()) {
+  bool fresh = open_round_ == 0 && next_stream_index_ == 0;
+  for (const auto& shard : shards_) {
+    fresh = fresh && shard->active.empty() && shard->pending.empty();
+  }
+  if (!fresh) {
     return Status::FailedPrecondition(
         "checkpoint state can only be restored into a fresh session");
   }
@@ -239,57 +413,119 @@ Status IngestSession::RestoreCheckpointState(SessionCheckpointState state) {
   }
   open_round_ = state.open_round;
   next_stream_index_ = state.next_stream_index;
-  active_.reserve(state.active.size());
   for (const SessionCheckpointState::ActiveEntry& e : state.active) {
-    active_.emplace(e.user, ActiveStream{e.stream_index, e.last_cell});
+    shard_of(e.user).active.emplace(e.user,
+                                    ActiveStream{e.stream_index, e.last_cell});
   }
   quitted_at_ = std::move(state.quitted_at);
   free_indices_ = std::move(state.free_indices);
   return Status::OK();
 }
 
-Status IngestSession::Tick() {
-  if (journal_ != nullptr) {
-    // A poisoned journal fails the Tick before the handler can consume the
-    // batch: the round stays open, fully retryable once durability returns.
-    RETRASYN_RETURN_NOT_OK(journal_->status());
-    // Start making this round's event data durable on the journal's presync
-    // worker now, overlapped with sealing and the round handler below, so
-    // the boundary record's fsync after the handler pays only for itself.
-    journal_->BeginRoundSync();
-  }
-  // One entry per event, sortable into a deterministic, arrival-order
-  // independent batch: quits sort before same-user locations so a re-entry
-  // in the quitting round closes the old segment first.
-  struct Entry {
-    uint64_t user;
-    uint8_t phase;  // 0 = quit, 1 = enter/move
-    bool is_enter;
-    CellId cell;    // location for phase 1; final cell for phase 0
-  };
-  std::vector<Entry> entries;
-  entries.reserve(pending_.size() + active_.size());
-
-  for (const auto& [user, round] : pending_) {
+void IngestSession::SealShard(Shard& shard) {
+  std::vector<SealedEntry>& entries = shard.entries;
+  entries.clear();
+  entries.reserve(shard.pending.size() + shard.active.size());
+  for (const auto& [user, round] : shard.pending) {
     if (round.quit) {
-      entries.push_back(Entry{user, 0, false, active_.at(user).last_cell});
+      const ActiveStream& stream = shard.active.at(user);
+      entries.push_back(SealedEntry{user, stream.stream_index,
+                                    states_->QuitIndex(stream.last_cell),
+                                    stream.last_cell, 0, false});
     }
     if (round.has_location) {
-      entries.push_back(Entry{user, 1, round.is_enter, round.cell});
+      if (round.is_enter) {
+        entries.push_back(SealedEntry{user, 0, states_->EnterIndex(round.cell),
+                                      round.cell, 1, true});
+      } else {
+        const ActiveStream& stream = shard.active.at(user);
+        const uint32_t state =
+            states_->MoveIndex(stream.last_cell, round.cell);
+        RETRASYN_DCHECK(state != kInvalidState);
+        entries.push_back(SealedEntry{user, stream.stream_index, state,
+                                      round.cell, 1, false});
+      }
     }
   }
   // Implicit quits: live streams that sent nothing this round lapse, exactly
   // like the batch importer splitting gapped trajectories.
-  for (const auto& [user, stream] : active_) {
-    auto pending = pending_.find(user);
-    if (pending == pending_.end() ||
+  for (const auto& [user, stream] : shard.active) {
+    auto pending = shard.pending.find(user);
+    if (pending == shard.pending.end() ||
         (!pending->second.quit && !pending->second.has_location)) {
-      entries.push_back(Entry{user, 0, false, stream.last_cell});
+      entries.push_back(SealedEntry{user, stream.stream_index,
+                                    states_->QuitIndex(stream.last_cell),
+                                    stream.last_cell, 0, false});
     }
   }
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    return a.user != b.user ? a.user < b.user : a.phase < b.phase;
-  });
+  std::sort(entries.begin(), entries.end(),
+            [](const SealedEntry& a, const SealedEntry& b) {
+              return a.user != b.user ? a.user < b.user : a.phase < b.phase;
+            });
+}
+
+void IngestSession::CommitShard(Shard& shard) {
+  // In place, in (user, phase) order: a quit erases, a location overwrites
+  // or inserts, and a quit-then-re-enter replaces — no rebuild of the whole
+  // map, so the steady-state commit allocates nothing.
+  for (const SealedEntry& e : shard.entries) {
+    if (e.phase == 0) {
+      shard.active.erase(e.user);
+    } else {
+      shard.active[e.user] = ActiveStream{e.stream_index, e.cell};
+    }
+  }
+  if (!options_.reuse_seal_buffers) {
+    std::vector<SealedEntry>().swap(shard.entries);
+  }
+  shard.pending.clear();
+  shard.num_pending_enters = 0;
+  shard.num_pending_events = 0;
+  shard.num_pending_quits = 0;
+}
+
+Status IngestSession::Tick() {
+  RETRASYN_RETURN_NOT_OK(BoundaryPoison());
+  // Hold every shard for the whole round close (consistent order; producers
+  // lock exactly one shard, so there is no deadlock). Producers arriving now
+  // block until the new round opens — their events land in the next round.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  size_t total_entries = 0;
+  for (auto& shard : shards_) {
+    if (shard->journal != nullptr) {
+      // A poisoned journal fails the Tick before the handler can consume the
+      // batch: the round stays open, fully retryable once durability
+      // returns. Checking every shard upfront keeps the shard streams
+      // aligned — no shard closes a round a sibling cannot.
+      RETRASYN_RETURN_NOT_OK(shard->journal->status());
+    }
+    total_entries += shard->pending.size() + shard->active.size();
+  }
+  for (auto& shard : shards_) {
+    if (shard->journal != nullptr) {
+      // Start making this round's event data durable on the journal's
+      // presync worker now, overlapped with sealing and the round handler
+      // below, so the boundary record's fsync after the handler pays only
+      // for itself.
+      shard->journal->BeginRoundSync();
+    }
+  }
+
+  // 1. Seal every shard into a sorted entry run, in parallel. Pure per-shard
+  //    work — transition states and quit/move stream indices are functions
+  //    of shard state alone — so the pool size never affects bytes.
+  Stopwatch seal_watch;
+  if (seal_pool_ != nullptr) {
+    seal_pool_->ParallelFor(
+        static_cast<int>(shards_.size()),
+        [this](int i) { SealShard(*shards_[static_cast<size_t>(i)]); });
+  } else {
+    for (auto& shard : shards_) SealShard(*shard);
+  }
+  const double seal_s = seal_watch.ElapsedSeconds();
 
   // Stream indices retiring this round: quitted_at_ buckets whose quit round
   // has left the w-window as of the round being sealed. Only *peeked* here —
@@ -325,41 +561,68 @@ Status IngestSession::Tick() {
     return next_index++;
   };
 
-  // Build the batch without mutating any session state: a failing handler
-  // must leave the round open with its events intact, and a retried Tick()
-  // must reproduce the identical batch — including the stream indices, which
-  // are therefore drawn from local cursors and committed only on success.
+  // 2. K-way merge of the sorted shard runs into the global (user, phase)
+  //    order — O(n log k) worth of comparisons instead of the O(n log n)
+  //    global sort, and identical to it because shards partition the users.
+  //    Enters draw their stream index here, on the merged sequence, which is
+  //    what keeps the assignment a pure function of the batch sequence and
+  //    byte-identical to a single shard. Nothing mutates session state: a
+  //    failing handler must leave the round open with its events intact, and
+  //    a retried Tick() must reproduce the identical batch.
+  Stopwatch merge_watch;
   TimestampBatch batch;
   batch.t = open_round_;
-  batch.observations.reserve(entries.size());
-  std::unordered_map<uint64_t, ActiveStream> next_active;
-  next_active.reserve(entries.size());
+  bool reused_buffer = false;
+  batch.observations = AcquireObservationBuffer(&reused_buffer);
+  batch.observations.reserve(total_entries);
   std::vector<uint32_t> quit_indices;
-  for (const Entry& e : entries) {
+  struct Cursor {
+    SealedEntry* it;
+    SealedEntry* end;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    if (!shard->entries.empty()) {
+      cursors.push_back(Cursor{shard->entries.data(),
+                               shard->entries.data() + shard->entries.size()});
+    }
+  }
+  while (!cursors.empty()) {
+    size_t min = 0;
+    for (size_t c = 1; c < cursors.size(); ++c) {
+      const SealedEntry& a = *cursors[c].it;
+      const SealedEntry& b = *cursors[min].it;
+      if (a.user != b.user ? a.user < b.user : a.phase < b.phase) min = c;
+    }
+    SealedEntry& e = *cursors[min].it++;
+    if (cursors[min].it == cursors[min].end) {
+      cursors[min] = cursors.back();
+      cursors.pop_back();
+    }
     UserObservation obs;
     if (e.phase == 0) {
-      obs.user_index = active_.at(e.user).stream_index;
-      obs.state = states_->QuitIndex(e.cell);
+      obs.user_index = e.stream_index;
+      obs.state = e.state;
       obs.is_quit = true;
       if (options_.recycle_stream_indices) {
-        quit_indices.push_back(obs.user_index);
+        quit_indices.push_back(e.stream_index);
       }
     } else if (e.is_enter) {
-      obs.user_index = next_stream();
-      obs.state = states_->EnterIndex(e.cell);
+      e.stream_index = next_stream();  // committed to the shard on success
+      obs.user_index = e.stream_index;
+      obs.state = e.state;
       obs.is_enter = true;
-      next_active[e.user] = ActiveStream{obs.user_index, e.cell};
       ++batch.num_active;
     } else {
-      const ActiveStream& stream = active_.at(e.user);
-      obs.user_index = stream.stream_index;
-      obs.state = states_->MoveIndex(stream.last_cell, e.cell);
-      RETRASYN_DCHECK(obs.state != kInvalidState);
-      next_active[e.user] = ActiveStream{stream.stream_index, e.cell};
+      obs.user_index = e.stream_index;
+      obs.state = e.state;
       ++batch.num_active;
     }
     batch.observations.push_back(obs);
   }
+  const double merge_s = merge_watch.ElapsedSeconds();
+  const size_t merged = batch.observations.size();
   if (next_index > kMaxStreamIndex) {
     // Refuse before the handler (and before the engine's dense bookkeeping
     // would CHECK-abort): the round stays open with its events intact. The
@@ -378,12 +641,26 @@ Status IngestSession::Tick() {
 
   RETRASYN_RETURN_NOT_OK(handler_(std::move(batch)));
   // The handler consumed the round; its content is final. Journal the round
-  // boundary (fsync point under FsyncPolicy::kEveryRound) before committing.
-  // A failure here cannot roll the Tick back — retrying would hand the
-  // handler the batch twice — so the round still commits, this Tick returns
-  // the journal error, and the writer's sticky failure blocks every later
-  // entry point: the on-disk journal is at most this one boundary behind.
-  const Status journaled = JournalAppend(JournalEvent::Tick());
+  // boundary on every shard (fsync point under FsyncPolicy::kEveryRound)
+  // before committing. A failure here cannot roll the Tick back — retrying
+  // would hand the handler the batch twice — so the round still commits,
+  // this Tick returns the journal error, and the session-wide poison blocks
+  // every later entry point: each shard's on-disk journal is at most this
+  // one boundary behind, and no shard journals past a round a sibling's
+  // journal never closed. The remaining shards still get their boundary
+  // record (best effort), keeping the streams as aligned as the failure
+  // allows.
+  Status journaled;
+  for (auto& shard : shards_) {
+    if (shard->journal == nullptr) continue;
+    Status st = shard->journal->Append(JournalEvent::Tick());
+    if (!st.ok() && journaled.ok()) journaled = st;
+  }
+  if (!journaled.ok()) {
+    poison_status_ = journaled;
+    boundary_poisoned_.store(true, std::memory_order_release);
+  }
+  Stopwatch commit_watch;
   next_stream_index_ = next_index;
   if (options_.recycle_stream_indices) {
     // Commit the index lifecycle exactly as the cursors consumed it: drop
@@ -411,14 +688,29 @@ Status IngestSession::Tick() {
       quitted_at_.emplace_back(open_round_, std::move(quit_indices));
     }
   }
-  active_ = std::move(next_active);
-  pending_.clear();
-  num_pending_enters_ = 0;
+  if (seal_pool_ != nullptr) {
+    seal_pool_->ParallelFor(
+        static_cast<int>(shards_.size()),
+        [this](int i) { CommitShard(*shards_[static_cast<size_t>(i)]); });
+  } else {
+    for (auto& shard : shards_) CommitShard(*shard);
+  }
+  const double commit_s = commit_watch.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    ++rounds_sealed_;
+    entries_merged_ += merged;
+    seal_seconds_ += seal_s;
+    merge_seconds_ += merge_s;
+    commit_seconds_ += commit_s;
+    if (reused_buffer) ++obs_buffers_reused_;
+  }
   const int64_t sealed_round = open_round_;
   ++open_round_;
-  // Fire the commit hook only when the boundary record reached the journal:
-  // a checkpoint captured here must never describe a round the journal does
-  // not hold, or recovery could not bridge from checkpoint to journal tail.
+  // Fire the commit hook only when the boundary record reached every shard's
+  // journal: a checkpoint captured here must never describe a round the
+  // journal does not hold, or recovery could not bridge from checkpoint to
+  // journal tail.
   if (journaled.ok() && commit_hook_) commit_hook_(sealed_round);
   return journaled;
 }

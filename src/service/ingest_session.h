@@ -24,6 +24,21 @@
 // closes every round up to a target timestamp. A user that quit — explicitly
 // or by gap — may Enter again later; that starts a fresh stream.
 //
+// Sharding (IngestSessionOptions::num_shards): users are partitioned across
+// N shards by a hash of the user id. Each shard owns its slice of
+// validation, pending-event state, and (when journaling) its own journal
+// segment stream, under its own mutex — so N producer threads, each feeding
+// the users of one shard (ShardOf), admit events with no shared lock on the
+// hot path. Tick() briefly holds every shard's mutex (producers block at the
+// round boundary; their events land in the next round), seals the shards in
+// parallel on an internal pool into sorted per-shard entry runs, and k-way
+// merges the runs into the global observation order. Because users are
+// disjoint across shards, the merged sequence is exactly the sequence a
+// single shard's global sort produces — so for a fixed shard count the
+// sealed batches, the stream-index assignment, and therefore the released
+// bytes are identical to num_shards = 1. Tick/AdvanceTo remain
+// single-caller: drive them from one thread (the producers may be many).
+//
 // Stream-index lifecycle: each new stream needs an engine-facing index, and
 // over an unbounded horizon a cumulative counter leaks — the engine's dense
 // per-index state grows with the highest index ever minted, even at constant
@@ -33,46 +48,85 @@
 // retired indices, oldest first, before minting fresh ones. Retirement is a
 // pure function of the sealed batch sequence — never of round-handler timing
 // — so Inline and Async round closing and journal replay all assign
-// byte-identical indices. Fresh indices are capped at kMaxStreamIndex;
-// Tick() fails with kResourceExhausted (round intact, retryable) instead of
-// overflowing into the engine.
+// byte-identical indices. The index space is global across shards (indices
+// are assigned on the merged sequence, never per shard). Fresh indices are
+// capped at kMaxStreamIndex; Tick() fails with kResourceExhausted (round
+// intact, retryable) instead of overflowing into the engine.
 //
 // All entry points validate and return retrasyn::Status instead of crashing.
 
 #ifndef RETRASYN_SERVICE_INGEST_SESSION_H_
 #define RETRASYN_SERVICE_INGEST_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "geo/state_space.h"
 #include "journal/journal_writer.h"
 #include "stream/feeder.h"
 
 namespace retrasyn {
 
-/// \brief Index-lifecycle knobs for an IngestSession. The service layer
-/// derives these from RetraSynConfig (recycle_stream_indices + window); the
-/// session's consumer — the engine behind the round handler — must apply the
-/// same retirement rule to its dense per-index state (RetraSynEngine does;
-/// see RetraSynEngine::retired_last_round()).
+/// \brief Index-lifecycle and sharding knobs for an IngestSession. The
+/// service layer derives these from RetraSynConfig (recycle_stream_indices +
+/// window + ingest_shards); the session's consumer — the engine behind the
+/// round handler — must apply the same retirement rule to its dense
+/// per-index state (RetraSynEngine does; see
+/// RetraSynEngine::retired_last_round()).
 struct IngestSessionOptions {
   /// Re-issue the index of a quitted stream once its quit round has left the
   /// w-window, instead of growing the cumulative counter forever.
   bool recycle_stream_indices = false;
   /// The w-event window governing retirement; must be >= 1 when recycling.
   int window = 0;
+  /// User shards (>= 1). Events route to shard ShardOf(user, num_shards);
+  /// each shard has its own mutex, state slice, and journal stream.
+  int num_shards = 1;
+  /// Reuse per-shard seal scratch and recycle observation buffers across
+  /// rounds (see RecycleBatch); false allocates fresh each round (A/B).
+  bool reuse_seal_buffers = true;
+};
+
+/// \brief Per-shard ingest counters (IngestStats::shards[i]).
+struct IngestShardStats {
+  uint64_t events_accepted = 0;   ///< events admitted into this shard
+  uint64_t events_rejected = 0;   ///< validation failures
+  uint64_t pending_events = 0;    ///< queue depth: events buffered now
+  uint64_t peak_pending_events = 0;  ///< high-water mark of pending_events
+  uint64_t active_streams = 0;    ///< live streams owned by this shard
+};
+
+/// \brief Lightweight ingest observability: per-shard queue depths plus the
+/// cumulative seal/merge/commit timings of Tick(), so scaling regressions
+/// are diagnosable without a profiler. Snapshot via IngestSession::stats()
+/// (or TrajectoryService::ingest_stats()); consistent when no producer is
+/// concurrently feeding — e.g. after Drain().
+struct IngestStats {
+  std::vector<IngestShardStats> shards;
+  uint64_t rounds_sealed = 0;      ///< successful Tick() count
+  uint64_t entries_merged = 0;     ///< observations across all sealed rounds
+  double seal_seconds = 0.0;       ///< parallel per-shard seal phase (wall)
+  double merge_seconds = 0.0;      ///< k-way merge + index assignment (wall)
+  double commit_seconds = 0.0;     ///< post-handler state commit (wall)
+  uint64_t obs_buffers_reused = 0;  ///< batches sealed into a recycled buffer
 };
 
 /// \brief Everything a checkpoint needs to reconstruct a session at a round
 /// boundary (where pending events are empty by construction). Captured via
 /// IngestSession::SaveCheckpointState and reinstated on recovery via
 /// RestoreCheckpointState; containers are in deterministic order so two
-/// captures of the same logical state serialize byte-identically.
+/// captures of the same logical state serialize byte-identically — and the
+/// format is shard-count agnostic (active streams are merged in user order
+/// on save and re-distributed by ShardOf on restore), so the same checkpoint
+/// bytes describe the same logical session under any sharding.
 struct SessionCheckpointState {
   int64_t open_round = 0;
   uint32_t next_stream_index = 0;
@@ -102,23 +156,42 @@ class IngestSession {
   IngestSession(const StateSpace& states, RoundHandler handler,
                 IngestSessionOptions options = {});
 
+  /// The shard \p user's events route to under \p num_shards shards — a
+  /// mixed hash, so sequential user ids spread evenly. Producer threads that
+  /// partition users by this function never contend on a shard mutex.
+  static uint32_t ShardOf(uint64_t user, int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
   /// Journals every accepted event through \p journal (not owned; may be
-  /// null to detach). Appends happen after validation and *before* the
-  /// session commits any state, extending Tick()'s error-atomic contract to
-  /// durability: an event the journal did not accept is not buffered, and a
-  /// round whose boundary record did not reach the journal... is the one
-  /// exception — the handler has already consumed the batch by then, so the
-  /// round commits in memory, the Tick returns the journal error, and the
-  /// writer's sticky failure poisons every later entry point (the journal
-  /// never silently diverges by more than that one boundary record).
-  void AttachJournal(JournalWriter* journal) { journal_ = journal; }
+  /// null to detach). Single-shard sessions only; sharded sessions attach
+  /// one journal per shard via AttachJournals. Appends happen after
+  /// validation and *before* the session commits any state, extending
+  /// Tick()'s error-atomic contract to durability: an event the journal did
+  /// not accept is not buffered, and a round whose boundary record did not
+  /// reach the journal... is the one exception — the handler has already
+  /// consumed the batch by then, so the round commits in memory, the Tick
+  /// returns the journal error, and the failure poisons every later entry
+  /// point (the journal never silently diverges by more than that one
+  /// boundary record).
+  void AttachJournal(JournalWriter* journal);
+
+  /// Sharded counterpart: exactly one journal per shard (shard i's accepted
+  /// events and round boundaries append to \p journals[i]), or an empty
+  /// vector to detach. A boundary-append failure on ANY shard poisons the
+  /// whole session — otherwise healthy shards would keep journaling events
+  /// for rounds their sibling's journal never closed, and the shard streams
+  /// would diverge beyond the one-boundary contract.
+  void AttachJournals(std::vector<JournalWriter*> journals);
 
   /// Begins a new stream for \p user, reporting \p location this round.
   /// Fails if the user is already active or has already reported this round.
+  /// Thread-safe across users of different shards.
   Status Enter(uint64_t user, const Point& location);
 
   /// Reports \p user's next location this round. Fails if the user never
   /// entered, already quit, or has already reported this round.
+  /// Thread-safe across users of different shards.
   Status Move(uint64_t user, const Point& location);
 
   /// Ends \p user's stream; the quit transition carries the location reported
@@ -127,9 +200,12 @@ class IngestSession {
   /// sending — silent users are quit automatically). A Quit after an Enter
   /// in the same open round cancels the pending enter instead: no report was
   /// sent yet, so the aborted stream never existed.
+  /// Thread-safe across users of different shards.
   Status Quit(uint64_t user);
 
-  /// Closes the open round and advances to the next timestamp.
+  /// Closes the open round and advances to the next timestamp. Single
+  /// caller; holds every shard's mutex for the duration (producers block at
+  /// the boundary and their events land in the next round).
   Status Tick();
 
   /// Closes rounds until \p t is the open round. Fails when \p t lies in the
@@ -146,6 +222,16 @@ class IngestSession {
 
   /// Events buffered for the open round.
   size_t num_pending_events() const;
+
+  /// Per-shard counters + cumulative Tick phase timings. See IngestStats.
+  IngestStats stats() const;
+
+  /// Returns a consumed batch's observation buffer to the seal pool so the
+  /// next round seals into it instead of allocating
+  /// (IngestSessionOptions::reuse_seal_buffers; no-op otherwise). Called by
+  /// the service after the engine observed the batch — from the closer
+  /// worker under SyncPolicy::kAsync, so it is thread-safe.
+  void RecycleBatch(TimestampBatch&& batch);
 
   /// High-water mark of the cumulative index counter: the next index a fresh
   /// stream would mint when no retired index is available. With recycling
@@ -167,20 +253,23 @@ class IngestSession {
 
   /// Captures the session's round-boundary state for a checkpoint. Only legal
   /// between rounds — no buffered events — which the round-commit hook point
-  /// satisfies by construction.
+  /// satisfies by construction (the hook fires while Tick still holds every
+  /// shard mutex, so no extra synchronization is needed or taken here).
   SessionCheckpointState SaveCheckpointState() const;
 
   /// Reinstates checkpointed state into a freshly constructed session (no
   /// rounds closed, no events buffered). Validates index-lifecycle integrity
   /// — every index below the high-water mark, held in at most one place —
-  /// and refuses corrupt state with kInvalidArgument.
+  /// and refuses corrupt state with kInvalidArgument. Active streams are
+  /// distributed to shards by ShardOf, so a checkpoint restores under any
+  /// shard count (the journal fingerprint, not the checkpoint, pins it).
   Status RestoreCheckpointState(SessionCheckpointState state);
 
   /// Invoked at the end of every successful Tick() — after the round has
-  /// committed in memory AND its boundary record reached the journal — with
-  /// the sealed round's timestamp. The checkpoint subsystem hooks this to
-  /// capture SaveCheckpointState() at a consistent boundary; a checkpoint
-  /// therefore never describes a round the journal does not yet hold.
+  /// committed in memory AND its boundary record reached every shard's
+  /// journal — with the sealed round's timestamp. The checkpoint subsystem
+  /// hooks this to capture SaveCheckpointState() at a consistent boundary; a
+  /// checkpoint therefore never describes a round the journal does not hold.
   void SetRoundCommitHook(std::function<void(int64_t)> hook) {
     commit_hook_ = std::move(hook);
   }
@@ -198,28 +287,103 @@ class IngestSession {
     CellId last_cell = 0;       ///< last reported (clamped) cell
   };
 
-  /// Appends \p event to the attached journal; OK when detached.
-  Status JournalAppend(const JournalEvent& event);
+  /// One event of the sealed round, fully resolved during the parallel
+  /// per-shard seal (transition state and — for quits/moves — the stream
+  /// index are pure functions of shard state); only an enter's stream index
+  /// waits for the global merge, which assigns it on the merged sequence.
+  struct SealedEntry {
+    uint64_t user = 0;
+    uint32_t stream_index = 0;  ///< quits/moves: owner; enters: merge-assigned
+    uint32_t state = 0;         ///< transition-state index of the observation
+    CellId cell = 0;            ///< reported cell (phase 1); final (phase 0)
+    uint8_t phase = 0;          ///< 0 = quit, 1 = enter/move
+    bool is_enter = false;
+  };
+
+  /// One user partition: its own mutex, validation + pending state, journal
+  /// stream, seal scratch, and counters. Producers lock exactly one shard
+  /// per event; Tick() locks them all.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, ActiveStream> active;
+    std::unordered_map<uint64_t, PendingRound> pending;
+    size_t num_pending_enters = 0;
+    size_t num_pending_events = 0;
+    size_t num_pending_quits = 0;
+    JournalWriter* journal = nullptr;  ///< not owned; null = no journaling
+    /// Seal scratch, sorted by (user, phase) each round; reused across
+    /// rounds under reuse_seal_buffers.
+    std::vector<SealedEntry> entries;
+    uint64_t events_accepted = 0;
+    uint64_t events_rejected = 0;
+    uint64_t peak_pending_events = 0;
+  };
+
+  Shard& shard_of(uint64_t user) {
+    return *shards_[ShardOf(user, static_cast<int>(shards_.size()))];
+  }
+
+  /// The sticky session-wide failure set when a round-boundary record missed
+  /// any shard's journal (OK while healthy). Checked by every entry point.
+  Status BoundaryPoison() const;
+
+  Status EnterLocked(Shard& shard, uint64_t user, const Point& location);
+  Status MoveLocked(Shard& shard, uint64_t user, const Point& location);
+  Status QuitLocked(Shard& shard, uint64_t user);
+
+  /// Builds \p shard's sorted entry run for the round being sealed. Pure
+  /// per-shard work (runs on the seal pool); mutates only the shard's
+  /// scratch, never its committed state.
+  void SealShard(Shard& shard);
+  /// Applies the sealed round to \p shard's committed state, in place:
+  /// quits erase, locations overwrite/insert. O(events), allocation-free at
+  /// steady state.
+  void CommitShard(Shard& shard);
+
+  /// Pops a recycled observation buffer (reuse_seal_buffers) or returns a
+  /// fresh one. \p reused reports which.
+  std::vector<UserObservation> AcquireObservationBuffer(bool* reused);
 
   const StateSpace* states_;
   const Grid* grid_;
   RoundHandler handler_;
   IngestSessionOptions options_;
-  JournalWriter* journal_ = nullptr;  ///< not owned; null = no journaling
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Seal/commit executors for num_shards > 1 (null otherwise): sized
+  /// min(num_shards, hardware). Pool size never affects bytes — per-shard
+  /// work is a pure function of the shard.
+  std::unique_ptr<ThreadPool> seal_pool_;
   std::function<void(int64_t)> commit_hook_;
   int64_t open_round_ = 0;
   uint32_t next_stream_index_ = 0;
 
-  /// Streams that reported a location in the last closed round.
-  std::unordered_map<uint64_t, ActiveStream> active_;
-  /// Events buffered for the open round.
-  std::unordered_map<uint64_t, PendingRound> pending_;
-  size_t num_pending_enters_ = 0;
+  /// Round-boundary journal poison: set once by Tick (single caller), read
+  /// by concurrent producers. poison_status_ is written before the release
+  /// store and never mutated after.
+  std::atomic<bool> boundary_poisoned_{false};
+  Status poison_status_;
+
+  // Recycled observation buffers (reuse_seal_buffers): consumed batches come
+  // back through RecycleBatch — possibly from the async closer worker —
+  // and the next Tick seals into one instead of allocating.
+  mutable std::mutex obs_pool_mu_;
+  std::vector<std::vector<UserObservation>> obs_pool_;
+
+  // Cumulative Tick-phase aggregates (guarded by stats_mu_; written only by
+  // the Tick caller, read by stats()).
+  mutable std::mutex stats_mu_;
+  uint64_t rounds_sealed_ = 0;
+  uint64_t entries_merged_ = 0;
+  double seal_seconds_ = 0.0;
+  double merge_seconds_ = 0.0;
+  double commit_seconds_ = 0.0;
+  uint64_t obs_buffers_reused_ = 0;
 
   // Index lifecycle (recycle_stream_indices only; both containers stay empty
-  // otherwise). An index lives in at most one place: a quitted_at_ bucket
-  // while its quit round is inside the w-window, then free_indices_ until it
-  // is re-issued.
+  // otherwise). Global across shards — indices are assigned on the merged
+  // batch sequence. An index lives in at most one place: a quitted_at_
+  // bucket while its quit round is inside the w-window, then free_indices_
+  // until it is re-issued.
   /// Quitted indices bucketed by the round their quit observation sealed
   /// into; a bucket retires into free_indices_ once that round leaves the
   /// w-window. Within a bucket, indices follow the batch's user-id order —

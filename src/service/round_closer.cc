@@ -86,6 +86,7 @@ void RoundCloser::CloserLoop() {
     cv_.notify_all();  // a queue slot freed for a blocked Submit
     l.unlock();
     Result<RoundRelease> release = close_(batch);
+    if (options_.recycle) options_.recycle(std::move(batch));
     l.lock();
     if (!release.ok()) {
       ++finished_;

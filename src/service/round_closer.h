@@ -60,6 +60,11 @@ class RoundCloser {
   struct Options {
     size_t queue_capacity = 8;  ///< sealed batches waiting for the closer
     BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    /// Invoked on the closer worker after the close callback has consumed a
+    /// batch (whether it succeeded or not — only the buffer matters), so the
+    /// observation vector can return to the session's reuse pool instead of
+    /// being freed. Optional.
+    std::function<void(TimestampBatch&&)> recycle;
   };
 
   RoundCloser(Options options, CloseFn close, DeliverFn deliver);

@@ -60,13 +60,19 @@ uint64_t DeploymentFingerprint(const StateSpace& states,
   // Recycling changes which stream indices replayed enters resolve to, so a
   // journal must never be replayed under the other setting.
   HashMixU64(config.recycle_stream_indices ? 1 : 0, &h);
+  // The shard count fixes the journal layout (which shard stream holds
+  // which user's events); replay under a different count would read the
+  // wrong streams, so it is refused by fingerprint.
+  HashMixU64(static_cast<uint64_t>(config.ingest_shards), &h);
   return h;
 }
 
 /// Custom engines (CreateWithEngine/Attach) have no RetraSynConfig; bind
-/// the journal to the state space and the engine's self-reported identity.
+/// the journal to the state space, the engine's self-reported identity, and
+/// the shard layout.
 uint64_t DeploymentFingerprint(const StateSpace& states,
-                               const std::string& engine_name) {
+                               const std::string& engine_name,
+                               int ingest_shards) {
   uint64_t h = 14695981039346656037ull;
   const BoundingBox& box = states.grid().box();
   HashMixDouble(box.min_x, &h);
@@ -76,17 +82,91 @@ uint64_t DeploymentFingerprint(const StateSpace& states,
   HashMixU64(states.num_cells(), &h);
   HashMixU64(states.size(), &h);
   HashMix(engine_name.data(), engine_name.size(), &h);
+  HashMixU64(static_cast<uint64_t>(ingest_shards), &h);
   return h;
 }
 
-/// Opens the journal writer for \p options when journaling is enabled;
-/// returns nullptr (OK) when it is not. \p require_fresh rejects a directory
-/// that already holds journal segments (the Create factories must not append
-/// to a journal they did not replay — Recover owns that path).
-Result<std::unique_ptr<JournalWriter>> MaybeOpenJournal(
+/// The physical journal directories for \p options: the configured dir
+/// itself for a single shard, one shard-NNN subdirectory per shard
+/// otherwise. Empty when journaling is disabled.
+std::vector<std::string> JournalDirsFor(const ServiceOptions& options) {
+  std::vector<std::string> dirs;
+  if (options.journal_dir.empty()) return dirs;
+  if (options.ingest_shards == 1) {
+    dirs.push_back(options.journal_dir);
+    return dirs;
+  }
+  dirs.reserve(static_cast<size_t>(options.ingest_shards));
+  for (int s = 0; s < options.ingest_shards; ++s) {
+    dirs.push_back(options.journal_dir + "/" + ShardJournalDirName(s));
+  }
+  return dirs;
+}
+
+std::vector<JournalWriter*> RawJournals(
+    const std::vector<std::unique_ptr<JournalWriter>>& journals) {
+  std::vector<JournalWriter*> raw;
+  raw.reserve(journals.size());
+  for (const auto& j : journals) raw.push_back(j.get());
+  return raw;
+}
+
+/// Refuses a journal whose on-disk layout contradicts the configured shard
+/// count — an unsharded journal under ingest_shards > 1, shard
+/// subdirectories under ingest_shards == 1, or a shard subdirectory beyond
+/// the configured count. A wrong-layout scan would find zero segments and
+/// silently recover an empty service; this fails loudly instead (the
+/// fingerprint also records the shard count, but it cannot protect a scan
+/// that never reads a segment header).
+Status CheckJournalLayout(const std::string& root, int ingest_shards) {
+  auto files = ListDirectory(root);
+  if (!files.ok()) {
+    if (files.status().code() == StatusCode::kNotFound) return Status::OK();
+    return files.status();
+  }
+  for (const std::string& name : files.value()) {
+    uint64_t segment = 0;
+    if (ingest_shards > 1 &&
+        JournalWriter::ParseSegmentFileName(name, &segment)) {
+      return Status::FailedPrecondition(
+          "journal dir " + root + " holds an unsharded journal (" + name +
+          ") but the service is configured with ingest_shards = " +
+          std::to_string(ingest_shards) +
+          "; recover under the shard count that wrote it");
+    }
+  }
+  auto dirs = ListSubdirectories(root);
+  if (!dirs.ok()) return dirs.status();
+  for (const std::string& name : dirs.value()) {
+    int shard = 0;
+    if (!ParseShardJournalDirName(name, &shard)) continue;
+    if (ingest_shards == 1) {
+      return Status::FailedPrecondition(
+          "journal dir " + root + " holds a sharded journal (" + name +
+          ") but the service is configured unsharded (ingest_shards = 1); "
+          "recover under the shard count that wrote it");
+    }
+    if (shard >= ingest_shards) {
+      return Status::FailedPrecondition(
+          "journal dir " + root + " holds " + name +
+          " but the service is configured with only ingest_shards = " +
+          std::to_string(ingest_shards) +
+          "; recover under the shard count that wrote it");
+    }
+  }
+  return Status::OK();
+}
+
+/// Opens the journal writers for \p options when journaling is enabled —
+/// one per ingest shard; an empty vector (OK) when it is not.
+/// \p require_fresh rejects a directory that already holds any journal,
+/// flat or sharded (the Create factories must not append to a journal they
+/// did not replay — Recover owns that path).
+Result<std::vector<std::unique_ptr<JournalWriter>>> MaybeOpenJournals(
     const ServiceOptions& options, bool require_fresh, uint64_t fingerprint) {
+  std::vector<std::unique_ptr<JournalWriter>> journals;
   if (options.journal_dir.empty()) {
-    return std::unique_ptr<JournalWriter>();
+    return journals;
   }
   if (require_fresh) {
     auto names = ListDirectory(options.journal_dir);
@@ -100,13 +180,32 @@ Result<std::unique_ptr<JournalWriter>> MaybeOpenJournal(
               "); use TrajectoryService::Recover to resume it");
         }
       }
+      auto dirs = ListSubdirectories(options.journal_dir);
+      if (!dirs.ok()) return dirs.status();
+      for (const std::string& name : dirs.value()) {
+        int shard = 0;
+        if (ParseShardJournalDirName(name, &shard)) {
+          return Status::FailedPrecondition(
+              "journal dir " + options.journal_dir +
+              " already holds a journal (" + name +
+              "); use TrajectoryService::Recover to resume it");
+        }
+      }
     } else if (names.status().code() != StatusCode::kNotFound) {
       return names.status();
     }
   }
+  // A sharded layout nests one journal directory per shard under the root;
+  // the root itself must exist before the per-shard opens create theirs.
+  RETRASYN_RETURN_NOT_OK(CreateDirIfMissing(options.journal_dir));
   JournalOptions journal = options.journal;
   journal.fingerprint = fingerprint;
-  return JournalWriter::Open(options.journal_dir, journal);
+  for (const std::string& dir : JournalDirsFor(options)) {
+    auto writer = JournalWriter::Open(dir, journal);
+    if (!writer.ok()) return writer.status();
+    journals.push_back(std::move(writer).value());
+  }
+  return journals;
 }
 
 /// The checkpoint subsystem's options from the service's: the same
@@ -122,7 +221,7 @@ CheckpointOptions CheckpointOptionsFor(const ServiceOptions& options,
   checkpoint.spill_history = options.checkpoint_spill_history;
   checkpoint.fingerprint = fingerprint;
   checkpoint.window = options.recycle_window;
-  checkpoint.journal_dir = options.journal_dir;
+  checkpoint.journal_dirs = JournalDirsFor(options);
   return checkpoint;
 }
 
@@ -154,25 +253,26 @@ Result<std::unique_ptr<CheckpointManager>> MaybeOpenCheckpoints(
 
 }  // namespace
 
-TrajectoryService::TrajectoryService(const StateSpace& states,
-                                     std::unique_ptr<StreamReleaseEngine> owned,
-                                     StreamReleaseEngine* engine,
-                                     const ServiceOptions& options,
-                                     std::unique_ptr<JournalWriter> journal,
-                                     bool defer_async_closer)
+TrajectoryService::TrajectoryService(
+    const StateSpace& states, std::unique_ptr<StreamReleaseEngine> owned,
+    StreamReleaseEngine* engine, const ServiceOptions& options,
+    std::vector<std::unique_ptr<JournalWriter>> journals,
+    bool defer_async_closer)
     : states_(&states),
       owned_engine_(std::move(owned)),
       engine_(engine),
-      journal_(std::move(journal)) {
+      journals_(std::move(journals)) {
   retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
   retrasyn_mutable_ = dynamic_cast<RetraSynEngine*>(engine_);
   IngestSessionOptions session_options;
   session_options.recycle_stream_indices = options.recycle_stream_indices;
   session_options.window = options.recycle_window;
+  session_options.num_shards = options.ingest_shards;
+  session_options.reuse_seal_buffers = options.reuse_seal_buffers;
   session_ = std::make_unique<IngestSession>(
       states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); },
       session_options);
-  if (journal_ != nullptr) session_->AttachJournal(journal_.get());
+  if (!journals_.empty()) session_->AttachJournals(RawJournals(journals_));
   if (options.checkpoint_every_rounds > 0) {
     // The session half of a due checkpoint, captured on the ingest thread the
     // moment the round boundary is durable in the journal (the hook only
@@ -196,6 +296,9 @@ void TrajectoryService::ArmCloser(const ServiceOptions& options) {
   closer_options.queue_capacity =
       static_cast<size_t>(options.round_queue_capacity);
   closer_options.backpressure = options.backpressure;
+  closer_options.recycle = [this](TimestampBatch&& batch) {
+    session_->RecycleBatch(std::move(batch));
+  };
   closer_ = std::make_unique<RoundCloser>(
       closer_options,
       [this](const TimestampBatch& batch) { return CloseRound(batch); },
@@ -215,6 +318,8 @@ ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
   options.sync_policy = config.sync_policy;
   options.round_queue_capacity = config.round_queue_capacity;
   options.backpressure = config.backpressure;
+  options.ingest_shards = config.ingest_shards;
+  options.reuse_seal_buffers = config.reuse_seal_buffers;
   options.journal_dir = config.journal_dir;
   options.journal.fsync = config.journal_fsync;
   options.journal.segment_bytes = config.journal_segment_bytes;
@@ -232,6 +337,12 @@ Status ServiceOptions::Validate() const {
     return Status::InvalidArgument(
         "round_queue_capacity must be >= 1 sealed batch, got " +
         std::to_string(round_queue_capacity));
+  }
+  if (ingest_shards < 1 || ingest_shards > RetraSynConfig::kMaxIngestShards) {
+    return Status::InvalidArgument(
+        "ingest_shards must be in [1, " +
+        std::to_string(RetraSynConfig::kMaxIngestShards) + "], got " +
+        std::to_string(ingest_shards));
   }
   if (!journal_dir.empty()) {
     RETRASYN_RETURN_NOT_OK(journal.Validate());
@@ -268,16 +379,17 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
   auto checkpoint =
       MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
   if (!checkpoint.ok()) return checkpoint.status();
-  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true, fingerprint);
-  if (!journal.ok()) return journal.status();
+  auto journals =
+      MaybeOpenJournals(options, /*require_fresh=*/true, fingerprint);
+  if (!journals.ok()) return journals.status();
   auto engine = std::make_unique<RetraSynEngine>(states, config);
   StreamReleaseEngine* raw = engine.get();
   std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, std::move(engine), raw, options,
-                            std::move(journal).value()));
+                            std::move(journals).value()));
   if (checkpoint.value() != nullptr) {
     service->checkpoint_ = std::move(checkpoint).value();
-    service->checkpoint_->AttachJournal(service->journal_.get());
+    service->checkpoint_->AttachJournals(RawJournals(service->journals_));
   }
   return service;
 }
@@ -290,19 +402,21 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
   RETRASYN_RETURN_NOT_OK(CheckCheckpointable(options, engine.get()));
-  const uint64_t fingerprint = DeploymentFingerprint(states, engine->name());
+  const uint64_t fingerprint =
+      DeploymentFingerprint(states, engine->name(), options.ingest_shards);
   auto checkpoint =
       MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
   if (!checkpoint.ok()) return checkpoint.status();
-  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true, fingerprint);
-  if (!journal.ok()) return journal.status();
+  auto journals =
+      MaybeOpenJournals(options, /*require_fresh=*/true, fingerprint);
+  if (!journals.ok()) return journals.status();
   StreamReleaseEngine* raw = engine.get();
   std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, std::move(engine), raw, options,
-                            std::move(journal).value()));
+                            std::move(journals).value()));
   if (checkpoint.value() != nullptr) {
     service->checkpoint_ = std::move(checkpoint).value();
-    service->checkpoint_->AttachJournal(service->journal_.get());
+    service->checkpoint_->AttachJournals(RawJournals(service->journals_));
   }
   return service;
 }
@@ -315,18 +429,20 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
   RETRASYN_RETURN_NOT_OK(CheckCheckpointable(options, engine));
-  const uint64_t fingerprint = DeploymentFingerprint(states, engine->name());
+  const uint64_t fingerprint =
+      DeploymentFingerprint(states, engine->name(), options.ingest_shards);
   auto checkpoint =
       MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
   if (!checkpoint.ok()) return checkpoint.status();
-  auto journal = MaybeOpenJournal(options, /*require_fresh=*/true, fingerprint);
-  if (!journal.ok()) return journal.status();
+  auto journals =
+      MaybeOpenJournals(options, /*require_fresh=*/true, fingerprint);
+  if (!journals.ok()) return journals.status();
   std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, nullptr, engine, options,
-                            std::move(journal).value()));
+                            std::move(journals).value()));
   if (checkpoint.value() != nullptr) {
     service->checkpoint_ = std::move(checkpoint).value();
-    service->checkpoint_->AttachJournal(service->journal_.get());
+    service->checkpoint_->AttachJournals(RawJournals(service->journals_));
   }
   return service;
 }
@@ -352,7 +468,8 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverWithEngine(
     return Status::InvalidArgument("engine must not be null");
   }
   StreamReleaseEngine* raw = engine.get();
-  const uint64_t fingerprint = DeploymentFingerprint(states, raw->name());
+  const uint64_t fingerprint =
+      DeploymentFingerprint(states, raw->name(), options.ingest_shards);
   return RecoverImpl(states, std::move(engine), raw, options, fingerprint);
 }
 
@@ -363,7 +480,8 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverAttached(
     return Status::InvalidArgument("engine must not be null");
   }
   return RecoverImpl(states, nullptr, engine, options,
-                     DeploymentFingerprint(states, engine->name()));
+                     DeploymentFingerprint(states, engine->name(),
+                                           options.ingest_shards));
 }
 
 Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
@@ -375,29 +493,112 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
   }
   RETRASYN_RETURN_NOT_OK(options.Validate());
 
-  // Take the writer lock BEFORE the destructive scan/truncate: if the
-  // crashed process is in fact still alive and appending (a supervisor
-  // restart race), reading its segment mid-write would misdiagnose a torn
-  // tail and truncate away durably acknowledged records.
+  // Refuse a layout that contradicts the configured shard count before a
+  // single record is read.
   RETRASYN_RETURN_NOT_OK(CreateDirIfMissing(options.journal_dir));
-  auto lock = FileLock::Acquire(options.journal_dir + "/" +
-                                JournalWriter::kLockFileName);
-  if (!lock.ok()) return lock.status();
+  RETRASYN_RETURN_NOT_OK(
+      CheckJournalLayout(options.journal_dir, options.ingest_shards));
+  const std::vector<std::string> dirs = JournalDirsFor(options);
 
-  auto scan_result = JournalReader::ScanDir(options.journal_dir);
-  if (!scan_result.ok()) return scan_result.status();
-  const JournalScan scan = std::move(scan_result).value();
-  if (scan.has_fingerprint && scan.fingerprint != fingerprint) {
-    return Status::FailedPrecondition(
-        "journal in " + options.journal_dir +
-        " was written by a different deployment (state space / engine "
-        "config changed); replaying it here would silently diverge");
+  // Take every existing shard's writer lock BEFORE the destructive
+  // scans/truncates: if the crashed process is in fact still alive and
+  // appending (a supervisor restart race), reading its segments mid-write
+  // would misdiagnose a torn tail and truncate away durably acknowledged
+  // records. Directories that do not exist yet are NOT created here — a
+  // Recover that is about to be refused (wrong fingerprint, wrong layout)
+  // must leave the directory tree exactly as it found it.
+  std::vector<FileLock> locks(dirs.size());
+  std::vector<bool> existed(dirs.size(), false);
+  std::vector<JournalScan> scans(dirs.size());
+  for (size_t s = 0; s < dirs.size(); ++s) {
+    auto probe = ListDirectory(dirs[s]);
+    if (!probe.ok()) {
+      if (probe.status().code() == StatusCode::kNotFound) continue;
+      return probe.status();
+    }
+    existed[s] = true;
+    auto lock = FileLock::Acquire(dirs[s] + "/" + JournalWriter::kLockFileName);
+    if (!lock.ok()) return lock.status();
+    locks[s] = std::move(lock).value();
+    auto scan_result = JournalReader::ScanDir(dirs[s]);
+    if (!scan_result.ok()) return scan_result.status();
+    JournalScan scan = std::move(scan_result).value();
+    if (scan.has_fingerprint && scan.fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          "journal in " + dirs[s] +
+          " was written by a different deployment (state space / engine "
+          "config / shard count changed); replaying it here would silently "
+          "diverge");
+    }
+    if (scan.torn) {
+      // Cut the torn tail physically so the on-disk journal is clean before
+      // a single new byte is appended after it.
+      RETRASYN_RETURN_NOT_OK(
+          TruncateFile(scan.torn_segment, scan.valid_tail_size));
+    }
+    scans[s] = std::move(scan);
   }
-  if (scan.torn) {
-    // Cut the torn tail physically so the on-disk journal is clean before a
-    // single new byte is appended after it.
-    RETRASYN_RETURN_NOT_OK(
-        TruncateFile(scan.torn_segment, scan.valid_tail_size));
+
+  // Rounds durable in one scanned shard journal.
+  auto closed_rounds = [](const JournalScan& scan) {
+    int64_t round = scan.base_round;
+    for (const JournalEvent& e : scan.events) {
+      if (e.type == JournalEventType::kTick) {
+        ++round;
+      } else if (e.type == JournalEventType::kAdvanceTo) {
+        round = std::max(round, e.target_t);
+      }
+    }
+    return round;
+  };
+
+  // Durable rounds for the deployment = the minimum across shards: a round
+  // only counts once its boundary reached every shard's journal. A shard
+  // can be at most one boundary ahead — a crash or I/O failure between the
+  // per-shard boundary appends, after which the session refuses every
+  // event — so the orphaned trailing boundary is dropped physically (and
+  // the header-only segment a rotation may have opened right after it),
+  // restoring the all-journals-agree invariant before the new writers
+  // append a byte. Anything else is real inter-journal corruption.
+  int64_t min_closed = closed_rounds(scans.front());
+  for (const JournalScan& scan : scans) {
+    min_closed = std::min(min_closed, closed_rounds(scan));
+  }
+  for (size_t s = 0; s < scans.size(); ++s) {
+    int drops = 0;
+    while (closed_rounds(scans[s]) > min_closed) {
+      if (++drops > 1 || scans[s].events.empty() ||
+          scans[s].events.back().type != JournalEventType::kTick) {
+        return Status::IOError(
+            "journal in " + dirs[s] + " closed " +
+            std::to_string(closed_rounds(scans[s]) - min_closed) +
+            " round(s) its sibling shards never did; the shard journals are "
+            "inconsistent beyond the single-boundary skew a crash can cause");
+      }
+      const std::string& segment_path = scans[s].last_record_segment;
+      const std::string segment_name =
+          segment_path.substr(segment_path.find_last_of('/') + 1);
+      uint64_t boundary_segment = 0;
+      if (!JournalWriter::ParseSegmentFileName(segment_name,
+                                               &boundary_segment)) {
+        return Status::Internal("unparseable journal segment path " +
+                                segment_path);
+      }
+      bool removed = false;
+      for (const ScannedSegment& segment : scans[s].segments) {
+        if (segment.index > boundary_segment) {
+          RETRASYN_RETURN_NOT_OK(RemoveFile(
+              dirs[s] + "/" + JournalWriter::SegmentFileName(segment.index)));
+          removed = true;
+        }
+      }
+      if (removed) RETRASYN_RETURN_NOT_OK(SyncDir(dirs[s]));
+      RETRASYN_RETURN_NOT_OK(
+          TruncateFile(segment_path, scans[s].last_record_offset));
+      auto rescan = JournalReader::ScanDir(dirs[s]);
+      if (!rescan.ok()) return rescan.status();
+      scans[s] = std::move(rescan).value();
+    }
   }
 
   // Load the newest usable checkpoint (checkpointing configured only). A
@@ -417,30 +618,34 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
       return loaded.status();
     }
   }
-  if (!have_checkpoint && scan.base_round > 0) {
+  int64_t max_base = 0;
+  for (const JournalScan& scan : scans) {
+    max_base = std::max(max_base, scan.base_round);
+  }
+  if (!have_checkpoint && max_base > 0) {
     return Status::IOError(
         "journal in " + options.journal_dir + " was compacted past round " +
-        std::to_string(scan.base_round) +
+        std::to_string(max_base) +
         " but no usable checkpoint covers the retired prefix (checkpoint "
         "directory missing, wiped, or checkpointing disabled); the service "
         "cannot be reconstructed");
   }
-  if (have_checkpoint && ckpt.round < scan.base_round) {
+  if (have_checkpoint && ckpt.round < max_base) {
     return Status::IOError(
         "newest usable checkpoint (round " + std::to_string(ckpt.round) +
         ") predates the journal's compaction base (round " +
-        std::to_string(scan.base_round) +
+        std::to_string(max_base) +
         "); the rounds between them are unrecoverable");
   }
 
   // Replay inline — the closer stays un-armed even under kAsync, and the
-  // journal stays detached so replayed events are not re-journaled. With a
+  // journals stay detached so replayed events are not re-journaled. With a
   // checkpoint, restore its state first and replay only the journal suffix
   // behind its round.
   std::unique_ptr<TrajectoryService> service(
       new TrajectoryService(states, std::move(owned), engine, options,
-                            /*journal=*/nullptr, /*defer_async_closer=*/true));
-  int64_t resume_round = scan.base_round;
+                            /*journals=*/{}, /*defer_async_closer=*/true));
+  int64_t resume_round = max_base;
   if (have_checkpoint) {
     resume_round = ckpt.round;
     RETRASYN_RETURN_NOT_OK(service->retrasyn_mutable_->RestoreCheckpointState(
@@ -449,57 +654,87 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
         service->session_->RestoreCheckpointState(std::move(ckpt.session)));
   }
   RETRASYN_RETURN_NOT_OK(
-      service->ReplayJournal(scan.events, scan.base_round, resume_round));
+      service->ReplayJournals(scans, resume_round, min_closed));
 
-  // Re-arm: async closing per the config, then the journal writer, which
-  // adopts the held lock and continues in a fresh segment after the
-  // replayed ones (its round accounting continues from the replayed total).
+  // Re-arm: async closing per the config, then the journal writers, which
+  // adopt the held locks and continue in fresh segments after the replayed
+  // ones (their round accounting continues from the replayed total).
   if (options.sync_policy == SyncPolicy::kAsync) service->ArmCloser(options);
   JournalOptions journal_options = options.journal;
   journal_options.fingerprint = fingerprint;
-  auto writer = JournalWriter::OpenLocked(options.journal_dir, journal_options,
-                                          std::move(lock).value());
-  if (!writer.ok()) return writer.status();
-  service->journal_ = std::move(writer).value();
-  service->journal_->set_base_round(service->rounds_closed());
-  service->session_->AttachJournal(service->journal_.get());
+  for (size_t s = 0; s < dirs.size(); ++s) {
+    if (!existed[s]) {
+      // Deferred until every validation passed: a refused Recover must not
+      // scatter fresh shard directories under the journal root.
+      RETRASYN_RETURN_NOT_OK(CreateDirIfMissing(dirs[s]));
+      auto lock =
+          FileLock::Acquire(dirs[s] + "/" + JournalWriter::kLockFileName);
+      if (!lock.ok()) return lock.status();
+      locks[s] = std::move(lock).value();
+    }
+    auto writer = JournalWriter::OpenLocked(dirs[s], journal_options,
+                                            std::move(locks[s]));
+    if (!writer.ok()) return writer.status();
+    writer.value()->set_base_round(service->rounds_closed());
+    service->journals_.push_back(std::move(writer).value());
+  }
+  service->session_->AttachJournals(RawJournals(service->journals_));
 
   // Finally the checkpoint subsystem, seeded with the recovered manifest,
   // the surviving checkpoints, and the scanned segments (its future
-  // retirement candidates).
+  // retirement candidates, per shard journal).
   if (options.checkpoint_every_rounds > 0) {
     auto manager =
         MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/false);
     if (!manager.ok()) return manager.status();
     service->checkpoint_ = std::move(manager).value();
-    service->checkpoint_->AttachJournal(service->journal_.get());
+    service->checkpoint_->AttachJournals(RawJournals(service->journals_));
+    std::vector<std::vector<ScannedSegment>> segments_per_journal;
+    segments_per_journal.reserve(scans.size());
+    for (const JournalScan& scan : scans) {
+      segments_per_journal.push_back(scan.segments);
+    }
     RETRASYN_RETURN_NOT_OK(service->checkpoint_->SeedRecovered(
-        ckpt, std::move(surviving), scan.segments));
+        ckpt, std::move(surviving), segments_per_journal));
   }
   return service;
 }
 
-Status TrajectoryService::ReplayJournal(
-    const std::vector<JournalEvent>& events, int64_t base_round,
-    int64_t resume_round) {
-  // Rounds closed before events[i]'s round. While it trails resume_round the
-  // event's effect is already inside the restored checkpoint — count round
-  // boundaries but feed nothing to the session. One exception: an AdvanceTo
-  // that straddles the checkpoint boundary is applied, because the restored
-  // session already sits at resume_round and advancing closes exactly the
-  // suffix rounds the checkpoint does not cover.
-  int64_t round = base_round;
-  for (size_t i = 0; i < events.size(); ++i) {
-    const JournalEvent& e = events[i];
-    const bool skip =
-        round < resume_round && !(e.type == JournalEventType::kAdvanceTo &&
-                                  e.target_t > resume_round);
-    if (e.type == JournalEventType::kTick) {
-      ++round;
-    } else if (e.type == JournalEventType::kAdvanceTo) {
-      round = std::max(round, e.target_t);
+Status TrajectoryService::ReplayJournals(const std::vector<JournalScan>& scans,
+                                         int64_t resume_round,
+                                         int64_t target_round) {
+  // Bucket each shard's events by the round they belong to, numbering from
+  // that journal's own base round (per-shard BASE files may differ — shard
+  // segment sizes do). A kTick boundary closes one bucket; a kAdvanceTo
+  // closes through its target, leaving empty buckets for the skipped
+  // rounds (the session itself only ever journals kTick, but the codec
+  // admits kAdvanceTo, so replay handles it). The final bucket holds the
+  // open round's trailing events.
+  struct ShardBuckets {
+    int64_t base = 0;
+    std::vector<std::vector<const JournalEvent*>> rounds;
+  };
+  std::vector<ShardBuckets> shards(scans.size());
+  for (size_t s = 0; s < scans.size(); ++s) {
+    ShardBuckets& shard = shards[s];
+    shard.base = scans[s].base_round;
+    shard.rounds.emplace_back();
+    for (const JournalEvent& e : scans[s].events) {
+      if (e.type == JournalEventType::kTick) {
+        shard.rounds.emplace_back();
+      } else if (e.type == JournalEventType::kAdvanceTo) {
+        const int64_t current =
+            shard.base + static_cast<int64_t>(shard.rounds.size()) - 1;
+        for (int64_t r = current; r < e.target_t; ++r) {
+          shard.rounds.emplace_back();
+        }
+      } else {
+        shard.rounds.back().push_back(&e);
+      }
     }
-    if (skip) continue;
+  }
+
+  auto feed = [this](const JournalEvent& e) -> Status {
     Status st;
     switch (e.type) {
       case JournalEventType::kEnter:
@@ -511,19 +746,49 @@ Status TrajectoryService::ReplayJournal(
       case JournalEventType::kQuit:
         st = session_->Quit(e.user);
         break;
-      case JournalEventType::kTick:
-        st = session_->Tick();
-        break;
-      case JournalEventType::kAdvanceTo:
-        st = session_->AdvanceTo(e.target_t);
+      default:
+        st = Status::Internal("round boundary inside a replay bucket");
         break;
     }
     if (!st.ok()) {
       // The journal only ever holds events the session accepted, so a
       // rejection means the journal does not match this config/state space.
-      return Status::Internal(
-          "journal replay rejected record " + std::to_string(i) + " (" +
-          JournalEventTypeName(e.type) + "): " + st.message());
+      return Status::Internal("journal replay rejected a " +
+                              std::string(JournalEventTypeName(e.type)) +
+                              " record: " + st.message());
+    }
+    return st;
+  };
+
+  // Closed rounds in lockstep across shards. Rounds before resume_round are
+  // skipped — a restored checkpoint already holds their effect. Users are
+  // disjoint across shards and arrival order within a round never affects
+  // the sealed batch, so feeding whole shard buckets in shard order
+  // reproduces the exact batches the original merge sealed.
+  target_round = std::max(target_round, resume_round);
+  for (int64_t r = resume_round; r < target_round; ++r) {
+    for (const ShardBuckets& shard : shards) {
+      const int64_t i = r - shard.base;
+      if (i < 0 || i >= static_cast<int64_t>(shard.rounds.size())) continue;
+      for (const JournalEvent* e : shard.rounds[static_cast<size_t>(i)]) {
+        RETRASYN_RETURN_NOT_OK(feed(*e));
+      }
+    }
+    Status ticked = session_->Tick();
+    if (!ticked.ok()) {
+      return Status::Internal("journal replay could not close round " +
+                              std::to_string(r) + ": " + ticked.message());
+    }
+  }
+  // Trailing events: rounds at/after target_round never closed durably on
+  // every shard, so their events re-buffer into the reopened round.
+  for (const ShardBuckets& shard : shards) {
+    for (int64_t i = target_round - shard.base;
+         i < static_cast<int64_t>(shard.rounds.size()); ++i) {
+      if (i < 0) continue;
+      for (const JournalEvent* e : shard.rounds[static_cast<size_t>(i)]) {
+        RETRASYN_RETURN_NOT_OK(feed(*e));
+      }
     }
   }
   return Status::OK();
@@ -545,6 +810,9 @@ Status TrajectoryService::OnRound(TimestampBatch batch) {
   // the async pipeline's poisoned state.
   RETRASYN_RETURN_NOT_OK(inline_error_);
   Result<RoundRelease> release = CloseRound(batch);
+  // The engine copied what it needs; the observation buffer goes back to the
+  // session's pool either way (a failed close re-seals from pending state).
+  session_->RecycleBatch(std::move(batch));
   if (!release.ok()) return release.status();
   if (release.value().density.empty()) return Status::OK();  // no sinks
   // The engine has consumed the round; a sink failure past this point must

@@ -60,6 +60,14 @@ struct ServiceOptions {
   SyncPolicy sync_policy = SyncPolicy::kInline;
   int round_queue_capacity = 8;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Ingest shards (RetraSynConfig::ingest_shards): users are hash-
+  /// partitioned across this many independently locked session shards, each
+  /// with its own journal stream under journal_dir/shard-NNN when journaling
+  /// is on. Released bytes are identical for every shard count; the journal
+  /// fingerprint records it, so Recover under a different count is refused.
+  int ingest_shards = 1;
+  /// Reuse per-round sealing buffers (RetraSynConfig::reuse_seal_buffers).
+  bool reuse_seal_buffers = true;
   /// Durable event journal directory; empty disables journaling. The
   /// factories require the directory to hold no existing journal — resume an
   /// existing one through TrajectoryService::Recover instead.
@@ -190,8 +198,20 @@ class TrajectoryService {
 
   const StreamReleaseEngine& engine() const { return *engine_; }
 
-  /// The attached event journal; nullptr when journaling is disabled.
-  const JournalWriter* journal() const { return journal_.get(); }
+  /// Ingest-side counters (per-shard depths, seal/merge/commit timings);
+  /// see IngestStats. Snapshot-consistent only after Drain().
+  IngestStats ingest_stats() const { return session_->stats(); }
+
+  /// The attached event journal — shard 0's under sharded ingestion;
+  /// nullptr when journaling is disabled.
+  const JournalWriter* journal() const {
+    return journals_.empty() ? nullptr : journals_.front().get();
+  }
+  /// Shard \p shard's journal; nullptr when journaling is disabled.
+  const JournalWriter* journal(size_t shard) const {
+    return shard < journals_.size() ? journals_[shard].get() : nullptr;
+  }
+  size_t num_journals() const { return journals_.size(); }
 
   /// The checkpoint + compaction subsystem; nullptr when disabled.
   const CheckpointManager* checkpoint() const { return checkpoint_.get(); }
@@ -207,17 +227,20 @@ class TrajectoryService {
   TrajectoryService(const StateSpace& states,
                     std::unique_ptr<StreamReleaseEngine> owned,
                     StreamReleaseEngine* engine, const ServiceOptions& options,
-                    std::unique_ptr<JournalWriter> journal,
+                    std::vector<std::unique_ptr<JournalWriter>> journals,
                     bool defer_async_closer = false);
 
   /// Builds the async round-closing pipeline (kAsync only).
   void ArmCloser(const ServiceOptions& options);
-  /// Feeds recovered events through the (inline) session. \p base_round is
-  /// the round count the journal's first event continues from (BASE file);
-  /// events belonging to rounds before \p resume_round are skipped — a
-  /// restored checkpoint already holds their effect.
-  Status ReplayJournal(const std::vector<JournalEvent>& events,
-                       int64_t base_round, int64_t resume_round);
+  /// Feeds recovered events through the (inline) session, round-locked
+  /// across the shard journals: each scan's events are bucketed into rounds
+  /// by its boundary records (numbered from its own base round), rounds
+  /// before \p resume_round are skipped — a restored checkpoint already
+  /// holds their effect — and rounds up to \p target_round (the durable
+  /// minimum across shards) are Ticked; trailing events re-buffer into the
+  /// open round.
+  Status ReplayJournals(const std::vector<JournalScan>& scans,
+                        int64_t resume_round, int64_t target_round);
   /// Shared recovery flow behind Recover/RecoverWithEngine/RecoverAttached:
   /// lock, fingerprint check, tail truncation, inline replay, re-arm.
   static Result<std::unique_ptr<TrajectoryService>> RecoverImpl(
@@ -242,7 +265,9 @@ class TrajectoryService {
   /// save/take/restore are non-const). Null for custom engines.
   RetraSynEngine* retrasyn_mutable_ = nullptr;
   std::unique_ptr<IngestSession> session_;
-  std::unique_ptr<JournalWriter> journal_;  ///< null = journaling disabled
+  /// One writer per ingest shard (a single one unsharded); empty =
+  /// journaling disabled.
+  std::vector<std::unique_ptr<JournalWriter>> journals_;
   std::unique_ptr<CheckpointManager> checkpoint_;  ///< null = disabled
 
   mutable std::mutex sinks_mu_;  ///< AddSink vs. the delivery worker
