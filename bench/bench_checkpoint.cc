@@ -30,6 +30,7 @@
 #include "common/file_io.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
+#include "geo/grid.h"
 #include "geo/state_space.h"
 #include "service/trajectory_service.h"
 

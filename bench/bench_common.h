@@ -10,11 +10,15 @@
 //   --phi=<int>        evaluation time range (paper default 10)
 //   --queries=<int>    random queries per metric evaluation (paper: 100)
 //   --csv=<path>       also dump the table as CSV
+//   --grid_backend=<uniform|quadtree>
+//                      spatial discretization backend; the quadtree is built
+//                      at a matched effective cell count (see MakeSpatialGrid)
 
 #ifndef RETRASYN_BENCH_BENCH_COMMON_H_
 #define RETRASYN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +52,7 @@ struct BenchOptions {
   double scale_mult = 1.0;
   uint64_t seed = 42;
   uint32_t grid_k = 6;
+  GridBackend grid_backend = GridBackend::kUniform;
   int window = 20;
   double epsilon = 1.0;
   StreamingMetricsConfig metrics;
@@ -58,6 +63,13 @@ struct BenchOptions {
     options.scale_mult = flags.GetDouble("scale", 1.0);
     options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     options.grid_k = static_cast<uint32_t>(flags.GetInt("k", 6));
+    const std::string backend = flags.GetString("grid_backend", "uniform");
+    if (backend == "quadtree") {
+      options.grid_backend = GridBackend::kQuadtree;
+    } else if (backend != "uniform") {
+      std::fprintf(stderr, "unknown --grid_backend '%s'\n", backend.c_str());
+      std::abort();
+    }
     options.window = static_cast<int>(flags.GetInt("w", 20));
     options.epsilon = flags.GetDouble("epsilon", 1.0);
     options.metrics.phi = flags.GetInt("phi", 10);
@@ -101,11 +113,14 @@ inline NamedDataset Prepare(DatasetKind kind, const BenchOptions& options) {
   NamedDataset out;
   out.name = spec.name;
   out.average_length = db.AverageLength();
-  out.prepared = std::make_unique<PreparedDataset>(db, options.grid_k);
+  out.prepared = std::make_unique<PreparedDataset>(db, options.grid_k,
+                                                   options.grid_backend);
   std::fprintf(stderr,
-               "[%s] streams=%zu points=%llu avg_len=%.2f horizon=%lld "
+               "[%s] backend=%s streams=%zu points=%llu avg_len=%.2f "
+               "horizon=%lld "
                "cells=%u states=%u\n",
-               spec.name.c_str(), db.streams().size(),
+               spec.name.c_str(), GridBackendName(options.grid_backend),
+               db.streams().size(),
                static_cast<unsigned long long>(db.TotalPoints()),
                db.AverageLength(),
                static_cast<long long>(db.num_timestamps()),

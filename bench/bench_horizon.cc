@@ -21,12 +21,19 @@
 // inflated by allocator pages a bigger earlier run grew (pollution in this
 // order only shrinks the reported gaps, never fakes one).
 //
+// The whole profile is repeated per grid backend (--backends, default
+// "uniform,quadtree", via MakeSpatialGrid at matched cell count): long-horizon
+// resource behavior must be a property of the service, not of the uniform
+// discretization it happened to be measured on.
+//
 // Output: a table on stderr and a JSON array (--json, default
 // BENCH_horizon.json); --quick shrinks the workload for CI smoke runs.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,9 @@
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
+#include "geo/spatial_grid.h"
 #include "geo/state_space.h"
 #include "service/trajectory_service.h"
 
@@ -57,6 +67,7 @@ double RssMb() {
 }
 
 struct ModeResult {
+  std::string grid_backend;
   std::string mode;
   double tick_early_ms = 0.0;  ///< mean over rounds [100, 200)
   double tick_late_ms = 0.0;   ///< mean over the final 100 rounds
@@ -82,7 +93,7 @@ double MeanRange(const std::vector<double>& v, size_t lo, size_t hi) {
 }
 
 ModeResult RunMode(bool recycle, bool spill, const StateSpace& states,
-                   const Grid& grid, int64_t rounds, int64_t live,
+                   const SpatialGrid& grid, int64_t rounds, int64_t live,
                    int64_t churn, int window, int64_t every, uint64_t seed) {
   RetraSynConfig config;
   config.epsilon = 1.0;
@@ -103,6 +114,7 @@ ModeResult RunMode(bool recycle, bool spill, const StateSpace& states,
   }
 
   ModeResult result;
+  result.grid_backend = GridBackendName(grid.backend());
   result.mode = spill ? "recycle_on_spill" : (recycle ? "recycle_on" : "recycle_off");
   result.rss_start_mb = RssMb();
 
@@ -176,7 +188,8 @@ bool WriteJson(const std::string& path, uint32_t grid_k, int64_t rounds,
     const ModeResult& m = results[i];
     std::fprintf(
         f,
-        "  {\"bench\": \"horizon\", \"grid_k\": %u, \"rounds\": %lld, "
+        "  {\"bench\": \"horizon\", \"grid_backend\": \"%s\", "
+        "\"grid_k\": %u, \"rounds\": %lld, "
         "\"live\": %lld, \"churn\": %lld, \"window\": %d, \"mode\": \"%s\", "
         "\"tick_early_ms\": %.4f, \"tick_late_ms\": %.4f, "
         "\"tick_p99_ms\": %.4f, \"index_high_water\": %u, "
@@ -184,7 +197,8 @@ bool WriteJson(const std::string& path, uint32_t grid_k, int64_t rounds,
         "\"total_retired\": %llu, \"streams_spilled\": %llu, "
         "\"rss_start_mb\": %.1f, \"rss_mid_mb\": %.1f, "
         "\"rss_end_mb\": %.1f, \"total_s\": %.3f}%s\n",
-        grid_k, static_cast<long long>(rounds), static_cast<long long>(live),
+        m.grid_backend.c_str(), grid_k, static_cast<long long>(rounds),
+        static_cast<long long>(live),
         static_cast<long long>(churn), window, m.mode.c_str(),
         m.tick_early_ms, m.tick_late_ms, m.tick_p99_ms, m.index_high_water,
         m.dense_user_slots, m.free_indices,
@@ -216,25 +230,50 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  const BoundingBox box{0.0, 0.0, 1000.0, 1000.0};
-  const Grid grid(box, grid_k);
-  const StateSpace states(grid);
+  const std::string backends_csv = flags.GetString("backends", "uniform,quadtree");
+  std::vector<GridBackend> backends;
+  {
+    size_t pos = 0;
+    while (pos < backends_csv.size()) {
+      const size_t comma = backends_csv.find(',', pos);
+      const std::string item = backends_csv.substr(
+          pos, comma == std::string::npos ? backends_csv.size() - pos
+                                          : comma - pos);
+      if (item == "uniform") {
+        backends.push_back(GridBackend::kUniform);
+      } else if (item == "quadtree") {
+        backends.push_back(GridBackend::kQuadtree);
+      } else if (!item.empty()) {
+        std::fprintf(stderr, "unknown grid backend '%s'\n", item.c_str());
+        return 1;
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
 
+  const BoundingBox box{0.0, 0.0, 1000.0, 1000.0};
   std::vector<ModeResult> results;
-  results.push_back(RunMode(true, true, states, grid, rounds, live, churn,
-                            window, every, seed));
-  results.push_back(RunMode(true, false, states, grid, rounds, live, churn,
-                            window, every, seed));
-  results.push_back(RunMode(false, false, states, grid, rounds, live, churn,
-                            window, every, seed));
+  for (GridBackend backend : backends) {
+    auto grid_or = MakeSpatialGrid(box, grid_k, backend);
+    grid_or.status().CheckOK();
+    const std::unique_ptr<SpatialGrid> grid = std::move(grid_or).value();
+    const StateSpace states(*grid);
+    results.push_back(RunMode(true, true, states, *grid, rounds, live, churn,
+                              window, every, seed));
+    results.push_back(RunMode(true, false, states, *grid, rounds, live, churn,
+                              window, every, seed));
+    results.push_back(RunMode(false, false, states, *grid, rounds, live,
+                              churn, window, every, seed));
+  }
   for (const ModeResult& m : results) {
     std::fprintf(
         stderr,
-        "grid=%2ux%-2u rounds=%6lld live=%5lld churn=%4lld %-16s  "
+        "%-8s grid=%2ux%-2u rounds=%6lld live=%5lld churn=%4lld %-16s  "
         "tick@100=%7.3f ms  tick@end=%7.3f ms  p99=%7.3f ms  "
         "high_water=%8u  dense_slots=%9zu  rss=%6.1f->%6.1f->%6.1f MiB  "
         "total=%6.2f s\n",
-        grid_k, grid_k, static_cast<long long>(rounds),
+        m.grid_backend.c_str(), grid_k, grid_k, static_cast<long long>(rounds),
         static_cast<long long>(live), static_cast<long long>(churn),
         m.mode.c_str(), m.tick_early_ms, m.tick_late_ms, m.tick_p99_ms,
         m.index_high_water, m.dense_user_slots, m.rss_start_mb, m.rss_mid_mb,

@@ -31,6 +31,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/release_server.h"
+#include "geo/grid.h"
 #include "geo/state_space.h"
 #include "service/trajectory_service.h"
 

@@ -26,6 +26,7 @@
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "geo/grid.h"
 #include "geo/state_space.h"
 #include "journal/journal_reader.h"
 #include "journal/journal_writer.h"

@@ -13,6 +13,7 @@
 #include "core/mobility_model.h"
 #include "core/synthesizer.h"
 #include "core/transition_sampler_cache.h"
+#include "geo/grid.h"
 #include "geo/state_space.h"
 #include "ldp/aggregate.h"
 #include "ldp/frequency_oracle.h"

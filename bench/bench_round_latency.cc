@@ -15,15 +15,23 @@
 //   cached  — alias samplers, serial. The headline single-thread speedup.
 //   pooled  — alias samplers + persistent ThreadPool at --threads.
 //
+// The sweep also carries a grid-backend dimension (--backends, default
+// "uniform,quadtree"): each grid size is built through MakeSpatialGrid at a
+// matched effective cell count, so the records answer whether the
+// density-adaptive quadtree keeps round latency within the uniform grid's
+// envelope when both discretize the domain into the same number of cells.
+//
 // Output: a human-readable table on stderr and a JSON array (--json, default
-// BENCH_synthesis.json) with one record per (grid, population, mode); see
-// docs/performance.md for the schema and acceptance thresholds.
+// BENCH_synthesis.json) with one record per (backend, grid, population,
+// mode); see docs/performance.md for the schema and acceptance thresholds.
 //
 // Quick mode for CI smoke runs: --quick sweeps one point with few rounds.
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +41,9 @@
 #include "common/thread_pool.h"
 #include "core/mobility_model.h"
 #include "core/synthesizer.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
+#include "geo/spatial_grid.h"
 #include "geo/state_space.h"
 
 namespace retrasyn {
@@ -48,6 +59,7 @@ struct ModeResult {
 };
 
 struct SweepPoint {
+  std::string grid_backend;
   uint32_t grid_k = 0;
   uint32_t num_cells = 0;
   uint32_t num_states = 0;
@@ -140,12 +152,14 @@ bool WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep) {
               : 0.0;
       std::fprintf(
           f,
-          "  {\"bench\": \"round_latency\", \"grid_k\": %u, \"cells\": %u, "
+          "  {\"bench\": \"round_latency\", \"grid_backend\": \"%s\", "
+          "\"grid_k\": %u, \"cells\": %u, "
           "\"states\": %u, \"population\": %u, \"mode\": \"%s\", "
           "\"threads\": %d, \"rounds\": %d, \"mean_round_ms\": %.4f, "
           "\"min_round_ms\": %.4f, \"points_per_sec\": %.0f, "
           "\"speedup_vs_legacy\": %.2f}",
-          point.grid_k, point.num_cells, point.num_states, point.population,
+          point.grid_backend.c_str(), point.grid_k, point.num_cells,
+          point.num_states, point.population,
           m.mode.c_str(), m.threads, m.rounds, m.mean_round_ms,
           m.min_round_ms, m.points_per_sec, speedup);
     }
@@ -153,6 +167,28 @@ bool WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep) {
   std::fprintf(f, "\n]\n");
   std::fclose(f);
   return true;
+}
+
+std::vector<GridBackend> ParseBackends(const std::string& csv) {
+  std::vector<GridBackend> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (item == "uniform") {
+      out.push_back(GridBackend::kUniform);
+    } else if (item == "quadtree") {
+      out.push_back(GridBackend::kQuadtree);
+    } else if (!item.empty()) {
+      std::fprintf(stderr, "unknown grid backend '%s'\n", item.c_str());
+      std::exit(1);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 std::vector<uint32_t> ParseList(const std::string& csv) {
@@ -185,34 +221,43 @@ int Main(int argc, char** argv) {
       ParseList(flags.GetString("grids", quick ? "16" : "32,64"));
   const std::vector<uint32_t> pops = ParseList(
       flags.GetString("pops", quick ? "20000" : "10000,100000"));
+  const std::vector<GridBackend> backends =
+      ParseBackends(flags.GetString("backends", "uniform,quadtree"));
 
   ThreadPool pool(threads);
   std::vector<SweepPoint> sweep;
-  for (uint32_t k : grid_ks) {
-    const Grid grid(BoundingBox{0.0, 0.0, 1.0, 1.0}, k);
-    const StateSpace states(grid);
-    for (uint32_t pop : pops) {
-      SweepPoint point;
-      point.grid_k = k;
-      point.num_cells = grid.NumCells();
-      point.num_states = states.size();
-      point.population = pop;
-      point.modes.push_back(RunMode("legacy", states, pop, 1, nullptr,
-                                    warmup, rounds, seed));
-      point.modes.push_back(RunMode("cached", states, pop, 1, nullptr,
-                                    warmup, rounds, seed));
-      point.modes.push_back(RunMode("pooled", states, pop, threads, &pool,
-                                    warmup, rounds, seed));
-      const double legacy = point.modes[0].mean_round_ms;
-      for (const ModeResult& m : point.modes) {
-        std::fprintf(stderr,
-                     "grid=%2ux%-2u cells=%5u pop=%6u %-6s threads=%d  "
-                     "mean=%8.3f ms  min=%8.3f ms  %10.0f pts/s  %.2fx\n",
-                     k, k, point.num_cells, pop, m.mode.c_str(), m.threads,
-                     m.mean_round_ms, m.min_round_ms, m.points_per_sec,
-                     legacy > 0.0 ? legacy / m.mean_round_ms : 0.0);
+  for (GridBackend backend : backends) {
+    for (uint32_t k : grid_ks) {
+      auto grid_or =
+          MakeSpatialGrid(BoundingBox{0.0, 0.0, 1.0, 1.0}, k, backend);
+      grid_or.status().CheckOK();
+      const std::unique_ptr<SpatialGrid> grid = std::move(grid_or).value();
+      const StateSpace states(*grid);
+      for (uint32_t pop : pops) {
+        SweepPoint point;
+        point.grid_backend = GridBackendName(backend);
+        point.grid_k = k;
+        point.num_cells = grid->NumCells();
+        point.num_states = states.size();
+        point.population = pop;
+        point.modes.push_back(RunMode("legacy", states, pop, 1, nullptr,
+                                      warmup, rounds, seed));
+        point.modes.push_back(RunMode("cached", states, pop, 1, nullptr,
+                                      warmup, rounds, seed));
+        point.modes.push_back(RunMode("pooled", states, pop, threads, &pool,
+                                      warmup, rounds, seed));
+        const double legacy = point.modes[0].mean_round_ms;
+        for (const ModeResult& m : point.modes) {
+          std::fprintf(stderr,
+                       "%-8s grid=%2ux%-2u cells=%5u pop=%6u %-6s threads=%d  "
+                       "mean=%8.3f ms  min=%8.3f ms  %10.0f pts/s  %.2fx\n",
+                       point.grid_backend.c_str(), k, k, point.num_cells, pop,
+                       m.mode.c_str(), m.threads, m.mean_round_ms,
+                       m.min_round_ms, m.points_per_sec,
+                       legacy > 0.0 ? legacy / m.mean_round_ms : 0.0);
+        }
+        sweep.push_back(std::move(point));
       }
-      sweep.push_back(std::move(point));
     }
   }
   if (!WriteJson(json_path, sweep)) {

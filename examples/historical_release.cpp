@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "geo/grid.h"
 #include "metrics/historical.h"
 #include "service/replay.h"
 #include "service/trajectory_service.h"

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "geo/grid.h"
 #include "metrics/queries.h"
 #include "metrics/streaming.h"
 #include "service/replay.h"

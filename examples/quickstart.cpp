@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "geo/grid.h"
 #include "metrics/historical.h"
 #include "metrics/queries.h"
 #include "metrics/streaming.h"

@@ -18,6 +18,7 @@
 
 #include "common/flags.h"
 #include "core/release_server.h"
+#include "geo/grid.h"
 #include "metrics/histogram.h"
 #include "service/trajectory_service.h"
 #include "stream/feeder.h"

@@ -221,6 +221,8 @@ bool ParseHistoryFileName(const std::string& name, int64_t* round) {
 
 void EncodeCheckpointBody(const CheckpointState& state, std::string* out) {
   PutSigned(state.round, out);
+  PutVarint64(state.grid_describe.size(), out);
+  out->append(state.grid_describe);
 
   const EngineCheckpointState& e = state.engine;
   for (uint64_t word : e.rng_state) PutFixed64(word, out);
@@ -288,6 +290,11 @@ Status DecodeCheckpointBody(const char* data, size_t size,
   SessionCheckpointState& s = state->session;
   uint64_t n = 0;
   bool ok = c.GetSigned(&state->round);
+  ok = ok && c.GetCount(1, &n);
+  if (ok) {
+    state->grid_describe.assign(c.data + c.offset, n);
+    c.offset += n;
+  }
   for (int i = 0; ok && i < 4; ++i) ok = c.GetFixedU64(&e.rng_state[i]);
   ok = ok && c.GetBool(&e.collected_once) && c.GetVarint(&e.total_reports);
   ok = ok && c.GetCount(8, &n);

@@ -45,6 +45,11 @@ namespace retrasyn {
 /// rounds (== the session's open round at capture).
 struct CheckpointState {
   int64_t round = 0;
+  /// The canonical SpatialGrid::Describe() bytes of the grid the checkpoint
+  /// was captured under, round-tripped exactly (v2+). Recovery refuses a
+  /// checkpoint whose grid differs from the running deployment's — the dense
+  /// engine state is meaningless under any other cell layout.
+  std::string grid_describe;
   EngineCheckpointState engine;
   SessionCheckpointState session;
   /// Rounds whose history spill files this checkpoint references, ascending.
@@ -57,7 +62,8 @@ inline constexpr char kCheckpointMagic[8] = {'R', 'S', 'Y', 'N',
                                              'C', 'K', 'P', 'T'};
 inline constexpr char kHistoryMagic[8] = {'R', 'S', 'Y', 'N',
                                           'H', 'I', 'S', 'T'};
-inline constexpr uint8_t kCheckpointFormatVersion = 1;
+// v2: the body opens with the grid's Describe() bytes (see CheckpointState).
+inline constexpr uint8_t kCheckpointFormatVersion = 2;
 /// magic + version + fingerprint + body_len.
 inline constexpr size_t kCheckpointHeaderSize = sizeof(kCheckpointMagic) + 1 +
                                                 8 + 8;

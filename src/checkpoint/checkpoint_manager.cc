@@ -276,6 +276,7 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
   // 2. The checkpoint itself, referencing every spill file it relies on.
   CheckpointState state;
   state.round = round;
+  state.grid_describe = options_.grid_describe;
   state.engine = std::move(engine);
   state.session = std::move(session);
   {

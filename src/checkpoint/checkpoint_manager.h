@@ -62,6 +62,11 @@ struct CheckpointOptions {
   /// Deployment fingerprint stamped into every file (same hash the journal
   /// carries); a checkpoint only loads into the deployment that wrote it.
   uint64_t fingerprint = 0;
+  /// The grid's canonical Describe() bytes, stored verbatim in every
+  /// checkpoint body so recovery can verify the discretization exactly (the
+  /// fingerprint above already hashes them; the copy makes the refusal
+  /// message precise and the format self-describing).
+  std::string grid_describe;
   /// The w-event window; journal retirement keeps a full window of rounds
   /// behind the oldest retained checkpoint.
   int window = 0;

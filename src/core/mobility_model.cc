@@ -49,7 +49,7 @@ void GlobalMobilityModel::Restore(std::vector<double> frequencies,
 
 std::vector<double> GlobalMobilityModel::MoveAndQuitDistribution(
     CellId from) const {
-  const Grid& grid = states_->grid();
+  const SpatialGrid& grid = states_->grid();
   const auto& nbrs = grid.Neighbors(from);
   std::vector<double> dist(nbrs.size() + 1, 0.0);
   double total = 0.0;

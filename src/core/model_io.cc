@@ -9,7 +9,16 @@ namespace retrasyn {
 
 namespace {
 constexpr char kMagic[] = "retrasyn-mobility-model";
-constexpr int kVersion = 1;
+// v2: the header pins the discretization by cell count and a hash of the
+// grid's canonical Describe() bytes instead of assuming a uniform K — model
+// files are portable across SpatialGrid backends and refuse geometry drift.
+constexpr int kVersion = 2;
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : bytes) h = (h ^ c) * 1099511628211ull;
+  return h;
+}
 }  // namespace
 
 Status SaveMobilityModel(const GlobalMobilityModel& model,
@@ -22,8 +31,10 @@ Status SaveMobilityModel(const GlobalMobilityModel& model,
     return Status::IOError("cannot open model file for writing: " + path);
   }
   const StateSpace& states = model.states();
-  std::fprintf(f, "%s %d %u %u\n", kMagic, kVersion, states.grid().k(),
-               states.size());
+  std::fprintf(f, "%s %d %u %u %016llx\n", kMagic, kVersion,
+               states.num_cells(), states.size(),
+               static_cast<unsigned long long>(
+                   Fnv1a64(states.grid().Describe())));
   for (StateId s = 0; s < states.size(); ++s) {
     std::fprintf(f, "%.17g\n", model.frequency(s));
   }
@@ -45,8 +56,9 @@ Status LoadMobilityModel(const std::string& path, GlobalMobilityModel* model) {
   std::istringstream header_stream(header);
   std::string magic;
   int version = 0;
-  uint32_t k = 0, domain = 0;
-  header_stream >> magic >> version >> k >> domain;
+  uint32_t cells = 0, domain = 0;
+  std::string grid_hash_hex;
+  header_stream >> magic >> version >> cells >> domain >> grid_hash_hex;
   if (magic != kMagic) {
     return Status::InvalidArgument("not a mobility model file: " + path);
   }
@@ -55,12 +67,22 @@ Status LoadMobilityModel(const std::string& path, GlobalMobilityModel* model) {
                                    std::to_string(version));
   }
   const StateSpace& states = model->states();
-  if (k != states.grid().k() || domain != states.size()) {
+  if (cells != states.num_cells() || domain != states.size()) {
     return Status::FailedPrecondition(
-        "model geometry mismatch: file has K=" + std::to_string(k) + ", |S|=" +
-        std::to_string(domain) + "; target has K=" +
-        std::to_string(states.grid().k()) + ", |S|=" +
+        "model geometry mismatch: file has |C|=" + std::to_string(cells) +
+        ", |S|=" + std::to_string(domain) + "; target has |C|=" +
+        std::to_string(states.num_cells()) + ", |S|=" +
         std::to_string(states.size()));
+  }
+  char expected[17];
+  std::snprintf(expected, sizeof(expected), "%016llx",
+                static_cast<unsigned long long>(
+                    Fnv1a64(states.grid().Describe())));
+  if (grid_hash_hex != expected) {
+    return Status::FailedPrecondition(
+        "model grid mismatch: file was saved against a different "
+        "discretization (grid hash " + grid_hash_hex + ", target " +
+        expected + "); target grid is " + states.grid().ToString());
   }
   std::vector<double> frequencies;
   frequencies.reserve(domain);

@@ -7,7 +7,7 @@
 
 namespace retrasyn {
 
-ReleaseServer::ReleaseServer(const Grid& grid, int64_t retention_rounds)
+ReleaseServer::ReleaseServer(const SpatialGrid& grid, int64_t retention_rounds)
     : grid_(&grid), zeros_(grid.NumCells(), 0) {
   RETRASYN_CHECK_MSG(retention_rounds >= 0,
                      "retention_rounds must be >= 0 (0 = unlimited)");
@@ -84,18 +84,40 @@ uint64_t ReleaseServer::ActiveAt(int64_t t) const {
 }
 
 uint64_t ReleaseServer::RangeCount(const RangeQuery& query) const {
+  const UniformGrid* uniform = grid_->AsUniform();
+  RETRASYN_CHECK_MSG(uniform != nullptr,
+                     "RangeCount requires a uniform grid; use BoxCount");
   const int64_t lo = std::max(first_retained_, query.t_start);
   const int64_t hi = std::min<int64_t>(horizon(), query.t_end);
-  const uint32_t row_hi = std::min(query.row_hi, grid_->k() - 1);
-  const uint32_t col_hi = std::min(query.col_hi, grid_->k() - 1);
+  const uint32_t row_hi = std::min(query.row_hi, uniform->k() - 1);
+  const uint32_t col_hi = std::min(query.col_hi, uniform->k() - 1);
   uint64_t total = 0;
   for (int64_t t = lo; t < hi; ++t) {
     const auto& cells = density_[t - first_retained_];
     for (uint32_t r = query.row_lo; r <= row_hi; ++r) {
       for (uint32_t c = query.col_lo; c <= col_hi; ++c) {
-        total += cells[grid_->Cell(r, c)];
+        total += cells[uniform->Cell(r, c)];
       }
     }
+  }
+  return total;
+}
+
+uint64_t ReleaseServer::BoxCount(const BoundingBox& box, int64_t t_start,
+                                 int64_t t_end) const {
+  // Membership by cell center, matching DensityIndex::CountBox: on the
+  // uniform lattice this is exactly the rectangle of cells, and on adaptive
+  // backends it assigns each cell to a query unambiguously.
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < grid_->NumCells(); ++c) {
+    if (box.Contains(grid_->CellCenter(c))) cells.push_back(c);
+  }
+  const int64_t lo = std::max(first_retained_, t_start);
+  const int64_t hi = std::min<int64_t>(horizon(), t_end);
+  uint64_t total = 0;
+  for (int64_t t = lo; t < hi; ++t) {
+    const auto& density = density_[t - first_retained_];
+    for (CellId c : cells) total += density[c];
   }
   return total;
 }

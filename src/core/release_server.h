@@ -30,7 +30,7 @@
 
 #include "core/engine.h"
 #include "core/release_sink.h"
-#include "geo/grid.h"
+#include "geo/spatial_grid.h"
 #include "metrics/queries.h"
 
 namespace retrasyn {
@@ -41,7 +41,7 @@ class ReleaseServer : public ReleaseSink {
   /// queryable. 0 (default) retains everything — only suitable for bounded
   /// streams; long-running deployments should set it to their largest query
   /// window so memory stays O(retention * cells) instead of O(horizon).
-  explicit ReleaseServer(const Grid& grid, int64_t retention_rounds = 0);
+  explicit ReleaseServer(const SpatialGrid& grid, int64_t retention_rounds = 0);
 
   /// ReleaseSink: records one closed round. Rounds must arrive in strictly
   /// increasing timestamp order (the service guarantees this); a server
@@ -78,8 +78,17 @@ class ReleaseServer : public ReleaseSink {
   uint64_t ActiveAt(int64_t t) const;
 
   /// Points inside a spatio-temporal range query (clamped to the retained
-  /// horizon and the grid bounds; evicted rounds contribute zero).
+  /// horizon and the grid bounds; evicted rounds contribute zero). Row/column
+  /// rectangles only exist on the uniform lattice: aborts when this server's
+  /// grid has no uniform view — use BoxCount for backend-agnostic queries.
   uint64_t RangeCount(const RangeQuery& query) const;
+
+  /// Backend-agnostic spatial count: points over [t_start, t_end) in cells
+  /// whose center lies inside \p box (the same region semantics as the
+  /// post-hoc DensityIndex::CountBox, so the consistency contract holds for
+  /// every grid backend).
+  uint64_t BoxCount(const BoundingBox& box, int64_t t_start,
+                    int64_t t_end) const;
 
   /// The k busiest cells over [t_start, t_end), busiest first.
   std::vector<CellId> TopHotspots(int64_t t_start, int64_t t_end,
@@ -96,7 +105,7 @@ class ReleaseServer : public ReleaseSink {
   /// (duplicate/out-of-order) or a density of the wrong cardinality.
   Status Record(int64_t t, std::vector<uint32_t> density, uint64_t active);
 
-  const Grid* grid_;
+  const SpatialGrid* grid_;
   std::vector<uint32_t> zeros_;  ///< out-of-retention answer
   /// Retained rounds, densities and totals; index 0 holds timestamp
   /// first_retained_. Deques so retention eviction pops the front in O(1)

@@ -8,9 +8,10 @@
 
 namespace retrasyn {
 
-PreparedDataset::PreparedDataset(const StreamDatabase& db, uint32_t grid_k) {
+PreparedDataset::PreparedDataset(const StreamDatabase& db, uint32_t grid_k,
+                                 GridBackend backend) {
   db_ = std::make_unique<StreamDatabase>(db);
-  grid_ = std::make_unique<Grid>(db.box(), grid_k);
+  grid_ = MakeSpatialGrid(db.box(), grid_k, backend).ValueOrDie();
   states_ = std::make_unique<StateSpace>(*grid_);
   feeder_ = std::make_unique<StreamFeeder>(db, *grid_, *states_);
   orig_density_ =

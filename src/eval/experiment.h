@@ -12,6 +12,7 @@
 #include "baselines/ldp_ids.h"
 #include "core/engine.h"
 #include "eval/datasets.h"
+#include "geo/grid_factory.h"
 #include "metrics/queries.h"
 #include "metrics/streaming.h"
 #include "stream/feeder.h"
@@ -35,10 +36,13 @@ struct MetricsReport {
 /// raw database so runs can replay it through the streaming service layer.
 class PreparedDataset {
  public:
-  PreparedDataset(const StreamDatabase& db, uint32_t grid_k);
+  /// Discretizes against \p backend at an effective cell count matched to a
+  /// uniform grid_k x grid_k grid (see MakeSpatialGrid).
+  PreparedDataset(const StreamDatabase& db, uint32_t grid_k,
+                  GridBackend backend = GridBackend::kUniform);
 
   const StreamDatabase& db() const { return *db_; }
-  const Grid& grid() const { return *grid_; }
+  const SpatialGrid& grid() const { return *grid_; }
   const StateSpace& states() const { return *states_; }
   const StreamFeeder& feeder() const { return *feeder_; }
   const CellStreamSet& original() const { return feeder_->cell_streams(); }
@@ -51,7 +55,7 @@ class PreparedDataset {
 
  private:
   std::unique_ptr<StreamDatabase> db_;
-  std::unique_ptr<Grid> grid_;
+  std::unique_ptr<SpatialGrid> grid_;
   std::unique_ptr<StateSpace> states_;
   std::unique_ptr<StreamFeeder> feeder_;
   std::unique_ptr<DensityIndex> orig_density_;

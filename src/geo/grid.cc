@@ -7,11 +7,12 @@
 
 namespace retrasyn {
 
-Grid::Grid(const BoundingBox& box, uint32_t k) : box_(box), k_(k) {
+UniformGrid::UniformGrid(const BoundingBox& box, uint32_t k)
+    : SpatialGrid(box), k_(k) {
   RETRASYN_CHECK(k >= 1);
-  RETRASYN_CHECK(box.Width() > 0.0 && box.Height() > 0.0);
   cell_width_ = box.Width() / k_;
   cell_height_ = box.Height() / k_;
+  num_cells_ = k_ * k_;
   neighbors_.resize(NumCells());
   for (CellId c = 0; c < NumCells(); ++c) {
     const int row = static_cast<int>(Row(c));
@@ -31,7 +32,7 @@ Grid::Grid(const BoundingBox& box, uint32_t k) : box_(box), k_(k) {
   }
 }
 
-CellId Grid::Locate(const Point& p) const {
+CellId UniformGrid::Locate(const Point& p) const {
   const Point q = box_.Clamp(p);
   uint32_t col = static_cast<uint32_t>((q.x - box_.min_x) / cell_width_);
   uint32_t row = static_cast<uint32_t>((q.y - box_.min_y) / cell_height_);
@@ -42,12 +43,12 @@ CellId Grid::Locate(const Point& p) const {
   return Cell(row, col);
 }
 
-Point Grid::CellCenter(CellId c) const {
+Point UniformGrid::CellCenter(CellId c) const {
   return Point{box_.min_x + (Col(c) + 0.5) * cell_width_,
                box_.min_y + (Row(c) + 0.5) * cell_height_};
 }
 
-BoundingBox Grid::CellBounds(CellId c) const {
+BoundingBox UniformGrid::CellBounds(CellId c) const {
   BoundingBox b;
   b.min_x = box_.min_x + Col(c) * cell_width_;
   b.min_y = box_.min_y + Row(c) * cell_height_;
@@ -56,30 +57,24 @@ BoundingBox Grid::CellBounds(CellId c) const {
   return b;
 }
 
-bool Grid::AreNeighbors(CellId from, CellId to) const {
+bool UniformGrid::AreNeighbors(CellId from, CellId to) const {
   const int dr = static_cast<int>(Row(from)) - static_cast<int>(Row(to));
   const int dc = static_cast<int>(Col(from)) - static_cast<int>(Col(to));
   return std::abs(dr) <= 1 && std::abs(dc) <= 1;
 }
 
-uint32_t Grid::ChebyshevDistance(CellId a, CellId b) const {
+uint32_t UniformGrid::ChebyshevDistance(CellId a, CellId b) const {
   const int dr = static_cast<int>(Row(a)) - static_cast<int>(Row(b));
   const int dc = static_cast<int>(Col(a)) - static_cast<int>(Col(b));
   return static_cast<uint32_t>(std::max(std::abs(dr), std::abs(dc)));
 }
 
-CellId Grid::ClampToReachable(CellId from, CellId to) const {
-  if (AreNeighbors(from, to)) return to;
-  CellId best = from;
-  uint32_t best_d = ChebyshevDistance(from, to);
-  for (CellId nbr : Neighbors(from)) {
-    const uint32_t d = ChebyshevDistance(nbr, to);
-    if (d < best_d) {
-      best_d = d;
-      best = nbr;
-    }
-  }
-  return best;
+void UniformGrid::DescribePayload(std::string* out) const {
+  DescribeAppendU32(k_, out);
+}
+
+std::string UniformGrid::ToString() const {
+  return "uniform(" + std::to_string(k_) + "x" + std::to_string(k_) + ")";
 }
 
 }  // namespace retrasyn

@@ -1,74 +1,68 @@
-// Uniform K x K geospatial discretization (paper SIII-B). Continuous
-// coordinates are mapped to grid cells; the reachability constraint of the
-// mobility model ("transitions between adjacent cells") is expressed through
-// the precomputed neighbor lists here (Moore neighborhood including the cell
-// itself, clipped at the border).
+// Uniform K x K geospatial discretization (paper SIII-B), the reference
+// SpatialGrid backend. Continuous coordinates are mapped to grid cells; the
+// reachability constraint of the mobility model ("transitions between
+// adjacent cells") is expressed through the precomputed neighbor lists
+// (Moore neighborhood including the cell itself, clipped at the border).
 
 #ifndef RETRASYN_GEO_GRID_H_
 #define RETRASYN_GEO_GRID_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "geo/point.h"
+#include "geo/spatial_grid.h"
 
 namespace retrasyn {
 
-using CellId = uint32_t;
-
-class Grid {
+class UniformGrid : public SpatialGrid {
  public:
   /// Builds a K x K uniform grid over \p box. Requires k >= 1 and a box with
   /// positive width and height.
-  Grid(const BoundingBox& box, uint32_t k);
+  UniformGrid(const BoundingBox& box, uint32_t k);
 
   uint32_t k() const { return k_; }
-  uint32_t NumCells() const { return k_ * k_; }
-  const BoundingBox& box() const { return box_; }
 
   uint32_t Row(CellId c) const { return c / k_; }
   uint32_t Col(CellId c) const { return c % k_; }
   CellId Cell(uint32_t row, uint32_t col) const { return row * k_ + col; }
 
-  /// Maps a continuous point to its cell; points outside the box are clamped
-  /// to the nearest border cell.
-  CellId Locate(const Point& p) const;
+  GridBackend backend() const override { return GridBackend::kUniform; }
+  const UniformGrid* AsUniform() const override { return this; }
 
-  /// Center of a cell in continuous coordinates.
-  Point CellCenter(CellId c) const;
+  CellId Locate(const Point& p) const override;
+  Point CellCenter(CellId c) const override;
+  BoundingBox CellBounds(CellId c) const override;
 
-  /// Bounding box of a cell.
-  BoundingBox CellBounds(CellId c) const;
+  /// Closed-form Moore-neighborhood test (no list search).
+  bool AreNeighbors(CellId from, CellId to) const override;
 
-  /// Neighbor cells of \p c including \p c itself (4, 6, or 9 cells),
-  /// in ascending CellId order.
-  const std::vector<CellId>& Neighbors(CellId c) const {
-    return neighbors_[c];
-  }
-
-  /// True when \p to lies in the Moore neighborhood of \p from (incl. itself),
-  /// i.e. the movement transition from->to satisfies the reachability
-  /// constraint.
-  bool AreNeighbors(CellId from, CellId to) const;
-
-  /// Chebyshev (L-inf) distance between two cells, in cell units. This is the
-  /// minimum number of timestamps a reachability-respecting walk needs.
+  /// Chebyshev (L-inf) distance between two cells, in cell units. This is
+  /// the minimum number of timestamps a reachability-respecting walk needs.
   uint32_t ChebyshevDistance(CellId a, CellId b) const;
 
-  /// Clamps a movement destination to the reachability constraint: returns
-  /// \p to when it is a neighbor of \p from, else the neighbor of \p from
-  /// closest (Chebyshev) to \p to. Both the batch feeder and the streaming
-  /// ingestion session use this — they must clamp identically for the
-  /// replayed and live paths to encode the same transition states.
-  CellId ClampToReachable(CellId from, CellId to) const;
+  /// SpatialGrid::Distance == ChebyshevDistance, exactly (integer-valued
+  /// doubles, so ClampToReachable through the interface picks the identical
+  /// neighbor the pre-interface implementation did).
+  double Distance(CellId a, CellId b) const override {
+    return static_cast<double>(ChebyshevDistance(a, b));
+  }
+
+  std::string ToString() const override;
+
+ protected:
+  void DescribePayload(std::string* out) const override;
 
  private:
-  BoundingBox box_;
   uint32_t k_;
   double cell_width_;
   double cell_height_;
-  std::vector<std::vector<CellId>> neighbors_;
 };
+
+/// Legacy name: the library predates the SpatialGrid seam, and the uniform
+/// backend remains the default everywhere.
+using Grid = UniformGrid;
 
 }  // namespace retrasyn
 

@@ -1,0 +1,83 @@
+#include "geo/grid_factory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "geo/grid.h"
+
+namespace retrasyn {
+
+DensitySnapshot SyntheticTwoBumpDensity() {
+  constexpr uint32_t kProbe = 16;
+  DensitySnapshot d;
+  d.k = kProbe;
+  d.counts.resize(static_cast<size_t>(kProbe) * kProbe);
+  // Two population bumps in normalized coordinates: a tight downtown at
+  // (0.3, 0.35) and a broader suburb at (0.75, 0.7), over a thin uniform
+  // background so no probe cell is exactly empty.
+  for (uint32_t iy = 0; iy < kProbe; ++iy) {
+    for (uint32_t ix = 0; ix < kProbe; ++ix) {
+      const double x = (ix + 0.5) / kProbe;
+      const double y = (iy + 0.5) / kProbe;
+      const double d1 = ((x - 0.3) * (x - 0.3) + (y - 0.35) * (y - 0.35)) /
+                        (2.0 * 0.08 * 0.08);
+      const double d2 = ((x - 0.75) * (x - 0.75) + (y - 0.7) * (y - 0.7)) /
+                        (2.0 * 0.18 * 0.18);
+      d.counts[iy * kProbe + ix] =
+          100.0 * std::exp(-d1) + 40.0 * std::exp(-d2) + 0.5;
+    }
+  }
+  return d;
+}
+
+Result<std::unique_ptr<SpatialGrid>> MakeSpatialGrid(const BoundingBox& box,
+                                                     uint32_t k,
+                                                     GridBackend backend) {
+  if (k < 1) {
+    return Status::InvalidArgument("grid resolution k must be >= 1");
+  }
+  switch (backend) {
+    case GridBackend::kUniform:
+      return std::unique_ptr<SpatialGrid>(new UniformGrid(box, k));
+    case GridBackend::kQuadtree: {
+      // Depth budget: 4^d leaves at full depth must cover k*k, with two
+      // extra levels of slack so the greedy builder can follow the density
+      // instead of being forced into a uniform split.
+      uint32_t depth = 1;
+      while ((1ull << (2 * depth)) < static_cast<uint64_t>(k) * k) ++depth;
+      depth = std::min(depth + 2, QuadtreeConfig::kMaxDepth);
+      auto built = QuadtreeGrid::WithTargetLeaves(
+          box, SyntheticTwoBumpDensity(), k * k, depth);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<SpatialGrid>(std::move(built).value().release());
+    }
+  }
+  return Status::InvalidArgument("unknown grid backend");
+}
+
+GridBackend GridBackendFromEnv() {
+  const char* v = std::getenv("RETRASYN_GRID_BACKEND");
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "uniform") == 0) {
+    return GridBackend::kUniform;
+  }
+  if (std::strcmp(v, "quadtree") == 0) {
+    return GridBackend::kQuadtree;
+  }
+  std::fprintf(stderr,
+               "unrecognized RETRASYN_GRID_BACKEND value: %s "
+               "(expected 'uniform' or 'quadtree')\n",
+               v);
+  std::abort();
+}
+
+std::unique_ptr<SpatialGrid> MakeEnvGrid(const BoundingBox& box, uint32_t k) {
+  auto grid = MakeSpatialGrid(box, k, GridBackendFromEnv());
+  grid.status().CheckOK();
+  return std::move(grid).value();
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,44 @@
+// Backend selection helpers: construct a SpatialGrid of either backend at a
+// matched effective cell count, and resolve the backend from the
+// RETRASYN_GRID_BACKEND environment variable so the test suites (and CI) can
+// run the whole service stack under the quadtree without code changes.
+
+#ifndef RETRASYN_GEO_GRID_FACTORY_H_
+#define RETRASYN_GEO_GRID_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "geo/quadtree_grid.h"
+#include "geo/spatial_grid.h"
+
+namespace retrasyn {
+
+/// \brief Deterministic synthetic density over a 16x16 probe lattice: two
+/// Gaussian population bumps (a "downtown" and a "suburb") over a sparse
+/// background. Used wherever a quadtree is wanted at a matched cell budget
+/// but no released density exists yet (benches, env-parameterized tests).
+DensitySnapshot SyntheticTwoBumpDensity();
+
+/// \brief Builds a grid of \p backend over \p box with an effective cell
+/// count matched to a uniform k x k grid: the uniform backend is exactly
+/// k x k; the quadtree is built from SyntheticTwoBumpDensity() with a
+/// target of k*k leaves (exact whenever k*k ≡ 1 mod 3, e.g. every k not
+/// divisible by 3; otherwise the closest reachable count below).
+Result<std::unique_ptr<SpatialGrid>> MakeSpatialGrid(const BoundingBox& box,
+                                                     uint32_t k,
+                                                     GridBackend backend);
+
+/// \brief Backend selected by the RETRASYN_GRID_BACKEND environment variable
+/// ("uniform" / unset -> kUniform, "quadtree" -> kQuadtree). Aborts on any
+/// other value so CI typos fail loudly instead of silently testing uniform.
+GridBackend GridBackendFromEnv();
+
+/// \brief MakeSpatialGrid under GridBackendFromEnv(); aborts on construction
+/// failure (test/bench convenience — inputs are programmer-controlled).
+std::unique_ptr<SpatialGrid> MakeEnvGrid(const BoundingBox& box, uint32_t k);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_GEO_GRID_FACTORY_H_

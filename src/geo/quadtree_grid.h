@@ -1,0 +1,131 @@
+// Density-adaptive quadtree discretization (LDPTrace / PrivTrace lineage):
+// dense regions split into fine cells, empty regions stay coarse, so a fixed
+// cell budget buys resolution where the population actually is.
+//
+// Construction is deterministic and *private by post-processing*: the input
+// density snapshot must itself come from already-privatized counts (e.g. a
+// released per-cell density or a DP'd initial histogram), so the split
+// structure reveals nothing beyond what the release already did (Thm. 2).
+// Starting from the root, any node whose (noisy) mass exceeds
+// `split_threshold` splits into four children down to `max_depth`; a split
+// whose four children are all empty leaves merges back. The alternative
+// builder `WithTargetLeaves` splits greedily by descending mass until a leaf
+// budget is met — the knob used to match a uniform grid's effective cell
+// count for apples-to-apples comparisons.
+//
+// Leaves are numbered in depth-first pre-order (children visited row-major:
+// SW, SE, NW, NE in (y, x) order), which fixes the CellId assignment — and
+// with it the derived transition-state space — as a pure function of the
+// split structure. Adjacency (all bounds-touching leaves, including
+// diagonally touching and the leaf itself) is precomputed into the base
+// class's neighbor lists, so the synthesis hot path stays O(1) per point.
+//
+// Geometry is exact: every leaf is a dyadic sub-rectangle of the box,
+// represented in integer lattice units at 2^max_depth resolution, so
+// adjacency, Locate, and Distance never depend on floating-point edge
+// comparisons.
+
+#ifndef RETRASYN_GEO_QUADTREE_GRID_H_
+#define RETRASYN_GEO_QUADTREE_GRID_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/spatial_grid.h"
+
+namespace retrasyn {
+
+struct QuadtreeConfig {
+  /// Maximum split depth; the finest leaf is box/2^max_depth per axis and
+  /// internal lattice resolution is 2^max_depth. In [1, kMaxDepth].
+  uint32_t max_depth = 6;
+  /// A node splits while its density mass exceeds this (>= 0).
+  double split_threshold = 0.0;
+
+  static constexpr uint32_t kMaxDepth = 10;
+
+  Status Validate() const;
+};
+
+/// \brief A density snapshot over a uniform probe lattice: `counts` is
+/// row-major k x k over the target box (the exact layout a released per-cell
+/// density or a DP'd histogram already has). Values may be negative (noisy);
+/// construction clamps them to zero mass.
+struct DensitySnapshot {
+  uint32_t k = 0;
+  std::vector<double> counts;
+
+  Status Validate() const;
+};
+
+class QuadtreeGrid : public SpatialGrid {
+ public:
+  /// Threshold build: split every node with mass > config.split_threshold
+  /// down to config.max_depth, then merge all-empty sibling sets. The probe
+  /// lattice of \p density need not match 2^max_depth — node masses are
+  /// exact area-weighted integrals of the piecewise-constant density field.
+  static Result<std::unique_ptr<QuadtreeGrid>> Build(
+      const BoundingBox& box, const DensitySnapshot& density,
+      const QuadtreeConfig& config);
+
+  /// Greedy build to a leaf budget: repeatedly splits the splittable leaf
+  /// with the largest mass (ties: lowest creation order; zero-mass leaves
+  /// split last) while at most \p target_leaves leaves result. Yields
+  /// target_leaves exactly when (target_leaves - 1) is divisible by 3 and
+  /// depth allows; the closest reachable count below otherwise.
+  static Result<std::unique_ptr<QuadtreeGrid>> WithTargetLeaves(
+      const BoundingBox& box, const DensitySnapshot& density,
+      uint32_t target_leaves, uint32_t max_depth);
+
+  GridBackend backend() const override { return GridBackend::kQuadtree; }
+
+  CellId Locate(const Point& p) const override;
+  Point CellCenter(CellId c) const override;
+  BoundingBox CellBounds(CellId c) const override;
+  double Distance(CellId a, CellId b) const override;
+
+  uint32_t max_depth() const { return max_depth_; }
+  /// Depth of leaf \p c (0 = the root is the only cell).
+  uint32_t LeafDepth(CellId c) const;
+  std::string ToString() const override;
+
+ protected:
+  void DescribePayload(std::string* out) const override;
+
+ private:
+  struct Node {
+    uint32_t depth = 0;
+    uint32_t ix = 0;  ///< x index at `depth` (column, from box.min_x)
+    uint32_t iy = 0;  ///< y index at `depth` (row, from box.min_y)
+    int32_t child = -1;  ///< index of first of 4 children; -1 = leaf
+    uint32_t leaf = 0;   ///< CellId when leaf
+    double mass = 0.0;
+  };
+
+  /// A leaf's lattice rectangle at 2^max_depth resolution:
+  /// [x0, x0 + span) x [y0, y0 + span).
+  struct LeafRect {
+    uint32_t x0 = 0;
+    uint32_t y0 = 0;
+    uint32_t span = 0;
+  };
+
+  QuadtreeGrid(const BoundingBox& box, uint32_t max_depth)
+      : SpatialGrid(box), max_depth_(max_depth) {}
+
+  /// Numbers leaves pre-order, fills leaf rects + neighbor lists.
+  void Finalize();
+
+  uint32_t max_depth_;
+  std::vector<Node> nodes_;      ///< nodes_[0] is the root
+  std::vector<LeafRect> leaves_; ///< per CellId
+  std::vector<uint32_t> leaf_node_;  ///< CellId -> node index
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_GEO_QUADTREE_GRID_H_

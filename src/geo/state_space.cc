@@ -6,7 +6,7 @@
 
 namespace retrasyn {
 
-StateSpace::StateSpace(const Grid& grid)
+StateSpace::StateSpace(const SpatialGrid& grid)
     : grid_(&grid), num_cells_(grid.NumCells()) {
   move_offset_.resize(num_cells_ + 1);
   StateId offset = 0;

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "geo/grid.h"
+#include "geo/spatial_grid.h"
 
 namespace retrasyn {
 
@@ -45,7 +45,7 @@ struct TransitionState {
 
 class StateSpace {
  public:
-  explicit StateSpace(const Grid& grid);
+  explicit StateSpace(const SpatialGrid& grid);
 
   /// Total number of states |S|.
   uint32_t size() const { return size_; }
@@ -81,13 +81,13 @@ class StateSpace {
   /// occupy [MoveOffset(from), MoveOffset(from) + Neighbors(from).size()).
   StateId MoveOffset(CellId from) const { return move_offset_[from]; }
 
-  const Grid& grid() const { return *grid_; }
+  const SpatialGrid& grid() const { return *grid_; }
 
   /// Debug representation, e.g. "m(3->4)", "e(7)", "q(0)".
   std::string ToString(StateId id) const;
 
  private:
-  const Grid* grid_;
+  const SpatialGrid* grid_;
   uint32_t num_cells_;
   uint32_t num_move_;
   uint32_t size_;

@@ -47,7 +47,7 @@ namespace {
 // Diameter of one stream: the maximum pairwise distance between the centers
 // of its *distinct* visited cells. Streams revisit cells heavily, so the
 // distinct set is small and the exact O(k^2) scan is cheap.
-double StreamDiameter(const CellStream& s, const Grid& grid) {
+double StreamDiameter(const CellStream& s, const SpatialGrid& grid) {
   std::vector<CellId> distinct(s.cells);
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
@@ -66,7 +66,7 @@ double StreamDiameter(const CellStream& s, const Grid& grid) {
 }  // namespace
 
 double DiameterError(const CellStreamSet& orig, const CellStreamSet& syn,
-                     const Grid& grid, int num_buckets) {
+                     const SpatialGrid& grid, int num_buckets) {
   RETRASYN_CHECK(num_buckets >= 1);
   const double max_diameter =
       EuclideanDistance(Point{grid.box().min_x, grid.box().min_y},

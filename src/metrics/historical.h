@@ -9,7 +9,7 @@
 
 #include <cstdint>
 
-#include "geo/grid.h"
+#include "geo/spatial_grid.h"
 #include "stream/cell_stream.h"
 
 namespace retrasyn {
@@ -35,7 +35,7 @@ double LengthError(const CellStreamSet& orig, const CellStreamSet& syn,
 /// cells' row/col lattice via the bounding box of visited cells, bucketed
 /// into \p num_buckets equal-width bins.
 double DiameterError(const CellStreamSet& orig, const CellStreamSet& syn,
-                     const Grid& grid, int num_buckets = 20);
+                     const SpatialGrid& grid, int num_buckets = 20);
 
 }  // namespace retrasyn
 

@@ -6,19 +6,25 @@
 
 namespace retrasyn {
 
-DensityIndex::DensityIndex(const CellStreamSet& set, const Grid& grid)
-    : k_(grid.k()) {
+DensityIndex::DensityIndex(const CellStreamSet& set, const SpatialGrid& grid)
+    : grid_(&grid) {
   const int64_t horizon = set.num_timestamps();
   counts_.assign(horizon, std::vector<uint32_t>(grid.NumCells(), 0));
+  totals_.assign(horizon, 0);
   for (const CellStream& s : set.streams()) {
     for (int64_t t = s.enter_time; t < s.end_time(); ++t) {
       ++counts_[t][s.At(t)];
+      ++totals_[t];
     }
   }
   // Per-timestamp 2D prefix sums over the (k x k) cell lattice:
   // prefix[t][(r+1)*(k+1) + (c+1)] = sum of counts in rows<=r, cols<=c.
+  // Rectangle queries only exist on the uniform lattice, so adaptive
+  // backends skip the O(horizon * k^2) table entirely.
+  const UniformGrid* uniform = grid.AsUniform();
+  if (uniform == nullptr) return;
+  k_ = uniform->k();
   prefix_.assign(horizon, std::vector<uint64_t>((k_ + 1) * (k_ + 1), 0));
-  totals_.assign(horizon, 0);
   const uint32_t stride = k_ + 1;
   for (int64_t t = 0; t < horizon; ++t) {
     auto& pre = prefix_[t];
@@ -30,7 +36,6 @@ DensityIndex::DensityIndex(const CellStreamSet& set, const Grid& grid)
             pre[(r + 1) * stride + c] - pre[r * stride + c];
       }
     }
-    totals_[t] = pre[k_ * stride + k_];
   }
 }
 
@@ -56,12 +61,30 @@ uint64_t DensityIndex::CountAt(int64_t t, uint32_t row_lo, uint32_t row_hi,
 }
 
 uint64_t DensityIndex::Count(const RangeQuery& query) const {
+  RETRASYN_CHECK_MSG(k_ > 0,
+                     "RangeQuery counting requires a uniform grid; "
+                     "use CountBox for adaptive backends");
   RETRASYN_DCHECK(query.row_hi < k_ && query.col_hi < k_);
   uint64_t total = 0;
   const int64_t lo = std::max<int64_t>(0, query.t_start);
   const int64_t hi = std::min<int64_t>(num_timestamps(), query.t_end);
   for (int64_t t = lo; t < hi; ++t) {
     total += CountAt(t, query.row_lo, query.row_hi, query.col_lo, query.col_hi);
+  }
+  return total;
+}
+
+uint64_t DensityIndex::CountBox(const BoxQuery& query) const {
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < grid_->NumCells(); ++c) {
+    if (query.box.Contains(grid_->CellCenter(c))) cells.push_back(c);
+  }
+  uint64_t total = 0;
+  const int64_t lo = std::max<int64_t>(0, query.t_start);
+  const int64_t hi = std::min<int64_t>(num_timestamps(), query.t_end);
+  for (int64_t t = lo; t < hi; ++t) {
+    const auto& cnt = counts_[t];
+    for (CellId c : cells) total += cnt[c];
   }
   return total;
 }
@@ -74,7 +97,7 @@ uint64_t DensityIndex::TotalPointsIn(int64_t t_start, int64_t t_end) const {
   return total;
 }
 
-std::vector<RangeQuery> GenerateRandomQueries(const Grid& grid,
+std::vector<RangeQuery> GenerateRandomQueries(const UniformGrid& grid,
                                               int64_t horizon, int64_t phi,
                                               int count, Rng& rng) {
   RETRASYN_CHECK(phi >= 1);
@@ -96,6 +119,28 @@ std::vector<RangeQuery> GenerateRandomQueries(const Grid& grid,
     q.t_start = max_start == 0
                     ? 0
                     : rng.UniformInt(0, max_start);
+    q.t_end = q.t_start + phi;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<BoxQuery> GenerateRandomBoxQueries(const SpatialGrid& grid,
+                                               int64_t horizon, int64_t phi,
+                                               int count, Rng& rng) {
+  RETRASYN_CHECK(phi >= 1);
+  std::vector<BoxQuery> queries;
+  queries.reserve(count);
+  const BoundingBox& box = grid.box();
+  const int64_t max_start = std::max<int64_t>(0, horizon - phi);
+  for (int i = 0; i < count; ++i) {
+    BoxQuery q;
+    const double w = rng.UniformDouble(0.0, box.Width() / 2.0);
+    const double h = rng.UniformDouble(0.0, box.Height() / 2.0);
+    const double x0 = box.min_x + rng.UniformDouble(0.0, box.Width() - w);
+    const double y0 = box.min_y + rng.UniformDouble(0.0, box.Height() - h);
+    q.box = BoundingBox{x0, y0, x0 + w, y0 + h};
+    q.t_start = max_start == 0 ? 0 : rng.UniformInt(0, max_start);
     q.t_end = q.t_start + phi;
     queries.push_back(q);
   }

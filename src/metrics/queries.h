@@ -14,7 +14,8 @@
 namespace retrasyn {
 
 /// \brief A rectangular cell region crossed with a timestamp range
-/// [t_start, t_end).
+/// [t_start, t_end). Row/column indexed, so meaningful only on the uniform
+/// lattice; BoxQuery is the backend-agnostic form.
 struct RangeQuery {
   uint32_t row_lo = 0;
   uint32_t row_hi = 0;  ///< inclusive
@@ -24,11 +25,20 @@ struct RangeQuery {
   int64_t t_end = 0;    ///< exclusive
 };
 
+/// \brief A continuous spatial rectangle crossed with a timestamp range
+/// [t_start, t_end); cells belong to the query when their center lies inside
+/// the box. Works against any SpatialGrid backend.
+struct BoxQuery {
+  BoundingBox box;
+  int64_t t_start = 0;
+  int64_t t_end = 0;    ///< exclusive
+};
+
 /// \brief Per-timestamp per-cell point counts with 2D prefix sums; answers
 /// density lookups and rectangle counts for a CellStreamSet.
 class DensityIndex {
  public:
-  DensityIndex(const CellStreamSet& set, const Grid& grid);
+  DensityIndex(const CellStreamSet& set, const SpatialGrid& grid);
 
   int64_t num_timestamps() const {
     return static_cast<int64_t>(counts_.size());
@@ -42,8 +52,14 @@ class DensityIndex {
   /// Cell counts aggregated over [t_start, t_end) (clamped to the horizon).
   std::vector<double> AggregateDensity(int64_t t_start, int64_t t_end) const;
 
-  /// Number of points inside the query region over its time range.
+  /// Number of points inside the query region over its time range. Aborts
+  /// when the index was built over a grid without a uniform view (2D prefix
+  /// sums only exist on the uniform lattice); use CountBox there.
   uint64_t Count(const RangeQuery& query) const;
+
+  /// Number of points over the query's time range in cells whose center lies
+  /// inside the query box; works for every backend.
+  uint64_t CountBox(const BoxQuery& query) const;
 
   /// Total points in a time range (for the query-error sanity bound).
   uint64_t TotalPointsIn(int64_t t_start, int64_t t_end) const;
@@ -52,18 +68,27 @@ class DensityIndex {
   uint64_t CountAt(int64_t t, uint32_t row_lo, uint32_t row_hi,
                    uint32_t col_lo, uint32_t col_hi) const;
 
-  uint32_t k_;
+  const SpatialGrid* grid_;
+  uint32_t k_ = 0;  ///< uniform lattice size; 0 when the grid is not uniform
   std::vector<std::vector<uint32_t>> counts_;   ///< [t][cell]
-  std::vector<std::vector<uint64_t>> prefix_;   ///< [t][(k+1)*(k+1)] 2D sums
+  /// Per-timestamp (k+1)x(k+1) 2D sums; built only on the uniform lattice.
+  std::vector<std::vector<uint64_t>> prefix_;
   std::vector<uint64_t> totals_;                ///< points per timestamp
 };
 
 /// \brief Samples \p count random queries: rectangle edges uniform in
 /// [1, max(1, K/2)] cells, position uniform, time window of length \p phi
 /// placed uniformly in [0, horizon - phi].
-std::vector<RangeQuery> GenerateRandomQueries(const Grid& grid,
+std::vector<RangeQuery> GenerateRandomQueries(const UniformGrid& grid,
                                               int64_t horizon, int64_t phi,
                                               int count, Rng& rng);
+
+/// \brief Backend-agnostic analogue of GenerateRandomQueries: rectangle
+/// edge lengths uniform in (0, W/2] x (0, H/2] of the grid box, position
+/// uniform inside the box, time window of length \p phi placed uniformly.
+std::vector<BoxQuery> GenerateRandomBoxQueries(const SpatialGrid& grid,
+                                               int64_t horizon, int64_t phi,
+                                               int count, Rng& rng);
 
 }  // namespace retrasyn
 

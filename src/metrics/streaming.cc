@@ -21,22 +21,35 @@ double AverageDensityError(const DensityIndex& orig, const DensityIndex& syn) {
 }
 
 double AverageQueryError(const DensityIndex& orig, const DensityIndex& syn,
-                         const Grid& grid, const StreamingMetricsConfig& config,
-                         Rng& rng) {
-  const std::vector<RangeQuery> queries = GenerateRandomQueries(
-      grid, orig.num_timestamps(), config.phi, config.num_queries, rng);
-  if (queries.empty()) return 0.0;
+                         const SpatialGrid& grid,
+                         const StreamingMetricsConfig& config, Rng& rng) {
   double total = 0.0;
-  for (const RangeQuery& q : queries) {
-    const double o = static_cast<double>(orig.Count(q));
-    const double s = static_cast<double>(syn.Count(q));
+  size_t n = 0;
+  auto accumulate = [&](double o, double s, int64_t t_start, int64_t t_end) {
     const double sanity =
         config.sanity_fraction *
-        static_cast<double>(orig.TotalPointsIn(q.t_start, q.t_end));
+        static_cast<double>(orig.TotalPointsIn(t_start, t_end));
     const double denom = std::max(o, std::max(sanity, 1.0));
     total += std::abs(o - s) / denom;
+    ++n;
+  };
+  if (const UniformGrid* uniform = grid.AsUniform()) {
+    const std::vector<RangeQuery> queries = GenerateRandomQueries(
+        *uniform, orig.num_timestamps(), config.phi, config.num_queries, rng);
+    for (const RangeQuery& q : queries) {
+      accumulate(static_cast<double>(orig.Count(q)),
+                 static_cast<double>(syn.Count(q)), q.t_start, q.t_end);
+    }
+  } else {
+    const std::vector<BoxQuery> queries = GenerateRandomBoxQueries(
+        grid, orig.num_timestamps(), config.phi, config.num_queries, rng);
+    for (const BoxQuery& q : queries) {
+      accumulate(static_cast<double>(orig.CountBox(q)),
+                 static_cast<double>(syn.CountBox(q)), q.t_start, q.t_end);
+    }
   }
-  return total / static_cast<double>(queries.size());
+  if (n == 0) return 0.0;
+  return total / static_cast<double>(n);
 }
 
 double AverageHotspotNdcg(const DensityIndex& orig, const DensityIndex& syn,
@@ -59,7 +72,7 @@ TransitionIndex::TransitionIndex(const CellStreamSet& set,
                                  const StateSpace& states) {
   const int64_t horizon = set.num_timestamps();
   counts_.assign(horizon, std::vector<uint32_t>(states.num_move_states(), 0));
-  const Grid& grid = states.grid();
+  const SpatialGrid& grid = states.grid();
   for (const CellStream& s : set.streams()) {
     for (int64_t t = s.enter_time + 1; t < s.end_time(); ++t) {
       const CellId from = s.At(t - 1);

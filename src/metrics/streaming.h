@@ -37,10 +37,13 @@ struct StreamingMetricsConfig {
 double AverageDensityError(const DensityIndex& orig, const DensityIndex& syn);
 
 /// \brief Mean relative error of random spatio-temporal range queries with
-/// the sanity bound of the synthesis literature.
+/// the sanity bound of the synthesis literature. On a uniform grid the
+/// queries are the classic cell rectangles (bit-identical to the
+/// pre-SpatialGrid implementation); adaptive backends use continuous box
+/// queries with cell-center membership.
 double AverageQueryError(const DensityIndex& orig, const DensityIndex& syn,
-                         const Grid& grid, const StreamingMetricsConfig& config,
-                         Rng& rng);
+                         const SpatialGrid& grid,
+                         const StreamingMetricsConfig& config, Rng& rng);
 
 /// \brief Mean NDCG@k of the synthetic top-k hotspot ranking over random time
 /// ranges of length phi.

@@ -345,7 +345,7 @@ class IngestSession {
   std::vector<UserObservation> AcquireObservationBuffer(bool* reused);
 
   const StateSpace* states_;
-  const Grid* grid_;
+  const SpatialGrid* grid_;
   RoundHandler handler_;
   IngestSessionOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

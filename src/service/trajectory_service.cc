@@ -35,12 +35,12 @@ void HashMixDouble(double v, uint64_t* h) {
 uint64_t DeploymentFingerprint(const StateSpace& states,
                                const RetraSynConfig& config) {
   uint64_t h = 14695981039346656037ull;
-  const BoundingBox& box = states.grid().box();
-  HashMixDouble(box.min_x, &h);
-  HashMixDouble(box.min_y, &h);
-  HashMixDouble(box.max_x, &h);
-  HashMixDouble(box.max_y, &h);
-  HashMixU64(states.num_cells(), &h);
+  // The grid's canonical description covers backend kind, bounding box, and
+  // the full structural parameters (for the quadtree, every split), so a
+  // journal can never be replayed under a different discretization — not
+  // even one with an identical cell count.
+  const std::string grid_id = states.grid().Describe();
+  HashMix(grid_id.data(), grid_id.size(), &h);
   HashMixU64(states.size(), &h);
   HashMixDouble(config.epsilon, &h);
   HashMixU64(static_cast<uint64_t>(config.window), &h);
@@ -74,12 +74,8 @@ uint64_t DeploymentFingerprint(const StateSpace& states,
                                const std::string& engine_name,
                                int ingest_shards) {
   uint64_t h = 14695981039346656037ull;
-  const BoundingBox& box = states.grid().box();
-  HashMixDouble(box.min_x, &h);
-  HashMixDouble(box.min_y, &h);
-  HashMixDouble(box.max_x, &h);
-  HashMixDouble(box.max_y, &h);
-  HashMixU64(states.num_cells(), &h);
+  const std::string grid_id = states.grid().Describe();
+  HashMix(grid_id.data(), grid_id.size(), &h);
   HashMixU64(states.size(), &h);
   HashMix(engine_name.data(), engine_name.size(), &h);
   HashMixU64(static_cast<uint64_t>(ingest_shards), &h);
@@ -213,13 +209,15 @@ Result<std::vector<std::unique_ptr<JournalWriter>>> MaybeOpenJournals(
 /// The cadence/retention knobs are deliberately NOT fingerprinted — they may
 /// change across restarts without invalidating durable state.
 CheckpointOptions CheckpointOptionsFor(const ServiceOptions& options,
-                                       uint64_t fingerprint) {
+                                       uint64_t fingerprint,
+                                       std::string grid_describe) {
   CheckpointOptions checkpoint;
   checkpoint.dir = options.checkpoint_dir;
   checkpoint.every_rounds = options.checkpoint_every_rounds;
   checkpoint.retain = options.checkpoint_retain;
   checkpoint.spill_history = options.checkpoint_spill_history;
   checkpoint.fingerprint = fingerprint;
+  checkpoint.grid_describe = std::move(grid_describe);
   checkpoint.window = options.recycle_window;
   checkpoint.journal_dirs = JournalDirsFor(options);
   return checkpoint;
@@ -243,12 +241,14 @@ Status CheckCheckpointable(const ServiceOptions& options,
 /// checkpoint directory is refused without leaving a fresh journal segment
 /// behind.
 Result<std::unique_ptr<CheckpointManager>> MaybeOpenCheckpoints(
-    const ServiceOptions& options, uint64_t fingerprint, bool require_fresh) {
+    const ServiceOptions& options, const StateSpace& states,
+    uint64_t fingerprint, bool require_fresh) {
   if (options.checkpoint_every_rounds <= 0) {
     return std::unique_ptr<CheckpointManager>();
   }
-  return CheckpointManager::Open(CheckpointOptionsFor(options, fingerprint),
-                                 require_fresh);
+  return CheckpointManager::Open(
+      CheckpointOptionsFor(options, fingerprint, states.grid().Describe()),
+      require_fresh);
 }
 
 }  // namespace
@@ -365,7 +365,7 @@ Status ServiceOptions::Validate() const {
           "checkpointing requires a journal (journal_dir): a checkpoint only "
           "bridges recovery to the journal suffix behind it");
     }
-    RETRASYN_RETURN_NOT_OK(CheckpointOptionsFor(*this, 0).Validate());
+    RETRASYN_RETURN_NOT_OK(CheckpointOptionsFor(*this, 0, "").Validate());
   }
   return Status::OK();
 }
@@ -377,7 +377,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
   RETRASYN_RETURN_NOT_OK(options.Validate());
   const uint64_t fingerprint = DeploymentFingerprint(states, config);
   auto checkpoint =
-      MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
+      MaybeOpenCheckpoints(options, states, fingerprint, /*require_fresh=*/true);
   if (!checkpoint.ok()) return checkpoint.status();
   auto journals =
       MaybeOpenJournals(options, /*require_fresh=*/true, fingerprint);
@@ -405,7 +405,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
   const uint64_t fingerprint =
       DeploymentFingerprint(states, engine->name(), options.ingest_shards);
   auto checkpoint =
-      MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
+      MaybeOpenCheckpoints(options, states, fingerprint, /*require_fresh=*/true);
   if (!checkpoint.ok()) return checkpoint.status();
   auto journals =
       MaybeOpenJournals(options, /*require_fresh=*/true, fingerprint);
@@ -432,7 +432,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
   const uint64_t fingerprint =
       DeploymentFingerprint(states, engine->name(), options.ingest_shards);
   auto checkpoint =
-      MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/true);
+      MaybeOpenCheckpoints(options, states, fingerprint, /*require_fresh=*/true);
   if (!checkpoint.ok()) return checkpoint.status();
   auto journals =
       MaybeOpenJournals(options, /*require_fresh=*/true, fingerprint);
@@ -613,6 +613,17 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
                                                      fingerprint, &surviving);
     if (loaded.ok()) {
       ckpt = std::move(loaded).value();
+      // The fingerprint gate above already hashes the grid description;
+      // comparing the round-tripped bytes verbatim keeps recovery honest
+      // even against a (hypothetical) hash collision and gives the refusal
+      // a precise message.
+      if (ckpt.grid_describe != states.grid().Describe()) {
+        return Status::FailedPrecondition(
+            "checkpoint in " + options.checkpoint_dir +
+            " was captured under a different spatial grid than the running "
+            "deployment (" + states.grid().ToString() +
+            "); recovery under a changed discretization is refused");
+      }
       have_checkpoint = true;
     } else if (loaded.status().code() != StatusCode::kNotFound) {
       return loaded.status();
@@ -685,7 +696,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
   // retirement candidates, per shard journal).
   if (options.checkpoint_every_rounds > 0) {
     auto manager =
-        MaybeOpenCheckpoints(options, fingerprint, /*require_fresh=*/false);
+        MaybeOpenCheckpoints(options, states, fingerprint, /*require_fresh=*/false);
     if (!manager.ok()) return manager.status();
     service->checkpoint_ = std::move(manager).value();
     service->checkpoint_->AttachJournals(RawJournals(service->journals_));

@@ -4,7 +4,7 @@
 
 namespace retrasyn {
 
-StreamFeeder::StreamFeeder(const StreamDatabase& db, const Grid& grid,
+StreamFeeder::StreamFeeder(const StreamDatabase& db, const SpatialGrid& grid,
                            const StateSpace& states)
     : cell_streams_(db.num_timestamps()) {
   const int64_t horizon = db.num_timestamps();

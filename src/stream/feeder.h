@@ -50,7 +50,7 @@ struct TimestampBatch {
 
 class StreamFeeder {
  public:
-  StreamFeeder(const StreamDatabase& db, const Grid& grid,
+  StreamFeeder(const StreamDatabase& db, const SpatialGrid& grid,
                const StateSpace& states);
 
   int64_t num_timestamps() const {

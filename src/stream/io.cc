@@ -155,7 +155,7 @@ Status WriteStreamDatabaseCsv(const StreamDatabase& db,
   return writer.Close();
 }
 
-Status WriteCellStreamsCsv(const CellStreamSet& set, const Grid& grid,
+Status WriteCellStreamsCsv(const CellStreamSet& set, const SpatialGrid& grid,
                            const std::string& path) {
   auto writer_result = CsvWriter::Open(path);
   if (!writer_result.ok()) return writer_result.status();

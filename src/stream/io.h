@@ -13,7 +13,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "geo/grid.h"
+#include "geo/spatial_grid.h"
 #include "stream/cell_stream.h"
 #include "stream/stream_database.h"
 
@@ -49,7 +49,7 @@ Status WriteStreamDatabaseCsv(const StreamDatabase& db,
 
 /// \brief Writes discretized (e.g. synthetic) streams as
 /// `stream_id,timestamp,cell,center_x,center_y` rows.
-Status WriteCellStreamsCsv(const CellStreamSet& set, const Grid& grid,
+Status WriteCellStreamsCsv(const CellStreamSet& set, const SpatialGrid& grid,
                            const std::string& path);
 
 }  // namespace retrasyn

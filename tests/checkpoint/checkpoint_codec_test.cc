@@ -41,6 +41,9 @@ CellStream MakeStream(int64_t enter, std::vector<CellId> cells) {
 CheckpointState MakeState() {
   CheckpointState state;
   state.round = 42;
+  // The grid description is an opaque binary blob (backend byte, raw IEEE
+  // doubles, packed split bits) — embedded NULs included.
+  state.grid_describe = std::string("\x01grid\x00payload\xff", 14);
   state.engine.rng_state = {0x123456789abcdef0ull, 3, 0xffffffffffffffffull, 7};
   state.engine.collected_once = true;
   state.engine.total_reports = 12345;
@@ -76,6 +79,7 @@ CheckpointState MakeState() {
 
 void ExpectSameState(const CheckpointState& a, const CheckpointState& b) {
   EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.grid_describe, b.grid_describe);
   EXPECT_EQ(a.engine.rng_state, b.engine.rng_state);
   EXPECT_EQ(a.engine.collected_once, b.engine.collected_once);
   EXPECT_EQ(a.engine.total_reports, b.engine.total_reports);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "geo/grid.h"
 #include "stream/hotspot_generator.h"
 #include "stream/random_walk_generator.h"
 

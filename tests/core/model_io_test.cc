@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "geo/grid.h"
 
 namespace retrasyn {
 namespace {

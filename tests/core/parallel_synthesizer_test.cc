@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/synthesizer.h"
+#include "geo/grid.h"
 
 namespace retrasyn {
 namespace {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "geo/grid.h"
 #include "stream/random_walk_generator.h"
 
 namespace retrasyn {

@@ -12,6 +12,7 @@
 #include "core/mobility_model.h"
 #include "core/synthesizer.h"
 #include "core/transition_sampler_cache.h"
+#include "geo/grid.h"
 #include "geo/state_space.h"
 
 namespace retrasyn {

@@ -38,7 +38,9 @@ TEST(DatasetsTest, ScaleChangesPopulation) {
 TEST(PreparedDatasetTest, ConsistentViews) {
   const StreamDatabase db = MakeDataset(SmallSpec());
   const PreparedDataset dataset(db, 5);
-  EXPECT_EQ(dataset.grid().k(), 5u);
+  ASSERT_NE(dataset.grid().AsUniform(), nullptr);
+  EXPECT_EQ(dataset.grid().AsUniform()->k(), 5u);
+  EXPECT_EQ(dataset.grid().NumCells(), 25u);
   EXPECT_EQ(dataset.horizon(), db.num_timestamps());
   EXPECT_EQ(dataset.original().streams().size(), db.streams().size());
   EXPECT_NEAR(dataset.average_length(), db.AverageLength(), 1e-9);

@@ -1,0 +1,232 @@
+// Construction tests for the density-adaptive quadtree: threshold splitting,
+// the greedy leaf-budget builder, determinism of the pre-order CellId
+// assignment, and the exact dyadic geometry the SpatialGrid property suite
+// does not pin down on its own.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
+#include "geo/quadtree_grid.h"
+
+namespace retrasyn {
+namespace {
+
+const BoundingBox kBox{0.0, 0.0, 400.0, 400.0};
+
+DensitySnapshot UniformDensity(uint32_t k, double value) {
+  DensitySnapshot d;
+  d.k = k;
+  d.counts.assign(static_cast<size_t>(k) * k, value);
+  return d;
+}
+
+/// All mass in the single probe cell (ix, iy) of a k x k lattice.
+DensitySnapshot OneHotDensity(uint32_t k, uint32_t ix, uint32_t iy) {
+  DensitySnapshot d = UniformDensity(k, 0.0);
+  d.counts[static_cast<size_t>(iy) * k + ix] = 10.0;
+  return d;
+}
+
+TEST(QuadtreeGridTest, UniformDensitySplitsToFullDepth) {
+  QuadtreeConfig config;
+  config.max_depth = 2;
+  config.split_threshold = 0.0;
+  auto grid = QuadtreeGrid::Build(kBox, UniformDensity(2, 1.0), config);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  const QuadtreeGrid& q = *grid.value();
+  ASSERT_EQ(q.NumCells(), 16u);
+  for (CellId c = 0; c < q.NumCells(); ++c) {
+    EXPECT_EQ(q.LeafDepth(c), 2u) << "cell " << c;
+    const BoundingBox b = q.CellBounds(c);
+    EXPECT_DOUBLE_EQ(b.max_x - b.min_x, kBox.Width() / 4.0);
+    EXPECT_DOUBLE_EQ(b.max_y - b.min_y, kBox.Height() / 4.0);
+  }
+}
+
+TEST(QuadtreeGridTest, AllZeroDensityKeepsTheRootAsTheOnlyCell) {
+  QuadtreeConfig config;
+  config.max_depth = 3;
+  auto grid = QuadtreeGrid::Build(kBox, UniformDensity(4, 0.0), config);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  const QuadtreeGrid& q = *grid.value();
+  EXPECT_EQ(q.NumCells(), 1u);
+  EXPECT_EQ(q.LeafDepth(0), 0u);
+  EXPECT_EQ(q.Locate(Point{1.0, 399.0}), 0u);
+  EXPECT_EQ(q.Neighbors(0), std::vector<CellId>{0});
+  EXPECT_EQ(q.Distance(0, 0), 0.0);
+}
+
+TEST(QuadtreeGridTest, ThresholdBuildRefinesOnlyWhereTheMassIs) {
+  // All mass in the SW-most probe cell of an 8x8 lattice with max_depth 3:
+  // every level splits exactly the one massy quadrant, leaving 3 empty
+  // siblings behind, so the leaf count is 3 * depth + 1.
+  QuadtreeConfig config;
+  config.max_depth = 3;
+  auto grid = QuadtreeGrid::Build(kBox, OneHotDensity(8, 0, 0), config);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  const QuadtreeGrid& q = *grid.value();
+  ASSERT_EQ(q.NumCells(), 10u);
+  // The massy corner sits under the deepest leaf; the opposite corner under
+  // a depth-1 leaf spanning a full quadrant.
+  const CellId hot = q.Locate(Point{1.0, 1.0});
+  const CellId cold = q.Locate(Point{399.0, 399.0});
+  EXPECT_EQ(q.LeafDepth(hot), 3u);
+  EXPECT_EQ(q.LeafDepth(cold), 1u);
+  // Pre-order numbering walks the SW subtree first: the hot corner leaf is
+  // cell 0, a pure function of the split structure.
+  EXPECT_EQ(hot, 0u);
+}
+
+TEST(QuadtreeGridTest, WithTargetLeavesHitsReachableBudgetsExactly) {
+  const DensitySnapshot density = SyntheticTwoBumpDensity();
+  // Leaves grow 3 at a time from 1, so budgets ≡ 1 (mod 3) are exact.
+  for (uint32_t target : {1u, 4u, 16u, 49u}) {
+    auto grid = QuadtreeGrid::WithTargetLeaves(kBox, density, target, 6);
+    ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+    EXPECT_EQ(grid.value()->NumCells(), target) << "target " << target;
+  }
+  // Unreachable budgets land on the closest count below.
+  auto six = QuadtreeGrid::WithTargetLeaves(kBox, density, 6, 6);
+  ASSERT_TRUE(six.ok());
+  EXPECT_EQ(six.value()->NumCells(), 4u);
+  // A shallow depth caps the expansion regardless of the budget.
+  auto capped = QuadtreeGrid::WithTargetLeaves(kBox, density, 100, 1);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped.value()->NumCells(), 4u);
+}
+
+TEST(QuadtreeGridTest, GreedyBuilderFollowsTheDensity) {
+  // With the two-bump density, the downtown bump must end up in a deeper
+  // (smaller) leaf than the empty corner at the same leaf budget.
+  auto grid =
+      QuadtreeGrid::WithTargetLeaves(kBox, SyntheticTwoBumpDensity(), 49, 5);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  const QuadtreeGrid& q = *grid.value();
+  const Point downtown{0.3 * 400.0, 0.35 * 400.0};
+  const Point empty_corner{0.97 * 400.0, 0.03 * 400.0};
+  EXPECT_GT(q.LeafDepth(q.Locate(downtown)),
+            q.LeafDepth(q.Locate(empty_corner)));
+}
+
+TEST(QuadtreeGridTest, IdenticalInputsBuildIdenticalStructures) {
+  const DensitySnapshot density = SyntheticTwoBumpDensity();
+  auto a = QuadtreeGrid::WithTargetLeaves(kBox, density, 16, 4);
+  auto b = QuadtreeGrid::WithTargetLeaves(kBox, density, 16, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()->Describe(), b.value()->Describe());
+  EXPECT_EQ(a.value()->ToString(), b.value()->ToString());
+  // Cell geometry agrees cell by cell, not just structurally.
+  ASSERT_EQ(a.value()->NumCells(), b.value()->NumCells());
+  for (CellId c = 0; c < a.value()->NumCells(); ++c) {
+    EXPECT_EQ(a.value()->LeafDepth(c), b.value()->LeafDepth(c));
+    EXPECT_EQ(a.value()->CellCenter(c).x, b.value()->CellCenter(c).x);
+    EXPECT_EQ(a.value()->CellCenter(c).y, b.value()->CellCenter(c).y);
+  }
+}
+
+TEST(QuadtreeGridTest, DifferentSplitsDescribeDifferentlyAtEqualCellCount) {
+  // Same backend, same box, same leaf count — but the mass sits in opposite
+  // corners, so the split structures (and therefore Describe()) differ. This
+  // is exactly the case a cell-count-only fingerprint would miss.
+  QuadtreeConfig config;
+  config.max_depth = 3;
+  auto sw = QuadtreeGrid::Build(kBox, OneHotDensity(8, 0, 0), config);
+  auto ne = QuadtreeGrid::Build(kBox, OneHotDensity(8, 7, 7), config);
+  ASSERT_TRUE(sw.ok());
+  ASSERT_TRUE(ne.ok());
+  ASSERT_EQ(sw.value()->NumCells(), ne.value()->NumCells());
+  EXPECT_NE(sw.value()->Describe(), ne.value()->Describe());
+  // And neither collides with a uniform grid of the same cell count.
+  const UniformGrid uniform(kBox, 4);
+  auto sixteen =
+      QuadtreeGrid::WithTargetLeaves(kBox, SyntheticTwoBumpDensity(), 16, 4);
+  ASSERT_TRUE(sixteen.ok());
+  ASSERT_EQ(sixteen.value()->NumCells(), uniform.NumCells());
+  EXPECT_NE(sixteen.value()->Describe(), uniform.Describe());
+}
+
+TEST(QuadtreeGridTest, NoisyNegativeCountsClampToZeroMass) {
+  // A density of strictly negative noise is all-zero mass: no splits.
+  QuadtreeConfig config;
+  config.max_depth = 3;
+  auto grid = QuadtreeGrid::Build(kBox, UniformDensity(4, -2.5), config);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  EXPECT_EQ(grid.value()->NumCells(), 1u);
+}
+
+TEST(QuadtreeGridTest, AdjacencySpansResolutionBoundaries) {
+  // A depth-1 leaf next to depth-3 leaves: the coarse leaf must list every
+  // fine leaf touching its edge, and vice versa (the property suite checks
+  // symmetry generically; this pins the cross-resolution case specifically).
+  QuadtreeConfig config;
+  config.max_depth = 3;
+  auto grid = QuadtreeGrid::Build(kBox, OneHotDensity(8, 0, 0), config);
+  ASSERT_TRUE(grid.ok());
+  const QuadtreeGrid& q = *grid.value();
+  const CellId hot = q.Locate(Point{1.0, 1.0});         // depth 3, SW corner
+  const CellId east = q.Locate(Point{399.0, 1.0});      // depth 1, SE quadrant
+  const CellId far_ne = q.Locate(Point{399.0, 399.0});  // depth 1, NE quadrant
+  ASSERT_EQ(q.LeafDepth(hot), 3u);
+  ASSERT_EQ(q.LeafDepth(east), 1u);
+  // The hot corner leaf does not reach across half the box.
+  EXPECT_FALSE(q.AreNeighbors(hot, east));
+  EXPECT_GT(q.Distance(hot, east), 0.0);
+  // But its depth-3 siblings touch the depth-2 and depth-1 leaves around
+  // them; spot-check one cross-resolution contact via the lattice gap.
+  const CellId hot_e = q.Locate(Point{51.0, 1.0});  // depth 3 east sibling
+  ASSERT_EQ(q.LeafDepth(hot_e), 3u);
+  EXPECT_TRUE(q.AreNeighbors(hot, hot_e));
+  EXPECT_EQ(q.Distance(hot, hot_e), 0.0);
+  EXPECT_FALSE(q.AreNeighbors(hot, far_ne));
+  // Distance is the Chebyshev lattice gap in finest-lattice units: the SE
+  // and NE quadrants are both 3 fine cells past the hot corner leaf.
+  EXPECT_EQ(q.Distance(hot, east), 3.0);
+  EXPECT_EQ(q.Distance(hot, far_ne), 3.0);
+}
+
+TEST(QuadtreeGridTest, InvalidInputsAreRejected) {
+  const DensitySnapshot density = UniformDensity(4, 1.0);
+  QuadtreeConfig config;
+
+  config.max_depth = 0;
+  EXPECT_EQ(QuadtreeGrid::Build(kBox, density, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.max_depth = QuadtreeConfig::kMaxDepth + 1;
+  EXPECT_EQ(QuadtreeGrid::Build(kBox, density, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.max_depth = 3;
+  config.split_threshold = -1.0;
+  EXPECT_EQ(QuadtreeGrid::Build(kBox, density, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.split_threshold = 0.0;
+
+  DensitySnapshot bad = density;
+  bad.k = 0;
+  EXPECT_EQ(QuadtreeGrid::Build(kBox, bad, config).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = density;
+  bad.counts.pop_back();
+  EXPECT_EQ(QuadtreeGrid::Build(kBox, bad, config).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = density;
+  bad.counts[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(QuadtreeGrid::Build(kBox, bad, config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(
+      QuadtreeGrid::WithTargetLeaves(kBox, density, 0, 3).status().code(),
+      StatusCode::kInvalidArgument);
+  const BoundingBox flat{0.0, 0.0, 400.0, 0.0};
+  EXPECT_EQ(QuadtreeGrid::Build(flat, density, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,238 @@
+// Property tests for the SpatialGrid contract, run against every backend:
+// whatever discretization is plugged in, Locate must be total and consistent
+// with the cell geometry, the precomputed reachability lists must be sorted /
+// deduped / self-inclusive / symmetric, Distance must behave like a cell-units
+// metric, ClampToReachable must minimize it over the neighbor set, and
+// Describe() must be a deterministic structural identity. The service stack
+// relies on exactly these properties — not on any uniform-grid arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
+#include "geo/quadtree_grid.h"
+#include "geo/spatial_grid.h"
+
+namespace retrasyn {
+namespace {
+
+// An asymmetric box (non-zero origin, width != height) so coordinate
+// transforms cannot hide behind zeros.
+const BoundingBox kBox{-50.0, 25.0, 350.0, 325.0};
+
+struct NamedGrid {
+  std::string name;
+  std::unique_ptr<SpatialGrid> grid;
+};
+
+std::vector<NamedGrid> AllBackends() {
+  std::vector<NamedGrid> grids;
+  grids.push_back({"uniform k=6", std::make_unique<UniformGrid>(kBox, 6)});
+  {
+    auto quad = MakeSpatialGrid(kBox, 7, GridBackend::kQuadtree);
+    EXPECT_TRUE(quad.ok()) << quad.status().ToString();
+    grids.push_back({"quadtree target=49", std::move(quad).value()});
+  }
+  {
+    QuadtreeConfig config;
+    config.max_depth = 3;
+    config.split_threshold = 40.0;
+    auto quad = QuadtreeGrid::Build(kBox, SyntheticTwoBumpDensity(), config);
+    EXPECT_TRUE(quad.ok()) << quad.status().ToString();
+    grids.push_back({"quadtree threshold=40", std::move(quad).value()});
+  }
+  return grids;
+}
+
+TEST(SpatialGridPropertyTest, CellGeometryAndLocateAgree) {
+  for (const NamedGrid& g : AllBackends()) {
+    const SpatialGrid& grid = *g.grid;
+    ASSERT_GE(grid.NumCells(), 1u) << g.name;
+    for (CellId c = 0; c < grid.NumCells(); ++c) {
+      const BoundingBox b = grid.CellBounds(c);
+      ASSERT_GT(b.max_x, b.min_x) << g.name << " cell " << c;
+      ASSERT_GT(b.max_y, b.min_y) << g.name << " cell " << c;
+      // Bounds stay inside the domain box (up to rounding).
+      EXPECT_GE(b.min_x, kBox.min_x - 1e-9) << g.name << " cell " << c;
+      EXPECT_GE(b.min_y, kBox.min_y - 1e-9) << g.name << " cell " << c;
+      EXPECT_LE(b.max_x, kBox.max_x + 1e-9) << g.name << " cell " << c;
+      EXPECT_LE(b.max_y, kBox.max_y + 1e-9) << g.name << " cell " << c;
+
+      const Point center = grid.CellCenter(c);
+      EXPECT_GT(center.x, b.min_x) << g.name << " cell " << c;
+      EXPECT_LT(center.x, b.max_x) << g.name << " cell " << c;
+      EXPECT_GT(center.y, b.min_y) << g.name << " cell " << c;
+      EXPECT_LT(center.y, b.max_y) << g.name << " cell " << c;
+      EXPECT_EQ(grid.Locate(center), c) << g.name << " cell " << c;
+
+      // Every strictly-interior sample of the cell's bounds locates back to
+      // the cell (edges are tie-broken to exactly one owner; interior points
+      // must never be ambiguous).
+      for (double fx : {0.1, 0.5, 0.9}) {
+        for (double fy : {0.1, 0.5, 0.9}) {
+          const Point p{b.min_x + fx * (b.max_x - b.min_x),
+                        b.min_y + fy * (b.max_y - b.min_y)};
+          EXPECT_EQ(grid.Locate(p), c)
+              << g.name << " cell " << c << " at (" << p.x << ", " << p.y
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialGridPropertyTest, LocateIsTotalAndClampsToBorderCells) {
+  for (const NamedGrid& g : AllBackends()) {
+    const SpatialGrid& grid = *g.grid;
+    const std::vector<Point> outside = {
+        {kBox.min_x - 100.0, kBox.min_y + 10.0},  // west
+        {kBox.max_x + 100.0, kBox.min_y + 10.0},  // east
+        {kBox.min_x + 10.0, kBox.min_y - 100.0},  // south
+        {kBox.min_x + 10.0, kBox.max_y + 100.0},  // north
+        {kBox.min_x - 100.0, kBox.min_y - 100.0},  // SW corner
+        {kBox.max_x + 100.0, kBox.max_y + 100.0},  // NE corner
+    };
+    for (const Point& p : outside) {
+      const CellId c = grid.Locate(p);
+      ASSERT_LT(c, grid.NumCells()) << g.name;
+      // The owning cell agrees with locating the clamped point, and its
+      // bounds touch every box border the point overshoots.
+      EXPECT_EQ(c, grid.Locate(kBox.Clamp(p))) << g.name;
+      const BoundingBox b = grid.CellBounds(c);
+      if (p.x < kBox.min_x) {
+        EXPECT_DOUBLE_EQ(b.min_x, kBox.min_x) << g.name;
+      }
+      if (p.x > kBox.max_x) {
+        EXPECT_DOUBLE_EQ(b.max_x, kBox.max_x) << g.name;
+      }
+      if (p.y < kBox.min_y) {
+        EXPECT_DOUBLE_EQ(b.min_y, kBox.min_y) << g.name;
+      }
+      if (p.y > kBox.max_y) {
+        EXPECT_DOUBLE_EQ(b.max_y, kBox.max_y) << g.name;
+      }
+    }
+  }
+}
+
+TEST(SpatialGridPropertyTest, NeighborListsAreSortedDedupedSelfInclusive) {
+  for (const NamedGrid& g : AllBackends()) {
+    const SpatialGrid& grid = *g.grid;
+    for (CellId c = 0; c < grid.NumCells(); ++c) {
+      const std::vector<CellId>& nbrs = grid.Neighbors(c);
+      ASSERT_FALSE(nbrs.empty()) << g.name << " cell " << c;
+      // Strictly ascending implies deduped.
+      for (size_t i = 1; i < nbrs.size(); ++i) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]) << g.name << " cell " << c;
+      }
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), c))
+          << g.name << " cell " << c << " must be its own neighbor";
+      for (CellId n : nbrs) {
+        ASSERT_LT(n, grid.NumCells()) << g.name;
+        // Symmetry: membership both ways, through both query surfaces.
+        EXPECT_TRUE(grid.AreNeighbors(c, n)) << g.name;
+        EXPECT_TRUE(grid.AreNeighbors(n, c)) << g.name;
+        const std::vector<CellId>& back = grid.Neighbors(n);
+        EXPECT_TRUE(std::binary_search(back.begin(), back.end(), c))
+            << g.name << " " << c << " <-> " << n;
+      }
+    }
+  }
+}
+
+TEST(SpatialGridPropertyTest, AreNeighborsMatchesListMembershipForAllPairs) {
+  for (const NamedGrid& g : AllBackends()) {
+    const SpatialGrid& grid = *g.grid;
+    for (CellId a = 0; a < grid.NumCells(); ++a) {
+      const std::vector<CellId>& nbrs = grid.Neighbors(a);
+      for (CellId b = 0; b < grid.NumCells(); ++b) {
+        const bool in_list = std::binary_search(nbrs.begin(), nbrs.end(), b);
+        EXPECT_EQ(grid.AreNeighbors(a, b), in_list)
+            << g.name << " pair (" << a << ", " << b << ")";
+      }
+    }
+  }
+}
+
+TEST(SpatialGridPropertyTest, DistanceIsACellUnitsMetric) {
+  for (const NamedGrid& g : AllBackends()) {
+    const SpatialGrid& grid = *g.grid;
+    for (CellId a = 0; a < grid.NumCells(); ++a) {
+      EXPECT_EQ(grid.Distance(a, a), 0.0) << g.name;
+      for (CellId b = 0; b < grid.NumCells(); ++b) {
+        const double d = grid.Distance(a, b);
+        EXPECT_GE(d, 0.0) << g.name;
+        EXPECT_EQ(d, grid.Distance(b, a)) << g.name;
+        if (a != b && d == 0.0) {
+          EXPECT_TRUE(grid.AreNeighbors(a, b))
+              << g.name << ": distinct cells at distance 0 must be neighbors";
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialGridPropertyTest, ClampToReachableMinimizesDistanceOverNeighbors) {
+  for (const NamedGrid& g : AllBackends()) {
+    const SpatialGrid& grid = *g.grid;
+    for (CellId from = 0; from < grid.NumCells(); ++from) {
+      const std::vector<CellId>& nbrs = grid.Neighbors(from);
+      for (CellId to = 0; to < grid.NumCells(); ++to) {
+        const CellId r = grid.ClampToReachable(from, to);
+        ASSERT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), r))
+            << g.name << ": clamp must land in Neighbors(from)";
+        if (grid.AreNeighbors(from, to)) {
+          EXPECT_EQ(r, to) << g.name << ": reachable targets pass through";
+        } else {
+          for (CellId n : nbrs) {
+            EXPECT_LE(grid.Distance(r, to), grid.Distance(n, to))
+                << g.name << " from=" << from << " to=" << to;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialGridPropertyTest, DescribeIsDeterministicAndStructural) {
+  // Rebuilding a backend from identical inputs yields identical Describe()
+  // bytes (the journal/checkpoint fingerprint depends on this), and no two
+  // distinct structures in the panel collide.
+  std::vector<NamedGrid> first = AllBackends();
+  std::vector<NamedGrid> second = AllBackends();
+  ASSERT_EQ(first.size(), second.size());
+  std::vector<std::string> blobs;
+  for (size_t i = 0; i < first.size(); ++i) {
+    const std::string a = first[i].grid->Describe();
+    EXPECT_EQ(a, second[i].grid->Describe()) << first[i].name;
+    EXPECT_FALSE(first[i].grid->ToString().empty());
+    // The leading byte is the backend tag.
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(static_cast<uint8_t>(a[0]),
+              static_cast<uint8_t>(first[i].grid->backend()));
+    blobs.push_back(a);
+  }
+  std::sort(blobs.begin(), blobs.end());
+  EXPECT_EQ(std::unique(blobs.begin(), blobs.end()), blobs.end())
+      << "distinct structures must describe differently";
+}
+
+TEST(SpatialGridPropertyTest, UniformViewIsGatedByBackend) {
+  for (const NamedGrid& g : AllBackends()) {
+    if (g.grid->backend() == GridBackend::kUniform) {
+      ASSERT_NE(g.grid->AsUniform(), nullptr) << g.name;
+      EXPECT_EQ(g.grid->AsUniform(), g.grid.get()) << g.name;
+    } else {
+      EXPECT_EQ(g.grid->AsUniform(), nullptr) << g.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retrasyn

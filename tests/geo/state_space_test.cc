@@ -1,3 +1,4 @@
+#include "geo/grid.h"
 #include "geo/state_space.h"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,135 @@
+// Shared driver + canonical serializer for the golden-bytes regression: the
+// exact same scripted workload and byte format are used (a) by the one-shot
+// generator that captured tests/golden/*.golden from the pre-refactor tree
+// and (b) by service_golden_release_test forever after. Do not change either
+// the workload script or the serialization — the committed golden files pin
+// the released bytes of uniform-grid deployments across refactors.
+
+#ifndef RETRASYN_TESTS_GOLDEN_GOLDEN_PIPELINE_H_
+#define RETRASYN_TESTS_GOLDEN_GOLDEN_PIPELINE_H_
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/release_server.h"
+#include "geo/state_space.h"
+#include "service/trajectory_service.h"
+#include "stream/cell_stream.h"
+
+namespace retrasyn {
+namespace golden {
+
+struct GoldenTrace {
+  int64_t enter_time = 0;
+  std::vector<Point> points;
+};
+
+inline constexpr int64_t kGoldenHorizon = 24;
+
+/// The scripted device fleet: identical to the recovery-test workload shape,
+/// pinned here at seed 11 / 60 devices over a 400x400 box.
+inline std::vector<GoldenTrace> GoldenWorkload() {
+  const BoundingBox box{0.0, 0.0, 400.0, 400.0};
+  Rng rng(11);
+  std::vector<GoldenTrace> traces;
+  for (int i = 0; i < 60; ++i) {
+    GoldenTrace trace;
+    trace.enter_time = static_cast<int64_t>(rng.UniformInt(kGoldenHorizon - 2));
+    const int64_t max_len = kGoldenHorizon - trace.enter_time;
+    const int64_t len =
+        1 + static_cast<int64_t>(rng.UniformInt(
+                static_cast<uint64_t>(std::min<int64_t>(max_len, 10))));
+    Point p{box.min_x + rng.UniformDouble() * box.Width(),
+            box.min_y + rng.UniformDouble() * box.Height()};
+    for (int64_t k = 0; k < len; ++k) {
+      trace.points.push_back(p);
+      p = box.Clamp(Point{p.x + (rng.UniformDouble() - 0.5) * 80.0,
+                          p.y + (rng.UniformDouble() - 0.5) * 80.0});
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+/// The pinned engine configuration (journal/sync knobs are layered on by the
+/// individual scenarios; they must not change the released bytes).
+inline RetraSynConfig GoldenConfig() {
+  RetraSynConfig config;
+  config.epsilon = 1.0;
+  config.window = 8;
+  config.division = DivisionStrategy::kPopulation;
+  config.lambda = 6.0;
+  config.seed = 7;
+  return config;
+}
+
+/// Feeds rounds [from, to) of the scripted workload into the session.
+/// Returns false on the first rejected event/Tick (the caller asserts).
+inline bool DriveGoldenRounds(IngestSession& session,
+                              const std::vector<GoldenTrace>& traces,
+                              int64_t from, int64_t to) {
+  for (int64_t t = from; t < to; ++t) {
+    for (uint64_t id = 0; id < traces.size(); ++id) {
+      const GoldenTrace& trace = traces[id];
+      const int64_t end =
+          trace.enter_time + static_cast<int64_t>(trace.points.size());
+      Status status = Status::OK();
+      if (t == trace.enter_time) {
+        status = session.Enter(id, trace.points.front());
+      } else if (t > trace.enter_time && t < end) {
+        status = session.Move(id, trace.points[t - trace.enter_time]);
+      } else if (t == end && end < kGoldenHorizon) {
+        status = session.Quit(id);
+      }
+      if (!status.ok()) return false;
+    }
+    if (!session.Tick().ok()) return false;
+  }
+  return true;
+}
+
+/// Canonical byte serialization of one full run: every released round (from
+/// the subscribed ReleaseServer) plus the final snapshot, in a stable text
+/// format. Any behavioral drift in collection, synthesis, sink delivery, or
+/// snapshot stitching changes these bytes.
+inline std::string SerializeGoldenRelease(const ReleaseServer& server,
+                                          const CellStreamSet& snapshot) {
+  std::string out = "retrasyn-golden-release v1\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rounds %" PRId64 "\n", server.horizon());
+  out += buf;
+  for (int64_t t = 0; t < server.horizon(); ++t) {
+    std::snprintf(buf, sizeof(buf), "round %" PRId64 " %" PRIu64, t,
+                  server.ActiveAt(t));
+    out += buf;
+    for (uint32_t d : server.DensityAt(t)) {
+      std::snprintf(buf, sizeof(buf), " %u", d);
+      out += buf;
+    }
+    out += "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "timestamps %" PRId64 "\n",
+                snapshot.num_timestamps());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "streams %zu\n", snapshot.streams().size());
+  out += buf;
+  for (const CellStream& s : snapshot.streams()) {
+    std::snprintf(buf, sizeof(buf), "stream %" PRId64, s.enter_time);
+    out += buf;
+    for (CellId c : s.cells) {
+      std::snprintf(buf, sizeof(buf), " %u", c);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace golden
+}  // namespace retrasyn
+
+#endif  // RETRASYN_TESTS_GOLDEN_GOLDEN_PIPELINE_H_

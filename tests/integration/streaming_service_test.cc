@@ -14,6 +14,8 @@
 #include "common/rng.h"
 #include "core/engine.h"
 #include "core/release_server.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "service/trajectory_service.h"
 #include "stream/feeder.h"
 
@@ -75,7 +77,8 @@ RetraSynConfig EngineConfig() {
 TEST(StreamingServiceTest, PureEventDrivenReleaseMatchesLegacyBatchReplay) {
   const BoundingBox box{0.0, 0.0, 800.0, 800.0};
   const std::vector<DeviceTrace> traces = MakeWorkload(17);
-  const Grid grid(box, 5);
+  const auto grid_owner = MakeEnvGrid(box, 5);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   // --- Service path: per-device events only. -----------------------------
@@ -146,7 +149,8 @@ TEST(StreamingServiceTest, PoolEnabledAtOneThreadKeepsByteExactEquivalence) {
   // replay byte for byte.
   const BoundingBox box{0.0, 0.0, 800.0, 800.0};
   const std::vector<DeviceTrace> traces = MakeWorkload(17);
-  const Grid grid(box, 5);
+  const auto grid_owner = MakeEnvGrid(box, 5);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   RetraSynConfig pooled_config = EngineConfig();

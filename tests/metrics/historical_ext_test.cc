@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "geo/grid.h"
 #include "metrics/historical.h"
 #include "stream/io.h"
 

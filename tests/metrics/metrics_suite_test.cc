@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "geo/grid.h"
 #include "metrics/historical.h"
 #include "metrics/queries.h"
 #include "metrics/streaming.h"

@@ -1,3 +1,4 @@
+#include "geo/grid.h"
 #include "metrics/queries.h"
 
 #include <gtest/gtest.h>

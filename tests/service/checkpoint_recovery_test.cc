@@ -16,6 +16,8 @@
 
 #include "checkpoint/checkpoint_format.h"
 #include "common/file_io.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "journal/journal_compaction.h"
 #include "journal/journal_writer.h"
 #include "service/trajectory_service.h"
@@ -67,7 +69,7 @@ RetraSynConfig CheckpointedConfig(const std::string& parent) {
 /// recovery_test.cc): `churn` fresh users enter per round, each living
 /// live/churn rounds. Pure function of t, so it resumes on a recovered
 /// service.
-void DriveChurnRounds(IngestSession& session, const Grid& grid, int64_t from,
+void DriveChurnRounds(IngestSession& session, const SpatialGrid& grid, int64_t from,
                       int64_t to, int64_t live, int64_t churn) {
   const int64_t lifetime = live / churn;
   const int64_t cells = static_cast<int64_t>(grid.NumCells());
@@ -124,7 +126,8 @@ bool FileExists(const std::string& path) { return FileSize(path).ok(); }
 
 TEST(CheckpointRecoveryTest, KillRecoverContinueByteIdenticalInline) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
   constexpr int64_t kLive = 20, kChurn = 4, kCrashAt = 32, kRounds = 44;
@@ -184,7 +187,8 @@ TEST(CheckpointRecoveryTest, KillRecoverContinueByteIdenticalInline) {
 
 TEST(CheckpointRecoveryTest, AsyncCheckpointedRecoverMatchesInline) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
   constexpr int64_t kLive = 16, kChurn = 4, kCrashAt = 23, kRounds = 34;
@@ -220,7 +224,8 @@ TEST(CheckpointRecoveryTest, AsyncCheckpointedRecoverMatchesInline) {
 
 TEST(CheckpointRecoveryTest, CompactionRetiresThePrefixAndRecoveryHolds) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
   constexpr int64_t kLive = 20, kChurn = 4, kRounds = 60;
@@ -269,7 +274,8 @@ TEST(CheckpointRecoveryTest, CompactionRetiresThePrefixAndRecoveryHolds) {
 
 TEST(CheckpointRecoveryTest, TruncatedNewestCheckpointFallsBackToPrevious) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
   constexpr int64_t kLive = 8, kChurn = 2, kRounds = 12;
@@ -333,7 +339,8 @@ TEST(CheckpointRecoveryTest, ValidForeignCheckpointIsRefusedLoudly) {
   // deployment must fail recovery with FailedPrecondition — never silently
   // fall back to replay (the satellite requirement: no silent fallback).
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
 
@@ -365,7 +372,8 @@ TEST(CheckpointRecoveryTest, ChangedDeploymentIsRefusedLoudly) {
   // Changing the grid, an engine-config field, or the recycling flag between
   // the crash and the recovery must refuse, not replay-and-diverge.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
 
@@ -401,7 +409,8 @@ TEST(CheckpointRecoveryTest, CheckpointDirDeletedMidRunPoisonsTicksOnly) {
   // fail the next Tick cleanly (sticky, no aborts), leave the journal intact
   // and snapshots complete, and the deployment fully recoverable.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
   constexpr int64_t kLive = 8, kChurn = 2;
@@ -473,7 +482,8 @@ TEST(CheckpointRecoveryTest, OrphanedTmpFilesAreCleanedUpOnRecovery) {
   // A crash mid-compaction (or mid-checkpoint) leaves `*.tmp` files that
   // never renamed into place; both scanners must delete them and carry on.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
 
@@ -509,7 +519,8 @@ TEST(CheckpointRecoveryTest, OrphanedTmpFilesAreCleanedUpOnRecovery) {
 
 TEST(CheckpointRecoveryTest, SpillOnAndOffReleaseIdenticalBytes) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir spill_parent;
   TempDir no_spill_parent;
@@ -561,7 +572,8 @@ class NullEngine : public StreamReleaseEngine {
 
 TEST(CheckpointRecoveryTest, GuardsRefuseUncheckpointableConfigurations) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
 

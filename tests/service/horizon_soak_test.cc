@@ -19,6 +19,8 @@
 
 #include "core/engine.h"
 #include "core/release_sink.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "geo/state_space.h"
 #include "service/trajectory_service.h"
 
@@ -51,7 +53,7 @@ RetraSynConfig SoakConfig() {
 /// Same steady-churn schedule as the recovery tests: `kChurn` fresh user-ids
 /// per round, each stream living exactly kLive/kChurn rounds to its explicit
 /// quit. Pure function of t.
-void DriveChurnRound(IngestSession& session, const Grid& grid, int64_t t) {
+void DriveChurnRound(IngestSession& session, const SpatialGrid& grid, int64_t t) {
   const int64_t lifetime = kLive / kChurn;
   const int64_t cells = static_cast<int64_t>(grid.NumCells());
   auto at = [&](int64_t u, int64_t round) {
@@ -98,7 +100,8 @@ class RecordingSink : public ReleaseSink {
 TEST(HorizonSoakTest, ChurnKeepsIndexSpaceAndDenseStateBounded) {
   const int64_t rounds = SoakRounds();
   const BoundingBox box{0.0, 0.0, 100.0, 100.0};
-  const Grid grid(box, 2);  // tiny domain: the soak measures bookkeeping
+  const auto grid_owner = MakeEnvGrid(box, 2);  // tiny domain: the soak measures bookkeeping
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   auto service = TrajectoryService::Create(states, SoakConfig());
@@ -141,7 +144,8 @@ TEST(HorizonSoakTest, LegacyModeGrowsLinearlyProvingTheLeakExisted) {
   // the dense engine state grow with every stream ever started.
   constexpr int64_t kRounds = 400;
   const BoundingBox box{0.0, 0.0, 100.0, 100.0};
-  const Grid grid(box, 2);
+  const auto grid_owner = MakeEnvGrid(box, 2);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   RetraSynConfig config = SoakConfig();
@@ -165,7 +169,8 @@ TEST(HorizonSoakTest, ChurnReleaseByteIdenticalWithRecyclingOnAndOff) {
   // must match the legacy cumulative assignment exactly.
   constexpr int64_t kRounds = 400;
   const BoundingBox box{0.0, 0.0, 100.0, 100.0};
-  const Grid grid(box, 2);
+  const auto grid_owner = MakeEnvGrid(box, 2);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   auto run = [&](bool recycle) {
@@ -197,7 +202,8 @@ TEST(HorizonSoakTest, ChurnInlineVsAsyncByteIdenticalWithRecycling) {
   // accounting must all match Inline exactly.
   constexpr int64_t kRounds = 300;
   const BoundingBox box{0.0, 0.0, 100.0, 100.0};
-  const Grid grid(box, 2);
+  const auto grid_owner = MakeEnvGrid(box, 2);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   auto run = [&](SyncPolicy policy, RecordingSink* sink) {

@@ -2,6 +2,7 @@
 // reporting gaps, arrival-order independence, and bit-exact equivalence of
 // the replayed session path with the legacy StreamFeeder batch path.
 
+#include "geo/grid.h"
 #include "service/ingest_session.h"
 
 #include <gtest/gtest.h>

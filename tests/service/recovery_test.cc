@@ -14,6 +14,8 @@
 #include "common/file_io.h"
 #include "common/rng.h"
 #include "core/release_server.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "journal/journal_reader.h"
 #include "journal/journal_writer.h"
 #include "service/trajectory_service.h"
@@ -108,7 +110,8 @@ void ExpectSameRelease(const CellStreamSet& a, const CellStreamSet& b) {
 
 TEST(RecoveryTest, KillAndRecoverSnapshotByteIdentical) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(11, 60);
   TempDir dir;
@@ -142,7 +145,8 @@ TEST(RecoveryTest, KillAndRecoverSnapshotByteIdentical) {
 
 TEST(RecoveryTest, RecoveredServiceContinuesIngestingAndJournaling) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(23, 50);
   TempDir dir;
@@ -185,7 +189,8 @@ TEST(RecoveryTest, RecoveredServiceContinuesIngestingAndJournaling) {
 
 TEST(RecoveryTest, AsyncRecoverMatchesInlineAndReArmsTheCloser) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(31, 50);
   TempDir dir;
@@ -226,7 +231,8 @@ TEST(RecoveryTest, RecoverDirHoldingOnlyLockFileYieldsEmptyService) {
   // the first segment leaves a directory holding nothing but LOCK. Recover
   // must treat it as a fresh deployment, not an error.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(61, 20);
   TempDir dir;
@@ -257,7 +263,8 @@ TEST(RecoveryTest, RecoverSingleZeroByteSegmentYieldsEmptyService) {
   // That is clean-empty: no acknowledged record can live in a segment
   // without bytes.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(67, 20);
   TempDir dir;
@@ -289,7 +296,7 @@ TEST(RecoveryTest, RecoverSingleZeroByteSegmentYieldsEmptyService) {
 /// rounds before its explicit quit, so the live population is constant while
 /// stream indices retire and recycle continuously. Pure function of t —
 /// resumable from any round, e.g. on a recovered service.
-void DriveChurnRounds(IngestSession& session, const Grid& grid, int64_t from,
+void DriveChurnRounds(IngestSession& session, const SpatialGrid& grid, int64_t from,
                       int64_t to, int64_t live, int64_t churn) {
   const int64_t lifetime = live / churn;
   const int64_t cells = static_cast<int64_t>(grid.NumCells());
@@ -319,7 +326,8 @@ TEST(RecoveryTest, ChurnKillAndRecoverByteIdenticalWithRecycling) {
   // uninterrupted run byte for byte — index assignments included, because
   // retirement depends only on the replayed batch sequence.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir dir;
   constexpr int64_t kLive = 20, kChurn = 4, kRounds = 30, kCrashAt = 17;
@@ -365,7 +373,8 @@ TEST(RecoveryTest, JournalingDoesNotPerturbTheRelease) {
   // The journal must be a pure tap: a journaled run and a plain run release
   // identical bytes, and the ReleaseServer sink sees identical rounds.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(47, 60);
   TempDir dir;
@@ -401,7 +410,8 @@ TEST(RecoveryTest, TornTailRecoversAPrefixAtEveryByteOffset) {
   // and the final record, and assert Recover always succeeds with a state
   // byte-identical to a reference service fed exactly the surviving events.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(5, 8);
   TempDir dir;
@@ -518,7 +528,8 @@ TEST(RecoveryTest, TornTailRecoversAPrefixAtEveryByteOffset) {
 
 TEST(RecoveryTest, CreateRefusesAnExistingJournal) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(3, 5);
   TempDir dir;
@@ -539,7 +550,8 @@ TEST(RecoveryTest, CreateRefusesAnExistingJournal) {
 
 TEST(RecoveryTest, RecoverOnAMissingOrEmptyJournalIsAFreshService) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir dir;
 
@@ -560,7 +572,8 @@ TEST(RecoveryTest, CustomEngineServicesRecoverThroughRecoverWithEngine) {
   // recoverable too — through the overloads that accept a caller-built
   // engine (identically reconstructed, as byte-identity always required).
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(19, 40);
   TempDir dir;
@@ -608,7 +621,8 @@ TEST(RecoveryTest, RecoverUnderAChangedDeploymentIsRefused) {
   // fingerprint in the segment headers must turn silent divergence into a
   // hard error.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(3, 10);
   TempDir dir;
@@ -637,7 +651,8 @@ TEST(RecoveryTest, RecoverUnderAChangedDeploymentIsRefused) {
 
 TEST(RecoveryTest, RecoverRequiresAJournalDir) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   auto recovered = TrajectoryService::Recover(states, BaseConfig());
   EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidArgument);
@@ -645,7 +660,8 @@ TEST(RecoveryTest, RecoverRequiresAJournalDir) {
 
 TEST(RecoveryTest, CorruptionBeforeTheFinalSegmentFailsRecovery) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(13, 100);
   TempDir dir;
@@ -684,7 +700,8 @@ TEST(RecoveryTest, PoisonedJournalBlocksTheSessionWithoutCrashing) {
   // from that point every session entry point must refuse work with the
   // sticky error — no aborts, no silent divergence.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   TempDir parent;
   const std::string dir = parent.path() + "/journal";

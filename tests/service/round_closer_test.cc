@@ -3,6 +3,8 @@
 // error propagation from background failures to the ingest thread, and
 // byte-exact Inline-vs-Async equivalence for the real engine.
 
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "service/round_closer.h"
 
 #include <gtest/gtest.h>
@@ -96,11 +98,16 @@ class RecordingSink : public ReleaseSink {
 };
 
 struct AsyncFixture {
-  AsyncFixture() : grid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 4),
-                   states(grid) {}
+  AsyncFixture()
+      : grid_owner(MakeEnvGrid(BoundingBox{0.0, 0.0, 100.0, 100.0}, 4)),
+        grid(*grid_owner),
+        states(grid) {}
 
+  /// A point inside the (row, col) cell of the 4x4 reference lattice — just
+  /// a stable coordinate for any backend; these tests drive trivial
+  /// single-point rounds and never depend on the cell layout.
   Point CellPoint(uint32_t row, uint32_t col) const {
-    return grid.CellCenter(grid.Cell(row, col));
+    return Point{(col + 0.5) * 25.0, (row + 0.5) * 25.0};
   }
 
   /// Drives \p session through \p rounds trivial single-user rounds.
@@ -116,7 +123,8 @@ struct AsyncFixture {
     }
   }
 
-  Grid grid;
+  std::unique_ptr<SpatialGrid> grid_owner;
+  const SpatialGrid& grid;
   StateSpace states;
 };
 
@@ -322,7 +330,8 @@ TEST(RoundCloserTest, AsyncReleaseIsByteIdenticalToInline) {
   data_config.mean_arrivals = 20.0;
   Rng rng(11);
   const StreamDatabase db = GenerateHotspotStreams(data_config, rng);
-  const Grid grid(db.box(), 4);
+  const auto grid_owner = MakeEnvGrid(db.box(), 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   RetraSynConfig config;

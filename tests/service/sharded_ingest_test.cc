@@ -16,6 +16,8 @@
 
 #include "common/file_io.h"
 #include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "journal/journal_reader.h"
 #include "journal/journal_writer.h"
 #include "service/trajectory_service.h"
@@ -147,7 +149,8 @@ TEST(ShardedIngestTest, ShardCountsReleaseIdenticalBytesInline) {
   // reproduces the single-shard observation sequence exactly, so stream
   // index assignment, recycling, and the released bytes are all identical.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(11, 80);
 
@@ -173,7 +176,8 @@ TEST(ShardedIngestTest, ShardCountsReleaseIdenticalBytesInline) {
 
 TEST(ShardedIngestTest, ShardCountsReleaseIdenticalBytesAsync) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(13, 60);
 
@@ -200,7 +204,8 @@ TEST(ShardedIngestTest, ArrivalOrderWithinARoundNeverChangesTheRelease) {
   // Producers race into different shards, so the per-round arrival order is
   // arbitrary; the sealed batch must be a pure function of the event SET.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(17, 60);
 
@@ -235,7 +240,8 @@ TEST(ShardedIngestTest, ConcurrentProducersReleaseIdenticalBytes) {
   // result must match the serial single-shard run byte for byte. Run under
   // TSan this is also the data-race acceptance test for the shard locking.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(19, 96);
   constexpr int kProducers = 4;
@@ -273,7 +279,8 @@ TEST(ShardedIngestTest, ConcurrentProducersReleaseIdenticalBytes) {
 TEST(ShardedIngestTest, BufferReuseDisabledReleasesIdenticalBytes) {
   // reuse_seal_buffers is a pure allocation knob: on or off, same bytes.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(23, 60);
 
@@ -304,7 +311,8 @@ TEST(ShardedIngestTest, BufferReuseDisabledReleasesIdenticalBytes) {
 
 TEST(ShardedIngestTest, IngestStatsTrackQueueDepthsAndTimings) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(29, 64);
 
@@ -355,7 +363,8 @@ TEST(ShardedIngestTest, KillAndRecoverShardedByteIdentical) {
   // same config, finish the workload: identical to an unjournaled
   // single-shard run end to end.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(31, 60);
   TempDir dir;
@@ -398,7 +407,8 @@ TEST(ShardedIngestTest, KillAndRecoverShardedByteIdentical) {
 
 TEST(ShardedIngestTest, AsyncShardedKillAndRecoverByteIdentical) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(37, 50);
   TempDir dir;
@@ -436,7 +446,8 @@ TEST(ShardedIngestTest, ShardedCheckpointRecoveryByteIdentical) {
   // Checkpoints are shard-count agnostic on disk but recovery must stitch
   // them together with all N shard journals' suffixes.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(41, 60);
   TempDir dir;
@@ -478,7 +489,8 @@ TEST(ShardedIngestTest, BoundaryAppendSkewIsRepairedOnRecovery) {
   // shard), physically drop the orphaned boundaries, and re-buffer the
   // now-open round's events — byte-identically to a run that never ticked.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(47, 50);
   TempDir dir;
@@ -538,7 +550,8 @@ TEST(ShardedIngestTest, ShardCountMismatchIsRefusedLoudly) {
   // layout; replaying under a different count would regroup rounds silently,
   // so both checks must fail closed.
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 4);
+  const auto grid_owner = MakeEnvGrid(box, 4);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
   const auto traces = MakeWorkload(43, 40);
   TempDir sharded_dir;
@@ -583,7 +596,8 @@ TEST(ShardedIngestTest, ShardCountMismatchIsRefusedLoudly) {
 
 TEST(ShardedIngestTest, ShardCountValidation) {
   const BoundingBox box{0.0, 0.0, 400.0, 400.0};
-  const Grid grid(box, 3);
+  const auto grid_owner = MakeEnvGrid(box, 3);
+  const SpatialGrid& grid = *grid_owner;
   const StateSpace states(grid);
 
   RetraSynConfig zero = BaseConfig();

@@ -1,6 +1,8 @@
 // TrajectoryService: validated construction, non-destructive snapshot
 // releases while the stream is open, and push-based sink notification.
 
+#include "geo/grid.h"
+#include "geo/grid_factory.h"
 #include "service/trajectory_service.h"
 
 #include <gtest/gtest.h>
@@ -20,7 +22,9 @@ namespace {
 
 struct ServiceFixture {
   ServiceFixture()
-      : grid(BoundingBox{0.0, 0.0, 1000.0, 1000.0}, 4), states(grid) {
+      : grid_owner(MakeEnvGrid(BoundingBox{0.0, 0.0, 1000.0, 1000.0}, 4)),
+        grid(*grid_owner),
+        states(grid) {
     RandomWalkConfig config;
     config.num_timestamps = 50;
     config.initial_users = 200;
@@ -39,7 +43,8 @@ struct ServiceFixture {
     return config;
   }
 
-  Grid grid;
+  std::unique_ptr<SpatialGrid> grid_owner;
+  const SpatialGrid& grid;
   StateSpace states;
   StreamDatabase db;
 };

@@ -1,3 +1,4 @@
+#include "geo/grid.h"
 #include "stream/feeder.h"
 
 #include <gtest/gtest.h>
