@@ -13,6 +13,11 @@
 //   --grid_backend=<uniform|quadtree>
 //                      spatial discretization backend; the quadtree is built
 //                      at a matched effective cell count (see MakeSpatialGrid)
+//
+// Benches that drive a TrajectoryService additionally accept
+//   --dump_telemetry   render the service's full telemetry snapshot
+//                      (Prometheus text format) to stderr after each run,
+//                      instead of per-bench one-off stat printing
 
 #ifndef RETRASYN_BENCH_BENCH_COMMON_H_
 #define RETRASYN_BENCH_BENCH_COMMON_H_
@@ -27,6 +32,8 @@
 #include "eval/datasets.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
+#include "service/trajectory_service.h"
+#include "telemetry/prometheus_writer.h"
 
 namespace retrasyn {
 namespace bench {
@@ -140,6 +147,22 @@ inline RunResult RunMethod(MethodId id, const NamedDataset& dataset,
                            options.seed + 100 + engine_seed_offset);
   return RunEngine(*dataset.prepared, *engine, options.metrics,
                    options.seed + 1000);
+}
+
+/// Whether --dump_telemetry was passed.
+inline bool DumpTelemetryRequested(const Flags& flags) {
+  return flags.GetBool("dump_telemetry", false);
+}
+
+/// Renders \p service's telemetry snapshot (every counter, gauge, and
+/// latency histogram across ingest/synthesis/journal/checkpoint, in
+/// Prometheus text format) to stderr, tagged so multi-run benches stay
+/// greppable. One shared exposition path instead of each bench hand-printing
+/// the stats it happens to know about.
+inline void DumpTelemetry(const std::string& tag,
+                          const TrajectoryService& service) {
+  std::fprintf(stderr, "--- telemetry [%s] ---\n%s--- end telemetry ---\n",
+               tag.c_str(), PrometheusText(service.telemetry()).c_str());
 }
 
 inline void MaybeWriteCsv(const TablePrinter& table,

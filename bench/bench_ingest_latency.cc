@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/file_io.h"
 #include "common/flags.h"
 #include "common/rng.h"
@@ -115,7 +116,7 @@ double Percentile(std::vector<double> sorted, double q) {
 ModeResult RunMode(const std::string& mode, const StateSpace& states,
                    const Grid& grid, const std::vector<RoundScript>& script,
                    const RetraSynConfig& base_config, int queue_capacity,
-                   bool journaled = false) {
+                   bool journaled = false, bool dump_telemetry = false) {
   RetraSynConfig config = base_config;
   config.sync_policy =
       mode.rfind("inline", 0) == 0 ? SyncPolicy::kInline : SyncPolicy::kAsync;
@@ -152,6 +153,7 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
   service.value()->Drain().CheckOK();
   result.drain_ms = drain.ElapsedSeconds() * 1e3;
   result.total_s = total.ElapsedSeconds();
+  if (dump_telemetry) bench::DumpTelemetry(mode, *service.value());
   if (journaled) RemoveDirTree(config.journal_dir).CheckOK();
 
   double sum = 0.0;
@@ -205,7 +207,7 @@ uint64_t ShardOf(uint64_t user, int shards) {
 
 ShardResult RunShardSweep(const StateSpace& states, const BoundingBox& box,
                           int shards, uint32_t users, int rounds,
-                          bool reuse_buffers) {
+                          bool reuse_buffers, bool dump_telemetry = false) {
   ServiceOptions options;
   options.ingest_shards = shards;
   options.reuse_seal_buffers = reuse_buffers;
@@ -263,6 +265,11 @@ ShardResult RunShardSweep(const StateSpace& states, const BoundingBox& box,
   }
   const double elapsed = total.ElapsedSeconds();
   service.value()->Drain().CheckOK();
+  if (dump_telemetry) {
+    bench::DumpTelemetry("sharded/" + std::to_string(shards) + "x" +
+                             std::to_string(users),
+                         *service.value());
+  }
 
   const IngestStats stats = service.value()->ingest_stats();
   result.events_per_s =
@@ -336,6 +343,7 @@ int Main(int argc, char** argv) {
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string json_path = flags.GetString("json", "BENCH_ingest.json");
+  const bool dump_telemetry = bench::DumpTelemetryRequested(flags);
 
   const BoundingBox box{0.0, 0.0, 1000.0, 1000.0};
   const Grid grid(box, grid_k);
@@ -358,14 +366,17 @@ int Main(int argc, char** argv) {
   // ingest rate), and async with a queue deep enough to absorb the whole run
   // (pure seal + enqueue cost — the decoupled floor).
   std::vector<ModeResult> results;
-  results.push_back(
-      RunMode("inline", states, grid, script, config, queue_capacity));
+  results.push_back(RunMode("inline", states, grid, script, config,
+                            queue_capacity, /*journaled=*/false,
+                            dump_telemetry));
   results.push_back(RunMode("inline_journal", states, grid, script, config,
-                            queue_capacity, /*journaled=*/true));
-  results.push_back(
-      RunMode("async", states, grid, script, config, queue_capacity));
-  results.push_back(
-      RunMode("async_deep", states, grid, script, config, rounds + 1));
+                            queue_capacity, /*journaled=*/true,
+                            dump_telemetry));
+  results.push_back(RunMode("async", states, grid, script, config,
+                            queue_capacity, /*journaled=*/false,
+                            dump_telemetry));
+  results.push_back(RunMode("async_deep", states, grid, script, config,
+                            rounds + 1, /*journaled=*/false, dump_telemetry));
   for (const ModeResult& m : results) {
     std::fprintf(stderr,
                  "grid=%2ux%-2u users=%6u rounds=%3d %-14s cap=%3d  "
@@ -395,13 +406,15 @@ int Main(int argc, char** argv) {
       for (int shards : shard_counts) {
         shard_results.push_back(RunShardSweep(states, box, shards, population,
                                               sweep_rounds,
-                                              /*reuse_buffers=*/true));
+                                              /*reuse_buffers=*/true,
+                                              dump_telemetry));
       }
     }
     // The allocation A/B pair, pinned at the smallest population.
     shard_results.push_back(RunShardSweep(states, box, shard_counts.back(),
                                           populations.front(), sweep_rounds,
-                                          /*reuse_buffers=*/false));
+                                          /*reuse_buffers=*/false,
+                                          dump_telemetry));
     for (const ShardResult& r : shard_results) {
       std::fprintf(stderr,
                    "shards=%d users=%7u rounds=%d reuse=%-3s  "

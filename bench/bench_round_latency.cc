@@ -13,6 +13,12 @@
 //   legacy  — use_sampler_cache=false, serial: the former O(degree)-per-point
 //             path with a heap allocation per sampled point.
 //   cached  — alias samplers, serial. The headline single-thread speedup.
+//   cached_telemetry
+//           — cached with a Telemetry attached to the synthesizer: measures
+//             what metric recording costs the hot path. --telemetry_budget
+//             (fraction, e.g. 0.03) makes the bench exit nonzero when the
+//             attached p50 exceeds the detached p50 by more than the budget
+//             at any sweep point — the CI overhead gate.
 //   pooled  — alias samplers + persistent ThreadPool at --threads.
 //
 // The sweep also carries a grid-backend dimension (--backends, default
@@ -45,6 +51,7 @@
 #include "geo/grid_factory.h"
 #include "geo/spatial_grid.h"
 #include "geo/state_space.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 namespace {
@@ -53,7 +60,9 @@ struct ModeResult {
   std::string mode;
   int threads = 1;
   int rounds = 0;
+  bool telemetry = false;
   double mean_round_ms = 0.0;
+  double p50_round_ms = 0.0;
   double min_round_ms = 0.0;
   double points_per_sec = 0.0;
 };
@@ -101,8 +110,13 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
   config.lambda = 50.0;
   config.num_threads = threads;
   config.use_sampler_cache = (mode != "legacy");
+  // Declared before the synthesizer: attached components keep raw metric
+  // pointers until they stop stepping.
+  Telemetry telemetry;
   Synthesizer synthesizer(states, config);
   synthesizer.SetThreadPool(pool);
+  const bool with_telemetry = mode == "cached_telemetry";
+  if (with_telemetry) synthesizer.AttachTelemetry(&telemetry);
   Rng rng(seed + 1);
   synthesizer.Initialize(model, population, 0, rng);
 
@@ -110,6 +124,7 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
   result.mode = mode;
   result.threads = threads;
   result.rounds = rounds;
+  result.telemetry = with_telemetry;
   result.min_round_ms = 1e300;
   int64_t t = 1;
   for (int i = 0; i < warmup; ++i) {
@@ -118,6 +133,8 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
   }
   double total_s = 0.0;
   uint64_t points = 0;
+  std::vector<double> round_ms;
+  round_ms.reserve(static_cast<size_t>(rounds));
   for (int i = 0; i < rounds; ++i) {
     PerturbModel(model, states, model_rng);
     const uint64_t before = synthesizer.total_points();
@@ -126,9 +143,12 @@ ModeResult RunMode(const std::string& mode, const StateSpace& states,
     const double s = watch.ElapsedSeconds();
     total_s += s;
     points += synthesizer.total_points() - before;
+    round_ms.push_back(s * 1e3);
     result.min_round_ms = std::min(result.min_round_ms, s * 1e3);
   }
   result.mean_round_ms = total_s / rounds * 1e3;
+  std::sort(round_ms.begin(), round_ms.end());
+  result.p50_round_ms = round_ms[round_ms.size() / 2];
   result.points_per_sec = total_s > 0.0 ? points / total_s : 0.0;
   return result;
 }
@@ -155,12 +175,15 @@ bool WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep) {
           "  {\"bench\": \"round_latency\", \"grid_backend\": \"%s\", "
           "\"grid_k\": %u, \"cells\": %u, "
           "\"states\": %u, \"population\": %u, \"mode\": \"%s\", "
+          "\"telemetry\": %s, "
           "\"threads\": %d, \"rounds\": %d, \"mean_round_ms\": %.4f, "
+          "\"p50_round_ms\": %.4f, "
           "\"min_round_ms\": %.4f, \"points_per_sec\": %.0f, "
           "\"speedup_vs_legacy\": %.2f}",
           point.grid_backend.c_str(), point.grid_k, point.num_cells,
           point.num_states, point.population,
-          m.mode.c_str(), m.threads, m.rounds, m.mean_round_ms,
+          m.mode.c_str(), m.telemetry ? "true" : "false",
+          m.threads, m.rounds, m.mean_round_ms, m.p50_round_ms,
           m.min_round_ms, m.points_per_sec, speedup);
     }
   }
@@ -223,8 +246,12 @@ int Main(int argc, char** argv) {
       flags.GetString("pops", quick ? "20000" : "10000,100000"));
   const std::vector<GridBackend> backends =
       ParseBackends(flags.GetString("backends", "uniform,quadtree"));
+  // Maximum tolerated fractional p50 overhead of cached_telemetry over
+  // cached (0 = don't enforce). CI runs with --telemetry_budget=0.03.
+  const double telemetry_budget = flags.GetDouble("telemetry_budget", 0.0);
 
   ThreadPool pool(threads);
+  double worst_overhead = 0.0;
   std::vector<SweepPoint> sweep;
   for (GridBackend backend : backends) {
     for (uint32_t k : grid_ks) {
@@ -244,18 +271,30 @@ int Main(int argc, char** argv) {
                                       warmup, rounds, seed));
         point.modes.push_back(RunMode("cached", states, pop, 1, nullptr,
                                       warmup, rounds, seed));
+        point.modes.push_back(RunMode("cached_telemetry", states, pop, 1,
+                                      nullptr, warmup, rounds, seed));
         point.modes.push_back(RunMode("pooled", states, pop, threads, &pool,
                                       warmup, rounds, seed));
         const double legacy = point.modes[0].mean_round_ms;
         for (const ModeResult& m : point.modes) {
           std::fprintf(stderr,
-                       "%-8s grid=%2ux%-2u cells=%5u pop=%6u %-6s threads=%d  "
-                       "mean=%8.3f ms  min=%8.3f ms  %10.0f pts/s  %.2fx\n",
+                       "%-8s grid=%2ux%-2u cells=%5u pop=%6u %-16s threads=%d  "
+                       "mean=%8.3f ms  p50=%8.3f ms  min=%8.3f ms  "
+                       "%10.0f pts/s  %.2fx\n",
                        point.grid_backend.c_str(), k, k, point.num_cells, pop,
                        m.mode.c_str(), m.threads, m.mean_round_ms,
-                       m.min_round_ms, m.points_per_sec,
+                       m.p50_round_ms, m.min_round_ms, m.points_per_sec,
                        legacy > 0.0 ? legacy / m.mean_round_ms : 0.0);
         }
+        const double base_p50 = point.modes[1].p50_round_ms;
+        const double tel_p50 = point.modes[2].p50_round_ms;
+        const double overhead =
+            base_p50 > 0.0 ? tel_p50 / base_p50 - 1.0 : 0.0;
+        worst_overhead = std::max(worst_overhead, overhead);
+        std::fprintf(stderr,
+                     "%-8s grid=%2ux%-2u pop=%6u telemetry p50 overhead: "
+                     "%+.2f%%\n",
+                     point.grid_backend.c_str(), k, k, pop, overhead * 100.0);
         sweep.push_back(std::move(point));
       }
     }
@@ -265,6 +304,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  if (telemetry_budget > 0.0 && worst_overhead > telemetry_budget) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry p50 overhead %.2f%% exceeds budget %.2f%%\n",
+                 worst_overhead * 100.0, telemetry_budget * 100.0);
+    return 1;
+  }
   return 0;
 }
 

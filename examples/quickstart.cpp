@@ -11,8 +11,12 @@
 //      snapshot shows that releases are consumable while the stream is open.
 //   4. Inspect the released synthetic database and a couple of utility
 //      metrics.
+//   5. Dump the service's telemetry (Prometheus text format) with
+//      --metrics: every pipeline counter and latency histogram, ready
+//      for a scrape endpoint.
 //
 // Build & run:  ./build/examples/quickstart [--epsilon=1.0] [--w=20]
+//               [--metrics]
 
 #include <cstdio>
 
@@ -23,6 +27,7 @@
 #include "metrics/streaming.h"
 #include "service/replay.h"
 #include "service/trajectory_service.h"
+#include "telemetry/prometheus_writer.h"
 #include "stream/feeder.h"
 #include "stream/hotspot_generator.h"
 
@@ -100,5 +105,21 @@ int main(int argc, char** argv) {
     std::printf("%u ", s.cells[i]);
   }
   std::printf("%s\n", s.cells.size() > 12 ? "..." : "");
+
+  // 5. Unified telemetry: one snapshot covers ingest, synthesis, journal,
+  //    and checkpoint metrics plus per-round lifecycle traces. A real
+  //    deployment serves this string from its /metrics endpoint.
+  if (flags.GetBool("metrics", false)) {
+    const TelemetrySnapshot telemetry = service.telemetry();
+    std::printf("\n--- /metrics ---\n%s",
+                PrometheusText(telemetry).c_str());
+    if (!telemetry.recent_rounds.empty()) {
+      const RoundSpanSnapshot& last = telemetry.recent_rounds.back();
+      std::printf("last round %lld: close %.3f ms\n",
+                  static_cast<long long>(last.round),
+                  last.phase_seconds[static_cast<size_t>(RoundPhase::kClose)] *
+                      1e3);
+    }
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "common/file_io.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "journal/journal_compaction.h"
 
 namespace retrasyn {
@@ -111,6 +112,51 @@ CheckpointManager::~CheckpointManager() {
   if (worker_.joinable()) worker_.join();
 }
 
+void CheckpointManager::AttachTelemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    writes_metric_ = nullptr;
+    bytes_metric_ = nullptr;
+    prunes_metric_ = nullptr;
+    segments_retired_metric_ = nullptr;
+    spills_metric_ = nullptr;
+    poisonings_metric_ = nullptr;
+    last_round_metric_ = nullptr;
+    write_hist_ = nullptr;
+    trace_ = nullptr;
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->registry();
+  writes_metric_ = registry.GetCounter(
+      "retrasyn_checkpoint_writes_total",
+      "Checkpoints made durable (tmp + fsync + rename)");
+  bytes_metric_ = registry.GetCounter(
+      "retrasyn_checkpoint_bytes_written_total",
+      "Body bytes written to checkpoint and history spill files");
+  prunes_metric_ = registry.GetCounter(
+      "retrasyn_checkpoint_prunes_total",
+      "Checkpoints deleted by retention pruning");
+  segments_retired_metric_ = registry.GetCounter(
+      "retrasyn_checkpoint_segments_retired_total",
+      "Journal segments retired by compaction");
+  spills_metric_ = registry.GetCounter(
+      "retrasyn_checkpoint_streams_spilled_total",
+      "Closed synthetic streams moved from memory into history spill files");
+  poisonings_metric_ = registry.GetCounter(
+      "retrasyn_checkpoint_poisonings_total",
+      "Sticky checkpoint-worker failures");
+  last_round_metric_ = registry.GetGauge(
+      "retrasyn_checkpoint_last_round",
+      "Closed-round count of the newest durable checkpoint (-1 before the "
+      "first)");
+  last_round_metric_->Set(last_checkpoint_round());
+  write_hist_ = registry.GetHistogram(
+      "retrasyn_checkpoint_write_seconds",
+      "Full checkpoint duration on the worker (spill + write + prune + "
+      "retire)");
+  trace_ = &telemetry_->trace();
+}
+
 void CheckpointManager::AttachJournals(std::vector<JournalWriter*> journals) {
   std::lock_guard<std::mutex> l(mu_);
   if (journals.empty()) {
@@ -177,6 +223,7 @@ void CheckpointManager::OnRoundClosed(int64_t sealed_round,
     entry.count = spilled.size();
     entry.streams = std::move(spilled);
     streams_spilled_ += entry.count;
+    if (spills_metric_ != nullptr) spills_metric_->Add(entry.count);
     spills_.push_back(std::move(entry));
   }
   std::lock_guard<std::mutex> l(mu_);
@@ -220,8 +267,14 @@ void CheckpointManager::WorkerLoop() {
     pending_.erase(it);
     busy_ = true;
     l.unlock();
+    Stopwatch write_watch;
     Status st = WriteCheckpoint(round, std::move(capture.engine),
                                 std::move(capture.session));
+    const double write_seconds = write_watch.ElapsedSeconds();
+    if (write_hist_ != nullptr) write_hist_->Record(write_seconds);
+    if (trace_ != nullptr) {
+      trace_->RecordPhase(round, RoundPhase::kCheckpoint, write_seconds);
+    }
     l.lock();
     busy_ = false;
     if (!st.ok() && error_.ok()) {
@@ -230,6 +283,10 @@ void CheckpointManager::WorkerLoop() {
       error_ = st;
       ready_.clear();
       pending_.clear();
+      if (poisonings_metric_ != nullptr) poisonings_metric_->Increment();
+      if (telemetry_ != nullptr) {
+        telemetry_->RecordFailure("checkpoint", st, round);
+      }
     }
     cv_.notify_all();
   }
@@ -262,6 +319,7 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
                                            HistoryFileName(round),
                                            kHistoryMagic, options_.fingerprint,
                                            body));
+    if (bytes_metric_ != nullptr) bytes_metric_->Add(body.size());
     std::lock_guard<std::mutex> l(spill_mu_);
     for (SpillEntry& entry : spills_) {
       if (entry.round == round) {
@@ -292,12 +350,15 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
                                          CheckpointFileName(round),
                                          kCheckpointMagic,
                                          options_.fingerprint, body));
+  if (bytes_metric_ != nullptr) bytes_metric_->Add(body.size());
   retained_rounds_.push_back(round);
   {
     std::lock_guard<std::mutex> l(mu_);
     ++checkpoints_written_;
     last_checkpoint_round_ = round;
   }
+  if (writes_metric_ != nullptr) writes_metric_->Increment();
+  if (last_round_metric_ != nullptr) last_round_metric_->Set(round);
 
   // 3. Retention, then journal compaction against the new oldest survivor.
   RETRASYN_RETURN_NOT_OK(PruneCheckpoints());
@@ -313,6 +374,7 @@ Status CheckpointManager::PruneCheckpoints() {
         options_.dir + "/" + CheckpointFileName(retained_rounds_.front())));
     retained_rounds_.erase(retained_rounds_.begin());
     removed = true;
+    if (prunes_metric_ != nullptr) prunes_metric_->Increment();
   }
   return removed ? SyncDir(options_.dir) : Status::OK();
 }
@@ -362,6 +424,9 @@ Status CheckpointManager::RetireJournalPrefix() {
     retired_now += journal_retired;
   }
   if (retired_now == 0) return Status::OK();
+  if (segments_retired_metric_ != nullptr) {
+    segments_retired_metric_->Add(retired_now);
+  }
   std::lock_guard<std::mutex> l(mu_);
   segments_retired_ += retired_now;
   return Status::OK();
@@ -436,8 +501,9 @@ int64_t CheckpointManager::last_checkpoint_round() const {
 
 Result<CheckpointState> CheckpointManager::LoadForRecovery(
     const std::string& dir, uint64_t fingerprint,
-    std::vector<int64_t>* surviving_rounds) {
+    std::vector<int64_t>* surviving_rounds, int* corrupt_skipped) {
   surviving_rounds->clear();
+  if (corrupt_skipped != nullptr) *corrupt_skipped = 0;
   std::vector<int64_t> checkpoints;
   std::vector<int64_t> histories;
   RETRASYN_RETURN_NOT_OK(ScanCheckpointDir(dir, &checkpoints, &histories));
@@ -487,6 +553,7 @@ Result<CheckpointState> CheckpointManager::LoadForRecovery(
     if (!usable.ok()) {
       RETRASYN_RETURN_NOT_OK(RemoveFile(path));
       removed = true;
+      if (corrupt_skipped != nullptr) ++*corrupt_skipped;
       checkpoints.erase(checkpoints.begin() + static_cast<ptrdiff_t>(i));
       continue;
     }

@@ -43,6 +43,7 @@
 #include "journal/journal_reader.h"
 #include "journal/journal_writer.h"
 #include "stream/cell_stream.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -99,9 +100,13 @@ class CheckpointManager {
   /// fingerprint exists to prevent. kNotFound when no checkpoint exists.
   /// On success \p surviving_rounds holds the retained checkpoint rounds
   /// (for retention seeding) and unreferenced history files are deleted.
+  /// \p corrupt_skipped (optional) counts the corrupt checkpoints the
+  /// newest-first ladder deleted before finding a usable one — the
+  /// recovery fallback depth surfaced in telemetry.
   static Result<CheckpointState> LoadForRecovery(
       const std::string& dir, uint64_t fingerprint,
-      std::vector<int64_t>* surviving_rounds);
+      std::vector<int64_t>* surviving_rounds,
+      int* corrupt_skipped = nullptr);
 
   CheckpointManager(const CheckpointManager&) = delete;
   CheckpointManager& operator=(const CheckpointManager&) = delete;
@@ -145,6 +150,12 @@ class CheckpointManager {
   /// no-spill snapshot byte-for-byte.
   Status AppendSpilledHistory(CellStreamSet* out) const;
   bool has_spilled_history() const;
+
+  /// Registers this manager's metrics in \p telemetry (not owned; null
+  /// detaches). Call before the first captured round — the worker reads the
+  /// pointers without a lock. Observation-only: no effect on what is
+  /// written, pruned, or retired.
+  void AttachTelemetry(Telemetry* telemetry);
 
   /// Sticky first failure (OK while healthy).
   Status status() const;
@@ -223,6 +234,19 @@ class CheckpointManager {
   uint64_t checkpoints_written_ = 0;
   uint64_t segments_retired_ = 0;
   int64_t last_checkpoint_round_ = -1;
+
+  // Telemetry (all null when detached). Set once before the first capture;
+  // read by the worker and capture threads without a lock.
+  Telemetry* telemetry_ = nullptr;
+  Counter* writes_metric_ = nullptr;
+  Counter* bytes_metric_ = nullptr;
+  Counter* prunes_metric_ = nullptr;
+  Counter* segments_retired_metric_ = nullptr;
+  Counter* spills_metric_ = nullptr;
+  Counter* poisonings_metric_ = nullptr;
+  Gauge* last_round_metric_ = nullptr;
+  LatencyHistogram* write_hist_ = nullptr;
+  RoundTrace* trace_ = nullptr;
 };
 
 }  // namespace retrasyn

@@ -346,13 +346,18 @@ void RetraSynEngine::Observe(const TimestampBatch& batch) {
   CollectionResult result =
       collector_.Collect(report_states, eps_round, rng_, &timings);
   times_.user_side.Add(timings.user_side_seconds);
+  if (user_side_hist_ != nullptr) {
+    user_side_hist_->Record(timings.user_side_seconds);
+  }
   if (result.num_reports > 0) {
     Stopwatch postprocess_watch;
     ApplyPostprocess(config_.postprocess, result.frequencies, 1.0);
     timings.aggregation_seconds += postprocess_watch.ElapsedSeconds();
   }
   times_.model_construction.Add(timings.aggregation_seconds);
+  if (model_hist_ != nullptr) model_hist_->Record(timings.aggregation_seconds);
   total_reports_ += result.num_reports;
+  if (reports_metric_ != nullptr) reports_metric_->Add(result.num_reports);
 
   // --- Model update (DMU, SIII-C) ----------------------------------------
   Stopwatch dmu_watch;
@@ -371,7 +376,9 @@ void RetraSynEngine::Observe(const TimestampBatch& batch) {
       num_significant = decision.selected.size();
     }
   }
-  times_.dmu.Add(dmu_watch.ElapsedSeconds());
+  const double dmu_seconds = dmu_watch.ElapsedSeconds();
+  times_.dmu.Add(dmu_seconds);
+  if (dmu_hist_ != nullptr) dmu_hist_->Record(dmu_seconds);
   if (config_.allocation.kind == AllocationKind::kAdaptive &&
       result.num_reports > 0) {
     allocator_.RecordRound(result.frequencies, num_significant);
@@ -386,7 +393,43 @@ void RetraSynEngine::Observe(const TimestampBatch& batch) {
       synthesizer_.Step(model_, batch.num_active, t, rng_);
     }
   }
-  times_.synthesis.Add(syn_watch.ElapsedSeconds());
+  const double synthesis_seconds = syn_watch.ElapsedSeconds();
+  times_.synthesis.Add(synthesis_seconds);
+  if (synthesis_hist_ != nullptr) synthesis_hist_->Record(synthesis_seconds);
+  if (rounds_metric_ != nullptr) rounds_metric_->Increment();
+}
+
+void RetraSynEngine::AttachTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    rounds_metric_ = nullptr;
+    reports_metric_ = nullptr;
+    user_side_hist_ = nullptr;
+    model_hist_ = nullptr;
+    dmu_hist_ = nullptr;
+    synthesis_hist_ = nullptr;
+    synthesizer_.AttachTelemetry(nullptr);
+    return;
+  }
+  MetricsRegistry& registry = telemetry->registry();
+  rounds_metric_ = registry.GetCounter("retrasyn_engine_rounds_observed_total",
+                                       "Timestamp batches consumed by "
+                                       "Observe()");
+  reports_metric_ = registry.GetCounter(
+      "retrasyn_engine_reports_total",
+      "LDP reports collected across all rounds");
+  user_side_hist_ = registry.GetHistogram(
+      "retrasyn_engine_user_side_seconds",
+      "Per-round user-side LDP collection time (paper Table V)");
+  model_hist_ = registry.GetHistogram(
+      "retrasyn_engine_model_construction_seconds",
+      "Per-round aggregation + post-processing time");
+  dmu_hist_ = registry.GetHistogram(
+      "retrasyn_engine_dmu_seconds",
+      "Per-round dynamic model update time");
+  synthesis_hist_ = registry.GetHistogram(
+      "retrasyn_engine_synthesis_seconds",
+      "Per-round synthesis time (Initialize/Step)");
+  synthesizer_.AttachTelemetry(telemetry);
 }
 
 EngineCheckpointState RetraSynEngine::SaveCheckpointState() const {

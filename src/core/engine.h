@@ -42,6 +42,7 @@
 #include "ldp/budget.h"
 #include "stream/cell_stream.h"
 #include "stream/feeder.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -95,6 +96,11 @@ class StreamReleaseEngine {
   virtual CellStreamSet Finish(int64_t num_timestamps) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Registers the engine's metrics in \p telemetry (not owned; null
+  /// detaches). Observation-only: attached or not, the released bytes are
+  /// identical. Default: engines expose nothing.
+  virtual void AttachTelemetry(Telemetry* telemetry) { (void)telemetry; }
 };
 
 struct RetraSynConfig {
@@ -213,6 +219,12 @@ struct RetraSynConfig {
   /// checkpoint, keeping steady-state memory flat over unbounded horizons;
   /// SnapshotRelease reads them back on demand.
   bool checkpoint_spill_history = true;
+  /// Service-owned telemetry (metrics registry + round tracing; see
+  /// src/telemetry/). Observation-only by contract — released bytes are
+  /// byte-identical with it on or off — and deliberately NOT part of the
+  /// deployment fingerprint, so it may be toggled across restarts of the
+  /// same journaled deployment. Ignored by bare engines.
+  bool enable_telemetry = true;
 
   /// Upper bound Validate accepts for num_threads.
   static constexpr int kMaxThreads = 256;
@@ -298,6 +310,11 @@ class RetraSynEngine : public StreamReleaseEngine {
   std::vector<uint32_t> LiveDensity() const override;
   CellStreamSet Finish(int64_t num_timestamps) override;
   std::string name() const override;
+  /// Rounds/reports counters plus the four per-component latency histograms
+  /// of ComponentTimes, recorded at the same points Observe() already times;
+  /// forwards to the synthesizer (step latency, points, live streams,
+  /// sampler-cache rebuilds).
+  void AttachTelemetry(Telemetry* telemetry) override;
 
   const RetraSynConfig& config() const { return config_; }
   const GlobalMobilityModel& model() const { return model_; }
@@ -406,6 +423,15 @@ class RetraSynEngine : public StreamReleaseEngine {
   uint64_t total_retired_ = 0;
 
   uint64_t total_reports_ = 0;
+
+  // Telemetry (all null when detached; the Observe hot path pays one null
+  // check per already-timed phase).
+  Counter* rounds_metric_ = nullptr;
+  Counter* reports_metric_ = nullptr;
+  LatencyHistogram* user_side_hist_ = nullptr;
+  LatencyHistogram* model_hist_ = nullptr;
+  LatencyHistogram* dmu_hist_ = nullptr;
+  LatencyHistogram* synthesis_hist_ = nullptr;
 };
 
 }  // namespace retrasyn

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace retrasyn {
 
@@ -120,9 +121,70 @@ void Synthesizer::Spawn(const GlobalMobilityModel& model, uint32_t count,
 void Synthesizer::Initialize(const GlobalMobilityModel& model,
                              uint32_t target_size, int64_t t, Rng& rng) {
   RETRASYN_CHECK(!initialized_);
+  Stopwatch step_watch;
   if (config_.use_sampler_cache) cache_.Sync(model);
   Spawn(model, target_size, t, rng);
   initialized_ = true;
+  if (step_hist_ != nullptr) {
+    RecordStepTelemetry(step_watch.ElapsedSeconds(), /*finished_delta=*/0);
+  }
+}
+
+void Synthesizer::AttachTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    step_hist_ = nullptr;
+    points_metric_ = nullptr;
+    finished_metric_ = nullptr;
+    live_metric_ = nullptr;
+    cache_syncs_metric_ = nullptr;
+    cache_full_rebuilds_metric_ = nullptr;
+    cache_cell_rebuilds_metric_ = nullptr;
+    return;
+  }
+  MetricsRegistry& registry = telemetry->registry();
+  step_hist_ = registry.GetHistogram(
+      "retrasyn_synthesis_step_seconds",
+      "One synthesis round over the live set (quit + size-adjust + "
+      "generate)");
+  points_metric_ = registry.GetCounter("retrasyn_synthesis_points_total",
+                                       "Synthetic trajectory points generated");
+  finished_metric_ = registry.GetCounter(
+      "retrasyn_synthesis_streams_finished_total",
+      "Synthetic streams terminated (Eq. 8 quits + size-adjustment victims)");
+  live_metric_ = registry.GetGauge("retrasyn_synthesis_live_streams",
+                                   "Live synthetic streams after the last "
+                                   "round");
+  cache_syncs_metric_ = registry.GetCounter(
+      "retrasyn_sampler_cache_syncs_total",
+      "Sampler-cache Sync calls that found the cache stale");
+  cache_full_rebuilds_metric_ = registry.GetCounter(
+      "retrasyn_sampler_cache_full_rebuilds_total",
+      "Sampler-cache full invalidations processed");
+  cache_cell_rebuilds_metric_ = registry.GetCounter(
+      "retrasyn_sampler_cache_cell_rebuilds_total",
+      "Per-cell movement tables re-derived by the sampler cache");
+  // Counters report deltas against these baselines, so attaching mid-run
+  // (or re-attaching) never double-counts work already recorded.
+  points_reported_ = total_points_;
+  cache_reported_ = cache_.stats();
+}
+
+void Synthesizer::RecordStepTelemetry(double seconds,
+                                      uint64_t finished_delta) {
+  step_hist_->Record(seconds);
+  // Finish() resets total_points_; resynchronize instead of underflowing.
+  if (total_points_ < points_reported_) points_reported_ = total_points_;
+  points_metric_->Add(total_points_ - points_reported_);
+  points_reported_ = total_points_;
+  if (finished_delta > 0) finished_metric_->Add(finished_delta);
+  live_metric_->Set(static_cast<int64_t>(live_.size()));
+  const SamplerCacheStats& stats = cache_.stats();
+  cache_syncs_metric_->Add(stats.syncs - cache_reported_.syncs);
+  cache_full_rebuilds_metric_->Add(stats.full_rebuilds -
+                                   cache_reported_.full_rebuilds);
+  cache_cell_rebuilds_metric_->Add(stats.cell_rebuilds -
+                                   cache_reported_.cell_rebuilds);
+  cache_reported_ = stats;
 }
 
 int Synthesizer::EffectiveChunks(size_t work_items) const {
@@ -181,6 +243,8 @@ void Synthesizer::QuitAndGeneratePhase(const GlobalMobilityModel& model,
 void Synthesizer::Step(const GlobalMobilityModel& model,
                        uint32_t target_active, int64_t t, Rng& rng) {
   RETRASYN_CHECK(initialized_);
+  Stopwatch step_watch;
+  const size_t finished_before = finished_.size();
   if (config_.use_sampler_cache) cache_.Sync(model);
 
   // 1. + 3a. Fused quit decision (Eq. 8) and next-cell proposal, one pass.
@@ -269,6 +333,11 @@ void Synthesizer::Step(const GlobalMobilityModel& model,
 
   // 4. Fill the deficit with fresh entering streams at timestamp t.
   if (deficit > 0) Spawn(model, deficit, t, rng);
+
+  if (step_hist_ != nullptr) {
+    RecordStepTelemetry(step_watch.ElapsedSeconds(),
+                        finished_.size() - finished_before);
+  }
 }
 
 std::vector<CellStream> Synthesizer::TakeFinished() {

@@ -55,6 +55,7 @@
 #include "core/mobility_model.h"
 #include "core/transition_sampler_cache.h"
 #include "stream/cell_stream.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -129,6 +130,14 @@ class Synthesizer {
   /// benches assert rebuilds track model changes, not sample counts).
   const SamplerCacheStats& cache_stats() const { return cache_.stats(); }
 
+  /// Registers synthesis metrics in \p telemetry (not owned; null detaches):
+  /// per-round step latency, points generated, live-stream gauge, and
+  /// sampler-cache rebuild counters (recorded as deltas of cache_stats()
+  /// after each Initialize/Step). Observation-only: attached or detached,
+  /// the generated streams are byte-identical — the hot path never touches
+  /// telemetry, only the per-round epilogue does.
+  void AttachTelemetry(Telemetry* telemetry);
+
   // --- Checkpoint / history-spill hooks ------------------------------------
 
   /// Streams that already terminated (the per-horizon history Snapshot
@@ -161,6 +170,10 @@ class Synthesizer {
   /// work size, never on the machine.
   int EffectiveChunks(size_t work_items) const;
 
+  /// Per-round telemetry epilogue: step latency, point/cache-stat deltas,
+  /// finished-stream delta, live gauge. Only called when attached.
+  void RecordStepTelemetry(double seconds, uint64_t finished_delta);
+
   double QuitProbabilityAt(const GlobalMobilityModel& model, CellId at) const;
   /// Samples the next cell out of \p from via the model's movement
   /// distribution; stays in place when the cell has no observed mass.
@@ -183,6 +196,18 @@ class Synthesizer {
   std::vector<uint8_t> quit_flags_;
   std::vector<CellId> proposed_;
   std::vector<Rng> chunk_rngs_;
+
+  // Telemetry (all null when detached). Counters are fed deltas against the
+  // last reported totals so re-attaching never double-counts.
+  LatencyHistogram* step_hist_ = nullptr;
+  Counter* points_metric_ = nullptr;
+  Counter* finished_metric_ = nullptr;
+  Gauge* live_metric_ = nullptr;
+  Counter* cache_syncs_metric_ = nullptr;
+  Counter* cache_full_rebuilds_metric_ = nullptr;
+  Counter* cache_cell_rebuilds_metric_ = nullptr;
+  uint64_t points_reported_ = 0;
+  SamplerCacheStats cache_reported_;
 };
 
 }  // namespace retrasyn

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/stopwatch.h"
+
 namespace retrasyn {
 
 const char* FsyncPolicyName(FsyncPolicy policy) {
@@ -118,6 +120,58 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::OpenLocked(
   return writer;
 }
 
+void JournalWriter::AttachTelemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    records_metric_ = nullptr;
+    rounds_metric_ = nullptr;
+    bytes_metric_ = nullptr;
+    segments_metric_ = nullptr;
+    fsyncs_metric_ = nullptr;
+    poisonings_metric_ = nullptr;
+    fsync_hist_ = nullptr;
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->registry();
+  records_metric_ = registry.GetCounter(
+      "retrasyn_journal_records_appended_total",
+      "Framed records appended across all shard journals");
+  rounds_metric_ = registry.GetCounter(
+      "retrasyn_journal_rounds_appended_total",
+      "Durable round-boundary records appended");
+  bytes_metric_ = registry.GetCounter(
+      "retrasyn_journal_bytes_appended_total",
+      "Framed bytes appended (segment headers excluded)");
+  segments_metric_ = registry.GetCounter(
+      "retrasyn_journal_segments_created_total",
+      "Segment files opened (rotations + initial segments)");
+  fsyncs_metric_ = registry.GetCounter(
+      "retrasyn_journal_fsyncs_total",
+      "fdatasync/fsync calls issued (foreground + presync worker)");
+  poisonings_metric_ = registry.GetCounter(
+      "retrasyn_journal_poisonings_total",
+      "Writers poisoned by a first I/O failure");
+  fsync_hist_ = registry.GetHistogram(
+      "retrasyn_journal_fsync_seconds",
+      "Latency of journal fdatasync/fsync calls");
+}
+
+Status JournalWriter::SyncDataTimed() {
+  if (fsync_hist_ == nullptr) return segment_.SyncData();
+  Stopwatch watch;
+  Status st = segment_.SyncData();
+  fsync_hist_->Record(watch.ElapsedSeconds());
+  fsyncs_metric_->Increment();
+  return st;
+}
+
+void JournalWriter::NotePoison(const Status& st) {
+  if (telemetry_ == nullptr || st.ok()) return;
+  poisonings_metric_->Increment();
+  telemetry_->RecordFailure("journal", st,
+                            base_round_ + static_cast<int64_t>(rounds_appended_));
+}
+
 JournalWriter::~JournalWriter() {
   Close();
   if (presync_thread_.joinable()) {
@@ -137,8 +191,13 @@ void JournalWriter::PresyncLoop() {
     if (presync_stop_) return;
     const int fd = presync_fd_;
     l.unlock();
+    Stopwatch watch;
     const int rc = ::fdatasync(fd);
     const int err = errno;
+    if (fsync_hist_ != nullptr) {
+      fsync_hist_->Record(watch.ElapsedSeconds());
+      fsyncs_metric_->Increment();
+    }
     l.lock();
     if (rc != 0 && presync_error_.ok()) {
       presync_error_ =
@@ -160,6 +219,7 @@ void JournalWriter::BeginRoundSync() {
   Status flushed = segment_.Flush();
   if (!flushed.ok()) {
     error_ = flushed;
+    NotePoison(flushed);
     return;
   }
   std::lock_guard<std::mutex> l(presync_mu_);
@@ -176,7 +236,10 @@ Status JournalWriter::WaitForPresync() {
   if (!presync_thread_.joinable()) return Status::OK();
   std::unique_lock<std::mutex> l(presync_mu_);
   presync_cv_.wait(l, [this] { return !presync_requested_; });
-  if (!presync_error_.ok() && error_.ok()) error_ = presync_error_;
+  if (!presync_error_.ok() && error_.ok()) {
+    error_ = presync_error_;
+    NotePoison(error_);
+  }
   return error_;
 }
 
@@ -188,7 +251,7 @@ Status JournalWriter::RotateSegment() {
     // which recovery rightly treats as unrecoverable corruption rather than
     // the graceful suffix loss kNever promises. One fdatasync per
     // segment_bytes is noise.
-    RETRASYN_RETURN_NOT_OK(segment_.SyncData());
+    RETRASYN_RETURN_NOT_OK(SyncDataTimed());
     RETRASYN_RETURN_NOT_OK(segment_.Close());
   }
   const std::string path = dir_ + "/" + SegmentFileName(next_segment_index_);
@@ -197,6 +260,7 @@ Status JournalWriter::RotateSegment() {
   segment_ = std::move(file).value();
   ++next_segment_index_;
   ++segments_created_;
+  if (segments_metric_ != nullptr) segments_metric_->Increment();
   segment_size_ = 0;
   scratch_.clear();
   AppendSegmentHeader(options_.fingerprint, &scratch_);
@@ -207,7 +271,7 @@ Status JournalWriter::RotateSegment() {
   // file fsync alone cannot keep a crash from forgetting the segment ever
   // existed). kNever explicitly leaves all durability to the OS.
   if (options_.fsync != FsyncPolicy::kNever) {
-    RETRASYN_RETURN_NOT_OK(segment_.SyncData());
+    RETRASYN_RETURN_NOT_OK(SyncDataTimed());
     RETRASYN_RETURN_NOT_OK(SyncDir(dir_));
   }
   return Status::OK();
@@ -228,12 +292,13 @@ Status JournalWriter::Append(const JournalEvent& event) {
   // fdatasync, not fsync: an append's data plus the size metadata needed to
   // read it back is exactly what fdatasync covers; mtime can lag.
   if (st.ok() && options_.fsync == FsyncPolicy::kEveryRecord) {
-    st = segment_.SyncData();
+    st = SyncDataTimed();
   }
   if (st.ok() && event.is_round_boundary()) {
-    if (options_.fsync == FsyncPolicy::kEveryRound) st = segment_.SyncData();
+    if (options_.fsync == FsyncPolicy::kEveryRound) st = SyncDataTimed();
     if (st.ok()) {
       ++rounds_appended_;
+      if (rounds_metric_ != nullptr) rounds_metric_->Increment();
       // Rotate only at a durable round boundary: every finished segment ends
       // on a closed round, so a torn tail can only live in the last one.
       if (segment_size_ >= options_.segment_bytes) {
@@ -249,10 +314,15 @@ Status JournalWriter::Append(const JournalEvent& event) {
   }
   if (!st.ok()) {
     error_ = st;
+    NotePoison(st);
     return st;
   }
   ++records_appended_;
   bytes_appended_ += record_bytes;
+  if (records_metric_ != nullptr) {
+    records_metric_->Increment();
+    bytes_metric_->Add(record_bytes);
+  }
   return Status::OK();
 }
 
@@ -269,8 +339,16 @@ Status JournalWriter::Sync() {
     return Status::FailedPrecondition("sync of a closed journal writer");
   }
   RETRASYN_RETURN_NOT_OK(WaitForPresync());
+  Stopwatch watch;
   Status st = segment_.Sync();
-  if (!st.ok()) error_ = st;
+  if (fsync_hist_ != nullptr) {
+    fsync_hist_->Record(watch.ElapsedSeconds());
+    fsyncs_metric_->Increment();
+  }
+  if (!st.ok()) {
+    error_ = st;
+    NotePoison(st);
+  }
   return st;
 }
 
@@ -279,7 +357,10 @@ Status JournalWriter::Close() {
   WaitForPresync();
   closed_ = true;
   Status st = segment_.is_open() ? segment_.Close() : Status::OK();
-  if (!st.ok() && error_.ok()) error_ = st;
+  if (!st.ok() && error_.ok()) {
+    error_ = st;
+    NotePoison(st);
+  }
   lock_.Release();
   return error_;
 }

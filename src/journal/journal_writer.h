@@ -42,6 +42,7 @@
 #include "common/status.h"
 #include "journal/event_codec.h"
 #include "journal/journal_options.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -98,6 +99,13 @@ class JournalWriter {
   /// before doing work the failure would strand.
   Status status() const { return error_; }
 
+  /// Registers this writer's metrics in \p telemetry (not owned; null
+  /// detaches). Sharded sessions attach every shard's writer to the same
+  /// bundle: the counters are shared by (name, labels) identity, so journal
+  /// metrics aggregate across shards. Call right after Open/OpenLocked,
+  /// before the first Append. Observation-only — no effect on bytes.
+  void AttachTelemetry(Telemetry* telemetry);
+
   /// Seeds the absolute closed-round count this writer's rounds continue
   /// from: recovery passes the number of rounds already in the journal, a
   /// fresh deployment passes 0 (the default). Call right after
@@ -132,6 +140,12 @@ class JournalWriter {
   /// Closes the current segment (if any) and starts the next one.
   Status RotateSegment();
 
+  /// segment_.SyncData() with fsync count + latency recording attached.
+  Status SyncDataTimed();
+  /// Marks the sticky-error transition in telemetry (poisoning counter +
+  /// first-failure record). Call where error_ flips from OK to non-OK.
+  void NotePoison(const Status& st);
+
   /// Blocks until the presync worker is idle, folding its error (if any)
   /// into the sticky writer error. Every file-touching entry point calls
   /// this first, so the worker only ever runs while the writer is quiescent.
@@ -154,6 +168,17 @@ class JournalWriter {
   int64_t base_round_ = 0;  ///< absolute rounds preceding this writer's first
   Status error_;  ///< first I/O failure; sticky
   bool closed_ = false;
+
+  // Telemetry (null when detached). The metric objects live in the service's
+  // registry and are shared across shard writers.
+  Telemetry* telemetry_ = nullptr;
+  Counter* records_metric_ = nullptr;
+  Counter* rounds_metric_ = nullptr;
+  Counter* bytes_metric_ = nullptr;
+  Counter* segments_metric_ = nullptr;
+  Counter* fsyncs_metric_ = nullptr;
+  Counter* poisonings_metric_ = nullptr;
+  LatencyHistogram* fsync_hist_ = nullptr;
 
   /// Segments rotated away and not yet drained by TakeSealedSegments().
   std::mutex sealed_mu_;

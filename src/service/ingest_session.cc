@@ -1,6 +1,7 @@
 #include "service/ingest_session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <string>
@@ -28,6 +29,12 @@ Status ValidateLocation(const Point& p) {
 /// Observation buffers kept for reuse; beyond this, RecycleBatch frees.
 constexpr size_t kMaxPooledObservationBuffers = 8;
 
+int64_t NowSteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 IngestSession::IngestSession(const StateSpace& states, RoundHandler handler,
@@ -52,6 +59,61 @@ IngestSession::IngestSession(const StateSpace& states, RoundHandler handler,
     seal_pool_ = std::make_unique<ThreadPool>(
         std::min(options_.num_shards, ThreadPool::DefaultConcurrency()));
   }
+  if (options_.telemetry != nullptr) {
+    telemetry_ = options_.telemetry;
+    registry_ = &telemetry_->registry();
+    trace_ = &telemetry_->trace();
+  } else {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  RegisterMetrics();
+}
+
+void IngestSession::RegisterMetrics() {
+  rounds_sealed_metric_ = registry_->GetCounter(
+      "retrasyn_ingest_rounds_sealed_total", "Successful Tick() round closes");
+  entries_merged_metric_ = registry_->GetCounter(
+      "retrasyn_ingest_entries_merged_total",
+      "Observations across all sealed rounds");
+  obs_buffers_reused_metric_ = registry_->GetCounter(
+      "retrasyn_ingest_obs_buffers_reused_total",
+      "Rounds sealed into a recycled observation buffer");
+  seal_hist_ = registry_->GetHistogram(
+      "retrasyn_ingest_seal_seconds",
+      "Parallel per-shard seal phase of Tick() (wall)");
+  merge_hist_ = registry_->GetHistogram(
+      "retrasyn_ingest_merge_seconds",
+      "K-way merge + stream-index assignment phase of Tick() (wall)");
+  commit_hist_ = registry_->GetHistogram(
+      "retrasyn_ingest_commit_seconds",
+      "Post-handler state-commit phase of Tick() (wall)");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const MetricsRegistry::Labels labels = {{"shard", std::to_string(i)}};
+    Shard& shard = *shards_[i];
+    shard.accepted_metric = registry_->GetCounter(
+        "retrasyn_ingest_events_accepted_total",
+        "Events admitted into this shard", labels);
+    shard.rejected_metric = registry_->GetCounter(
+        "retrasyn_ingest_events_rejected_total",
+        "Events failing validation in this shard", labels);
+    shard.pending_metric = registry_->GetGauge(
+        "retrasyn_ingest_pending_events",
+        "Events buffered for the open round in this shard", labels);
+    shard.peak_pending_metric = registry_->GetGauge(
+        "retrasyn_ingest_pending_events_peak",
+        "High-water mark of pending events in this shard", labels);
+    shard.active_metric = registry_->GetGauge(
+        "retrasyn_ingest_active_streams",
+        "Live streams owned by this shard", labels);
+  }
+}
+
+void IngestSession::NoteAdmission() {
+  if (round_admit_start_ns_.load(std::memory_order_relaxed) != 0) return;
+  int64_t expected = 0;
+  round_admit_start_ns_.compare_exchange_strong(expected, NowSteadyNanos(),
+                                                std::memory_order_relaxed);
 }
 
 uint32_t IngestSession::ShardOf(uint64_t user, int num_shards) {
@@ -99,10 +161,11 @@ Status IngestSession::Enter(uint64_t user, const Point& location) {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());
   Status st = EnterLocked(shard, user, location);
   if (st.ok()) {
-    ++shard.events_accepted;
+    shard.accepted_metric->Increment();
+    if (trace_ != nullptr) NoteAdmission();
   } else if (st.code() == StatusCode::kFailedPrecondition ||
              st.code() == StatusCode::kInvalidArgument) {
-    ++shard.events_rejected;
+    shard.rejected_metric->Increment();
   }
   return st;
 }
@@ -133,8 +196,9 @@ Status IngestSession::EnterLocked(Shard& shard, uint64_t user,
   round.cell = grid_->Locate(location);
   ++shard.num_pending_enters;
   ++shard.num_pending_events;
-  shard.peak_pending_events =
-      std::max<uint64_t>(shard.peak_pending_events, shard.num_pending_events);
+  shard.pending_metric->Set(static_cast<int64_t>(shard.num_pending_events));
+  shard.peak_pending_metric->SetMax(
+      static_cast<int64_t>(shard.num_pending_events));
   return Status::OK();
 }
 
@@ -145,10 +209,11 @@ Status IngestSession::Move(uint64_t user, const Point& location) {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());  // see Enter
   Status st = MoveLocked(shard, user, location);
   if (st.ok()) {
-    ++shard.events_accepted;
+    shard.accepted_metric->Increment();
+    if (trace_ != nullptr) NoteAdmission();
   } else if (st.code() == StatusCode::kFailedPrecondition ||
              st.code() == StatusCode::kInvalidArgument) {
-    ++shard.events_rejected;
+    shard.rejected_metric->Increment();
   }
   return st;
 }
@@ -184,8 +249,9 @@ Status IngestSession::MoveLocked(Shard& shard, uint64_t user,
   round.cell = grid_->ClampToReachable(active->second.last_cell,
                                        grid_->Locate(location));
   ++shard.num_pending_events;
-  shard.peak_pending_events =
-      std::max<uint64_t>(shard.peak_pending_events, shard.num_pending_events);
+  shard.pending_metric->Set(static_cast<int64_t>(shard.num_pending_events));
+  shard.peak_pending_metric->SetMax(
+      static_cast<int64_t>(shard.num_pending_events));
   return Status::OK();
 }
 
@@ -196,10 +262,11 @@ Status IngestSession::Quit(uint64_t user) {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());  // see Enter
   Status st = QuitLocked(shard, user);
   if (st.ok()) {
-    ++shard.events_accepted;
+    shard.accepted_metric->Increment();
+    if (trace_ != nullptr) NoteAdmission();
   } else if (st.code() == StatusCode::kFailedPrecondition ||
              st.code() == StatusCode::kInvalidArgument) {
-    ++shard.events_rejected;
+    shard.rejected_metric->Increment();
   }
   return st;
 }
@@ -223,6 +290,8 @@ Status IngestSession::QuitLocked(Shard& shard, uint64_t user) {
       }
       --shard.num_pending_enters;
       --shard.num_pending_events;
+      shard.pending_metric->Set(
+          static_cast<int64_t>(shard.num_pending_events));
       if (pending->second.quit) {
         pending->second.has_location = false;
         pending->second.is_enter = false;
@@ -247,8 +316,9 @@ Status IngestSession::QuitLocked(Shard& shard, uint64_t user) {
   shard.pending[user].quit = true;
   ++shard.num_pending_quits;
   ++shard.num_pending_events;
-  shard.peak_pending_events =
-      std::max<uint64_t>(shard.peak_pending_events, shard.num_pending_events);
+  shard.pending_metric->Set(static_cast<int64_t>(shard.num_pending_events));
+  shard.peak_pending_metric->SetMax(
+      static_cast<int64_t>(shard.num_pending_events));
   return Status::OK();
 }
 
@@ -272,25 +342,28 @@ size_t IngestSession::num_pending_events() const {
 }
 
 IngestStats IngestSession::stats() const {
+  // Pure registry view: every value reads back from the metrics the session
+  // registered at construction (no parallel counter system). The shard lock
+  // only pins pending/accepted to a consistent cut per shard.
   IngestStats stats;
   stats.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> l(shard->mu);
     IngestShardStats s;
-    s.events_accepted = shard->events_accepted;
-    s.events_rejected = shard->events_rejected;
-    s.pending_events = shard->num_pending_events;
-    s.peak_pending_events = shard->peak_pending_events;
-    s.active_streams = shard->active.size();
+    s.events_accepted = shard->accepted_metric->Value();
+    s.events_rejected = shard->rejected_metric->Value();
+    s.pending_events = static_cast<uint64_t>(shard->pending_metric->Value());
+    s.peak_pending_events =
+        static_cast<uint64_t>(shard->peak_pending_metric->Value());
+    s.active_streams = static_cast<uint64_t>(shard->active_metric->Value());
     stats.shards.push_back(s);
   }
-  std::lock_guard<std::mutex> l(stats_mu_);
-  stats.rounds_sealed = rounds_sealed_;
-  stats.entries_merged = entries_merged_;
-  stats.seal_seconds = seal_seconds_;
-  stats.merge_seconds = merge_seconds_;
-  stats.commit_seconds = commit_seconds_;
-  stats.obs_buffers_reused = obs_buffers_reused_;
+  stats.rounds_sealed = rounds_sealed_metric_->Value();
+  stats.entries_merged = entries_merged_metric_->Value();
+  stats.seal_seconds = seal_hist_->SumSeconds();
+  stats.merge_seconds = merge_hist_->SumSeconds();
+  stats.commit_seconds = commit_hist_->SumSeconds();
+  stats.obs_buffers_reused = obs_buffers_reused_metric_->Value();
   return stats;
 }
 
@@ -417,6 +490,9 @@ Status IngestSession::RestoreCheckpointState(SessionCheckpointState state) {
     shard_of(e.user).active.emplace(e.user,
                                     ActiveStream{e.stream_index, e.last_cell});
   }
+  for (const auto& shard : shards_) {
+    shard->active_metric->Set(static_cast<int64_t>(shard->active.size()));
+  }
   quitted_at_ = std::move(state.quitted_at);
   free_indices_ = std::move(state.free_indices);
   return Status::OK();
@@ -482,6 +558,8 @@ void IngestSession::CommitShard(Shard& shard) {
   shard.num_pending_enters = 0;
   shard.num_pending_events = 0;
   shard.num_pending_quits = 0;
+  shard.pending_metric->Set(0);
+  shard.active_metric->Set(static_cast<int64_t>(shard.active.size()));
 }
 
 Status IngestSession::Tick() {
@@ -492,6 +570,15 @@ Status IngestSession::Tick() {
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  // Admit dwell: first admitted event -> this round boundary. Read, not
+  // cleared — a failed Tick leaves the round (and its dwell clock) open.
+  double admit_s = 0.0;
+  if (trace_ != nullptr) {
+    const int64_t first_ns =
+        round_admit_start_ns_.load(std::memory_order_relaxed);
+    if (first_ns > 0) admit_s = (NowSteadyNanos() - first_ns) * 1e-9;
+  }
 
   size_t total_entries = 0;
   for (auto& shard : shards_) {
@@ -651,14 +738,19 @@ Status IngestSession::Tick() {
   // record (best effort), keeping the streams as aligned as the failure
   // allows.
   Status journaled;
+  Stopwatch journal_watch;
   for (auto& shard : shards_) {
     if (shard->journal == nullptr) continue;
     Status st = shard->journal->Append(JournalEvent::Tick());
     if (!st.ok() && journaled.ok()) journaled = st;
   }
+  const double journal_s = journal_watch.ElapsedSeconds();
   if (!journaled.ok()) {
     poison_status_ = journaled;
     boundary_poisoned_.store(true, std::memory_order_release);
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordFailure("ingest_boundary", journaled, open_round_);
+    }
   }
   Stopwatch commit_watch;
   next_stream_index_ = next_index;
@@ -696,17 +788,22 @@ Status IngestSession::Tick() {
     for (auto& shard : shards_) CommitShard(*shard);
   }
   const double commit_s = commit_watch.ElapsedSeconds();
-  {
-    std::lock_guard<std::mutex> l(stats_mu_);
-    ++rounds_sealed_;
-    entries_merged_ += merged;
-    seal_seconds_ += seal_s;
-    merge_seconds_ += merge_s;
-    commit_seconds_ += commit_s;
-    if (reused_buffer) ++obs_buffers_reused_;
-  }
+  rounds_sealed_metric_->Increment();
+  entries_merged_metric_->Add(merged);
+  seal_hist_->Record(seal_s);
+  merge_hist_->Record(merge_s);
+  commit_hist_->Record(commit_s);
+  if (reused_buffer) obs_buffers_reused_metric_->Increment();
   const int64_t sealed_round = open_round_;
   ++open_round_;
+  if (trace_ != nullptr) {
+    round_admit_start_ns_.store(0, std::memory_order_relaxed);
+    trace_->RecordPhase(sealed_round, RoundPhase::kAdmit, admit_s);
+    trace_->RecordPhase(sealed_round, RoundPhase::kSeal, seal_s);
+    trace_->RecordPhase(sealed_round, RoundPhase::kMerge, merge_s);
+    trace_->RecordPhase(sealed_round, RoundPhase::kJournal, journal_s);
+    trace_->RecordPhase(sealed_round, RoundPhase::kCommit, commit_s);
+  }
   // Fire the commit hook only when the boundary record reached every shard's
   // journal: a checkpoint captured here must never describe a round the
   // journal does not hold, or recovery could not bridge from checkpoint to

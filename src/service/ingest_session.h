@@ -72,6 +72,7 @@
 #include "geo/state_space.h"
 #include "journal/journal_writer.h"
 #include "stream/feeder.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -93,6 +94,12 @@ struct IngestSessionOptions {
   /// Reuse per-shard seal scratch and recycle observation buffers across
   /// rounds (see RecycleBatch); false allocates fresh each round (A/B).
   bool reuse_seal_buffers = true;
+  /// Service-owned telemetry bundle (not owned; may be null). When attached,
+  /// ingest counters register in its registry, Tick() phases land in its
+  /// RoundTrace, and boundary poisonings record a first-failure. When null
+  /// the session registers its counters in a private registry so stats()
+  /// stays a registry view either way — one source of truth.
+  Telemetry* telemetry = nullptr;
 };
 
 /// \brief Per-shard ingest counters (IngestStats::shards[i]).
@@ -108,7 +115,10 @@ struct IngestShardStats {
 /// cumulative seal/merge/commit timings of Tick(), so scaling regressions
 /// are diagnosable without a profiler. Snapshot via IngestSession::stats()
 /// (or TrajectoryService::ingest_stats()); consistent when no producer is
-/// concurrently feeding — e.g. after Drain().
+/// concurrently feeding — e.g. after Drain(). Since the telemetry subsystem
+/// landed this struct is a *view over the metrics registry* (the session's
+/// counters live in MetricsRegistry whether or not a service Telemetry is
+/// attached); there is no parallel counter system.
 struct IngestStats {
   std::vector<IngestShardStats> shards;
   uint64_t rounds_sealed = 0;      ///< successful Tick() count
@@ -314,9 +324,13 @@ class IngestSession {
     /// Seal scratch, sorted by (user, phase) each round; reused across
     /// rounds under reuse_seal_buffers.
     std::vector<SealedEntry> entries;
-    uint64_t events_accepted = 0;
-    uint64_t events_rejected = 0;
-    uint64_t peak_pending_events = 0;
+    /// Registry-backed counters (stable pointers into registry_; set once in
+    /// the constructor). IngestStats reads these — one source of truth.
+    Counter* accepted_metric = nullptr;
+    Counter* rejected_metric = nullptr;
+    Gauge* pending_metric = nullptr;
+    Gauge* peak_pending_metric = nullptr;
+    Gauge* active_metric = nullptr;
   };
 
   Shard& shard_of(uint64_t user) {
@@ -344,6 +358,12 @@ class IngestSession {
   /// fresh one. \p reused reports which.
   std::vector<UserObservation> AcquireObservationBuffer(bool* reused);
 
+  /// Registers the session's metrics (called once from the constructor).
+  void RegisterMetrics();
+  /// Stamps the wall of the first event admitted into the open round, for
+  /// the RoundTrace admit phase. Only called when a trace is attached.
+  void NoteAdmission();
+
   const StateSpace* states_;
   const SpatialGrid* grid_;
   RoundHandler handler_;
@@ -369,15 +389,24 @@ class IngestSession {
   mutable std::mutex obs_pool_mu_;
   std::vector<std::vector<UserObservation>> obs_pool_;
 
-  // Cumulative Tick-phase aggregates (guarded by stats_mu_; written only by
-  // the Tick caller, read by stats()).
-  mutable std::mutex stats_mu_;
-  uint64_t rounds_sealed_ = 0;
-  uint64_t entries_merged_ = 0;
-  double seal_seconds_ = 0.0;
-  double merge_seconds_ = 0.0;
-  double commit_seconds_ = 0.0;
-  uint64_t obs_buffers_reused_ = 0;
+  // Telemetry plumbing. registry_ always points at a live registry — the
+  // service's (options_.telemetry) or the session-private owned_registry_ —
+  // so the Tick-phase aggregates and shard counters have exactly one home.
+  // trace_/telemetry_ stay null when detached; those paths are skipped.
+  Telemetry* telemetry_ = nullptr;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_ = nullptr;
+  RoundTrace* trace_ = nullptr;
+  Counter* rounds_sealed_metric_ = nullptr;
+  Counter* entries_merged_metric_ = nullptr;
+  Counter* obs_buffers_reused_metric_ = nullptr;
+  LatencyHistogram* seal_hist_ = nullptr;
+  LatencyHistogram* merge_hist_ = nullptr;
+  LatencyHistogram* commit_hist_ = nullptr;
+  /// Steady-clock stamp of the first event admitted into the open round
+  /// (0 = none yet); CAS-set by producers, consumed by Tick for the admit
+  /// phase. Only touched when trace_ is attached.
+  std::atomic<int64_t> round_admit_start_ns_{0};
 
   // Index lifecycle (recycle_stream_indices only; both containers stay empty
   // otherwise). Global across shards — indices are assigned on the merged

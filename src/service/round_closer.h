@@ -34,6 +34,7 @@
 #ifndef RETRASYN_SERVICE_ROUND_CLOSER_H_
 #define RETRASYN_SERVICE_ROUND_CLOSER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -45,6 +46,7 @@
 #include "core/engine.h"
 #include "core/release_sink.h"
 #include "stream/feeder.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -65,6 +67,10 @@ class RoundCloser {
     /// observation vector can return to the session's reuse pool instead of
     /// being freed. Optional.
     std::function<void(TimestampBatch&&)> recycle;
+    /// Service-owned telemetry (not owned; may be null): queue depth gauge,
+    /// queue-wait + close latency histograms, backpressure blocks, and the
+    /// sticky-error poisoning counter + first-failure record.
+    Telemetry* telemetry = nullptr;
   };
 
   RoundCloser(Options options, CloseFn close, DeliverFn deliver);
@@ -103,9 +109,24 @@ class RoundCloser {
   const CloseFn close_;
   const DeliverFn deliver_;
 
+  /// One queued round: the sealed batch plus its enqueue time, so the
+  /// closer can record how long the round waited behind its predecessors.
+  struct QueuedRound {
+    TimestampBatch batch;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // Telemetry (all null when detached; hot path is a null check).
+  Telemetry* telemetry_ = nullptr;
+  Gauge* queue_depth_metric_ = nullptr;
+  LatencyHistogram* queue_wait_hist_ = nullptr;
+  LatencyHistogram* close_hist_ = nullptr;
+  Counter* backpressure_blocks_metric_ = nullptr;
+  Counter* poisonings_metric_ = nullptr;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< any state change; waiters re-check
-  std::deque<TimestampBatch> rounds_;    ///< sealed, waiting for the closer
+  std::deque<QueuedRound> rounds_;       ///< sealed, waiting for the closer
   std::deque<RoundRelease> releases_;    ///< closed, waiting for delivery
   size_t submitted_ = 0;
   size_t finished_ = 0;  ///< delivered, failed, or dropped

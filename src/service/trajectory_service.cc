@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/file_io.h"
+#include "common/stopwatch.h"
 
 namespace retrasyn {
 
@@ -264,11 +265,27 @@ TrajectoryService::TrajectoryService(
       journals_(std::move(journals)) {
   retrasyn_ = dynamic_cast<const RetraSynEngine*>(engine_);
   retrasyn_mutable_ = dynamic_cast<RetraSynEngine*>(engine_);
+  if (options.enable_telemetry) {
+    telemetry_ = std::make_unique<Telemetry>();
+    MetricsRegistry& registry = telemetry_->registry();
+    close_hist_ = registry.GetHistogram(
+        "retrasyn_service_close_seconds",
+        "Round close step (engine Observe + release construction)");
+    deliver_hist_ = registry.GetHistogram(
+        "retrasyn_service_delivery_seconds",
+        "Sink fan-out for one round's release");
+    trace_ = &telemetry_->trace();
+    engine_->AttachTelemetry(telemetry_.get());
+    for (std::unique_ptr<JournalWriter>& journal : journals_) {
+      journal->AttachTelemetry(telemetry_.get());
+    }
+  }
   IngestSessionOptions session_options;
   session_options.recycle_stream_indices = options.recycle_stream_indices;
   session_options.window = options.recycle_window;
   session_options.num_shards = options.ingest_shards;
   session_options.reuse_seal_buffers = options.reuse_seal_buffers;
+  session_options.telemetry = telemetry_.get();
   session_ = std::make_unique<IngestSession>(
       states, [this](TimestampBatch batch) { return OnRound(std::move(batch)); },
       session_options);
@@ -299,6 +316,7 @@ void TrajectoryService::ArmCloser(const ServiceOptions& options) {
   closer_options.recycle = [this](TimestampBatch&& batch) {
     session_->RecycleBatch(std::move(batch));
   };
+  closer_options.telemetry = telemetry_.get();
   closer_ = std::make_unique<RoundCloser>(
       closer_options,
       [this](const TimestampBatch& batch) { return CloseRound(batch); },
@@ -329,6 +347,7 @@ ServiceOptions ServiceOptions::FromConfig(const RetraSynConfig& config) {
   options.checkpoint_dir = config.checkpoint_dir;
   options.checkpoint_retain = config.checkpoint_retain;
   options.checkpoint_spill_history = config.checkpoint_spill_history;
+  options.enable_telemetry = config.enable_telemetry;
   return options;
 }
 
@@ -390,6 +409,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Create(
   if (checkpoint.value() != nullptr) {
     service->checkpoint_ = std::move(checkpoint).value();
     service->checkpoint_->AttachJournals(RawJournals(service->journals_));
+    service->checkpoint_->AttachTelemetry(service->telemetry_.get());
   }
   return service;
 }
@@ -417,6 +437,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::CreateWithEngine(
   if (checkpoint.value() != nullptr) {
     service->checkpoint_ = std::move(checkpoint).value();
     service->checkpoint_->AttachJournals(RawJournals(service->journals_));
+    service->checkpoint_->AttachTelemetry(service->telemetry_.get());
   }
   return service;
 }
@@ -443,6 +464,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::Attach(
   if (checkpoint.value() != nullptr) {
     service->checkpoint_ = std::move(checkpoint).value();
     service->checkpoint_->AttachJournals(RawJournals(service->journals_));
+    service->checkpoint_->AttachTelemetry(service->telemetry_.get());
   }
   return service;
 }
@@ -608,9 +630,11 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
   CheckpointState ckpt;
   bool have_checkpoint = false;
   std::vector<int64_t> surviving;
+  int corrupt_skipped = 0;
   if (options.checkpoint_every_rounds > 0) {
     auto loaded = CheckpointManager::LoadForRecovery(options.checkpoint_dir,
-                                                     fingerprint, &surviving);
+                                                     fingerprint, &surviving,
+                                                     &corrupt_skipped);
     if (loaded.ok()) {
       ckpt = std::move(loaded).value();
       // The fingerprint gate above already hashes the grid description;
@@ -687,9 +711,20 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
                                             std::move(locks[s]));
     if (!writer.ok()) return writer.status();
     writer.value()->set_base_round(service->rounds_closed());
+    writer.value()->AttachTelemetry(service->telemetry_.get());
     service->journals_.push_back(std::move(writer).value());
   }
   service->session_->AttachJournals(RawJournals(service->journals_));
+  if (service->telemetry_ != nullptr) {
+    // The recovery fallback-ladder depth: how many corrupt checkpoints
+    // LoadForRecovery deleted before finding a usable one (0 on a clean
+    // recovery or when checkpointing is off).
+    service->telemetry_->registry()
+        .GetGauge("retrasyn_recovery_corrupt_checkpoints_skipped",
+                  "Corrupt checkpoints deleted by the last recovery's "
+                  "newest-first fallback ladder")
+        ->Set(corrupt_skipped);
+  }
 
   // Finally the checkpoint subsystem, seeded with the recovered manifest,
   // the surviving checkpoints, and the scanned segments (its future
@@ -700,6 +735,7 @@ Result<std::unique_ptr<TrajectoryService>> TrajectoryService::RecoverImpl(
     if (!manager.ok()) return manager.status();
     service->checkpoint_ = std::move(manager).value();
     service->checkpoint_->AttachJournals(RawJournals(service->journals_));
+    service->checkpoint_->AttachTelemetry(service->telemetry_.get());
     std::vector<std::vector<ScannedSegment>> segments_per_journal;
     segments_per_journal.reserve(scans.size());
     for (const JournalScan& scan : scans) {
@@ -831,11 +867,18 @@ Status TrajectoryService::OnRound(TimestampBatch batch) {
   // double-observe the batch). Record it sticky instead: it surfaces on the
   // next Tick()/Drain()/SnapshotRelease, exactly like an async failure.
   Status delivered = Deliver(release.value());
-  if (!delivered.ok()) inline_error_ = delivered;
+  if (!delivered.ok()) {
+    inline_error_ = delivered;
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordFailure("inline_delivery", delivered,
+                                release.value().t);
+    }
+  }
   return Status::OK();
 }
 
 Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) {
+  Stopwatch close_watch;
   engine_->Observe(batch);
   RoundRelease round;
   round.t = batch.t;
@@ -870,6 +913,11 @@ Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) 
     round.density = engine_->LiveDensity();
     for (uint32_t c : round.density) round.active += c;
   }
+  if (close_hist_ != nullptr) {
+    const double close_seconds = close_watch.ElapsedSeconds();
+    close_hist_->Record(close_seconds);
+    trace_->RecordPhase(batch.t, RoundPhase::kClose, close_seconds);
+  }
   return round;
 }
 
@@ -879,10 +927,21 @@ Status TrajectoryService::Deliver(const RoundRelease& round) {
     std::lock_guard<std::mutex> l(sinks_mu_);
     sinks = sinks_;
   }
+  Stopwatch deliver_watch;
   for (ReleaseSink* sink : sinks) {
     RETRASYN_RETURN_NOT_OK(sink->OnRound(round));
   }
+  if (deliver_hist_ != nullptr) {
+    const double deliver_seconds = deliver_watch.ElapsedSeconds();
+    deliver_hist_->Record(deliver_seconds);
+    trace_->RecordPhase(round.t, RoundPhase::kDeliver, deliver_seconds);
+  }
   return Status::OK();
+}
+
+TelemetrySnapshot TrajectoryService::telemetry() const {
+  if (telemetry_ == nullptr) return TelemetrySnapshot();
+  return telemetry_->Snapshot();
 }
 
 Status TrajectoryService::Drain() {

@@ -50,6 +50,7 @@
 #include "journal/journal_writer.h"
 #include "service/ingest_session.h"
 #include "service/round_closer.h"
+#include "telemetry/telemetry.h"
 
 namespace retrasyn {
 
@@ -95,6 +96,12 @@ struct ServiceOptions {
   /// Spill closed synthetic streams to history files at every checkpoint,
   /// keeping steady-state memory flat over unbounded horizons.
   bool checkpoint_spill_history = true;
+  /// Unified telemetry (RetraSynConfig::enable_telemetry): one metrics
+  /// registry + round-lifecycle trace threaded through the session, closer,
+  /// engine, journal, and checkpoint subsystems, snapshot via
+  /// TrajectoryService::telemetry(). Observation-only — released bytes are
+  /// byte-identical on or off — and NOT part of the deployment fingerprint.
+  bool enable_telemetry = true;
 
   /// The service-layer fields of \p config, verbatim.
   static ServiceOptions FromConfig(const RetraSynConfig& config);
@@ -202,6 +209,14 @@ class TrajectoryService {
   /// see IngestStats. Snapshot-consistent only after Drain().
   IngestStats ingest_stats() const { return session_->stats(); }
 
+  /// Snapshot of the unified telemetry subsystem: every registered metric
+  /// (counters, gauges, latency histograms across ingest, closing,
+  /// synthesis, journal, and checkpoint), the recent per-round phase traces,
+  /// and the first sticky failure. `enabled` is false — and everything else
+  /// empty — when ServiceOptions::enable_telemetry is off. Render with
+  /// PrometheusText() (telemetry/prometheus_writer.h) for scraping.
+  TelemetrySnapshot telemetry() const;
+
   /// The attached event journal — shard 0's under sharded ingestion;
   /// nullptr when journaling is disabled.
   const JournalWriter* journal() const {
@@ -257,6 +272,11 @@ class TrajectoryService {
   /// Fans \p round out to the subscribed sinks, stopping at the first error.
   Status Deliver(const RoundRelease& round);
 
+  /// Declared first so it is destroyed LAST: every component below holds raw
+  /// pointers into its registry/trace until its own destructor runs. Null
+  /// when telemetry is disabled.
+  std::unique_ptr<Telemetry> telemetry_;
+
   const StateSpace* states_;
   std::unique_ptr<StreamReleaseEngine> owned_engine_;
   StreamReleaseEngine* engine_;      ///< owned_engine_.get() or caller-owned
@@ -278,6 +298,13 @@ class TrajectoryService {
   /// after the engine consumed the round (failing that Tick would make a
   /// retry double-observe the batch). Surfaces on the next Tick()/Drain().
   Status inline_error_;
+
+  // Service-level round timing (null when telemetry is off): the close and
+  // delivery phases as the service sees them, on whichever thread runs them
+  // (ingest under kInline, the closer/delivery workers under kAsync).
+  LatencyHistogram* close_hist_ = nullptr;
+  LatencyHistogram* deliver_hist_ = nullptr;
+  RoundTrace* trace_ = nullptr;
 };
 
 }  // namespace retrasyn

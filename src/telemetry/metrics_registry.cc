@@ -1,0 +1,183 @@
+#include "telemetry/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retrasyn {
+namespace {
+
+/// Stable per-thread stripe index: threads round-robin onto stripes in the
+/// order they first touch a counter, so up to kStripes writers never share a
+/// cache line.
+size_t ThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+/// Bucket for a duration of `nanos`: 0 for zero, else floor(log2(nanos))+1
+/// clamped to the last bucket, i.e. bucket b>=1 covers [2^(b-1), 2^b) ns.
+size_t BucketFor(uint64_t nanos) {
+  if (nanos == 0) return 0;
+  const size_t bit_width = 64 - static_cast<size_t>(__builtin_clzll(nanos));
+  return std::min(bit_width, HistogramSnapshot::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t delta) {
+  cells_[ThreadStripe() % kStripes].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::SetMax(int64_t value) {
+  int64_t current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramSnapshot::BucketUpperSeconds(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  // Upper bound of [2^(b-1), 2^b) ns expressed as 2^b ns.
+  return std::ldexp(1.0, static_cast<int>(bucket)) * 1e-9;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t prev = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= rank) {
+      if (b == 0) return 0.0;
+      const double lower = std::ldexp(1.0, static_cast<int>(b) - 1) * 1e-9;
+      const double upper = BucketUpperSeconds(b);
+      const double within =
+          (rank - static_cast<double>(prev)) / static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+    }
+  }
+  return BucketUpperSeconds(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds > 0.0)) {  // negatives and NaN count as zero-duration
+    RecordNanos(0);
+    return;
+  }
+  RecordNanos(static_cast<uint64_t>(seconds * 1e9));
+}
+
+void LatencyHistogram::RecordNanos(uint64_t nanos) {
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_seconds = SumSeconds();
+  return snap;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreateLocked(
+    const std::string& name, const std::string& help, MetricKind kind,
+    Labels&& labels) {
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) {
+      // Same identity must mean same kind; mixing kinds under one name is a
+      // programming error and would corrupt exposition output.
+      if (entry->kind != kind) return nullptr;
+      return entry.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  entry->labels = std::move(labels);
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry =
+      FindOrCreateLocked(name, help, MetricKind::kCounter, std::move(labels));
+  return entry != nullptr ? entry->counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry =
+      FindOrCreateLocked(name, help, MetricKind::kGauge, std::move(labels));
+  return entry != nullptr ? entry->gauge.get() : nullptr;
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help,
+                                                Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry =
+      FindOrCreateLocked(name, help, MetricKind::kHistogram, std::move(labels));
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.help = entry->help;
+    sample.kind = entry->kind;
+    sample.labels = entry->labels;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(entry->counter->Value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = static_cast<double>(entry->gauge->Value());
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram = entry->histogram->Snapshot();
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace retrasyn

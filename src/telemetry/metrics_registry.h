@@ -1,0 +1,171 @@
+// Low-overhead, thread-safe metrics primitives and the registry that owns
+// them.
+//
+// Design constraints (ISSUE 9):
+//  - Hot-path cost is ~one uncontended relaxed atomic add. Counters stripe
+//    across cache-line-sized cells indexed by a thread-local stripe id so
+//    concurrent writers do not bounce a shared line; histograms use a fixed
+//    log2-nanosecond bucket array.
+//  - Metric objects have stable addresses for the registry's lifetime:
+//    components fetch raw pointers once at attach time and never touch the
+//    registry lock again.
+//  - Reads (Collect / Snapshot) are approximate under concurrent writes --
+//    each cell is read atomically but the sum is not a linearizable cut.
+//    That is the standard contract for monitoring counters.
+//
+// Telemetry is observation-only by construction: nothing in this file feeds
+// back into synthesis, privacy accounting, or the deployment fingerprint.
+
+#ifndef RETRASYN_TELEMETRY_METRICS_REGISTRY_H_
+#define RETRASYN_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace retrasyn {
+
+/// Monotonic counter. Add() is a single relaxed fetch_add on one of a few
+/// cache-line-aligned stripe cells; Value() sums the stripes.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(uint64_t delta);
+  uint64_t Value() const;
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// Last-value gauge (queue depths, live-stream counts, high-water marks).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Monotonic high-water update (CAS loop; contention-free in practice).
+  void SetMax(int64_t value);
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram's buckets; percentiles are derived here
+/// so the live histogram never needs a lock.
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = 64;
+
+  std::array<uint64_t, kNumBuckets> buckets{};  // raw (non-cumulative) counts
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+
+  /// Inclusive upper bound of bucket b, in seconds. Bucket 0 holds zero
+  /// durations; bucket b>=1 holds durations in [2^(b-1), 2^b) nanoseconds.
+  static double BucketUpperSeconds(size_t bucket);
+
+  /// Quantile estimate (q in [0,1]) by cumulative bucket walk with linear
+  /// interpolation inside the landing bucket. Returns 0 when empty.
+  double Percentile(double q) const;
+  double MeanSeconds() const {
+    return count > 0 ? sum_seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket log-scale latency histogram. Record() is three relaxed
+/// atomic adds (bucket, count, sum) -- no locks, no allocation.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(double seconds);
+  void RecordNanos(uint64_t nanos);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double SumSeconds() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[HistogramSnapshot::kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One collected metric: identity plus a point-in-time value.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;            // counter / gauge
+  HistogramSnapshot histogram;   // kHistogram only
+};
+
+/// Owns all metrics. Registration (GetCounter/GetGauge/GetHistogram) takes a
+/// mutex and dedupes on (name, labels); repeated calls return the same
+/// stable pointer. Components register once at attach time and keep the raw
+/// pointer -- the hot path never sees this lock.
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help, Labels labels = {});
+
+  /// Snapshot of every registered metric, in registration order (stable, so
+  /// exposition output is deterministic for a fixed registration sequence).
+  std::vector<MetricSample> Collect() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry* FindOrCreateLocked(const std::string& name, const std::string& help,
+                            MetricKind kind, Labels&& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_TELEMETRY_METRICS_REGISTRY_H_

@@ -1,0 +1,179 @@
+#include "telemetry/prometheus_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+namespace retrasyn {
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:   return "counter";
+    case MetricKind::kGauge:     return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:                 return "Ok";
+    case StatusCode::kInvalidArgument:    return "InvalidArgument";
+    case StatusCode::kOutOfRange:         return "OutOfRange";
+    case StatusCode::kNotFound:           return "NotFound";
+    case StatusCode::kIOError:            return "IOError";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal:           return "Internal";
+    case StatusCode::kResourceExhausted:  return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+void AppendNumber(std::string& out, double value) {
+  // Integral values (counters, gauges, bucket counts) render without an
+  // exponent or trailing zeros; everything else gets shortest-ish %g.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out += buf;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out += buf;
+  }
+}
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders `{k="v",...}` (empty string when no labels). `extra` is appended
+/// after the metric's own labels (used for histogram `le`).
+std::string RenderLabels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += kv.first;
+    out += "=\"";
+    out += EscapeLabelValue(kv.second);
+    out += "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+void AppendHeader(std::string& out, const MetricSample& sample,
+                  std::unordered_set<std::string>& seen) {
+  if (!seen.insert(sample.name).second) return;
+  out += "# HELP " + sample.name + " " + sample.help + "\n";
+  out += "# TYPE " + sample.name + " " + std::string(KindName(sample.kind)) +
+         "\n";
+}
+
+void AppendHistogram(std::string& out, const MetricSample& sample) {
+  const HistogramSnapshot& h = sample.histogram;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    cumulative += h.buckets[b];
+    char le[64];
+    std::snprintf(le, sizeof(le), "le=\"%.9g\"",
+                  HistogramSnapshot::BucketUpperSeconds(b));
+    out += sample.name + "_bucket" + RenderLabels(sample.labels, le) + " ";
+    AppendNumber(out, static_cast<double>(cumulative));
+    out += "\n";
+  }
+  out += sample.name + "_bucket" + RenderLabels(sample.labels, "le=\"+Inf\"") +
+         " ";
+  AppendNumber(out, static_cast<double>(h.count));
+  out += "\n";
+  out += sample.name + "_sum" + RenderLabels(sample.labels) + " ";
+  AppendNumber(out, h.sum_seconds);
+  out += "\n";
+  out += sample.name + "_count" + RenderLabels(sample.labels) + " ";
+  AppendNumber(out, static_cast<double>(h.count));
+  out += "\n";
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"':  out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:   out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const TelemetrySnapshot& snapshot) {
+  std::string out;
+  std::unordered_set<std::string> seen;
+  for (const MetricSample& sample : snapshot.metrics) {
+    AppendHeader(out, sample, seen);
+    if (sample.kind == MetricKind::kHistogram) {
+      AppendHistogram(out, sample);
+    } else {
+      out += sample.name + RenderLabels(sample.labels) + " ";
+      AppendNumber(out, sample.value);
+      out += "\n";
+    }
+  }
+
+  if (!snapshot.recent_rounds.empty()) {
+    const RoundSpanSnapshot& last = snapshot.recent_rounds.back();
+    out +=
+        "# HELP retrasyn_round_trace_last_round Most recent round with a "
+        "recorded lifecycle trace\n"
+        "# TYPE retrasyn_round_trace_last_round gauge\n"
+        "retrasyn_round_trace_last_round ";
+    AppendNumber(out, static_cast<double>(last.round));
+    out += "\n";
+    out +=
+        "# HELP retrasyn_round_phase_seconds Per-phase duration of the most "
+        "recent traced round\n"
+        "# TYPE retrasyn_round_phase_seconds gauge\n";
+    for (int p = 0; p < kNumRoundPhases; ++p) {
+      out += "retrasyn_round_phase_seconds{phase=\"";
+      out += RoundPhaseName(static_cast<RoundPhase>(p));
+      out += "\"} ";
+      AppendNumber(out, last.phase_seconds[static_cast<size_t>(p)]);
+      out += "\n";
+    }
+  }
+
+  if (snapshot.first_failure.failed) {
+    const FirstFailure& f = snapshot.first_failure;
+    out +=
+        "# HELP retrasyn_first_failure_timestamp_seconds Wall-clock time of "
+        "the first recorded background failure\n"
+        "# TYPE retrasyn_first_failure_timestamp_seconds gauge\n";
+    Labels labels = {{"component", f.component},
+                     {"code", CodeName(f.code)}};
+    if (f.round >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, f.round);
+      labels.emplace_back("round", buf);
+    }
+    out += "retrasyn_first_failure_timestamp_seconds" + RenderLabels(labels) +
+           " ";
+    AppendNumber(out, f.unix_seconds);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace retrasyn

@@ -1,0 +1,30 @@
+// Prometheus text-format (version 0.0.4) exposition of a TelemetrySnapshot,
+// suitable for serving verbatim from a future /metrics endpoint (ROADMAP
+// item 2) or dumping from benches/examples (--dump_telemetry).
+//
+// Output is deterministic for a fixed registration sequence: metrics render
+// in registry registration order, histogram buckets in ascending le order
+// (only non-empty buckets plus +Inf), labels in registration order.
+
+#ifndef RETRASYN_TELEMETRY_PROMETHEUS_WRITER_H_
+#define RETRASYN_TELEMETRY_PROMETHEUS_WRITER_H_
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace retrasyn {
+
+/// Renders the snapshot as Prometheus text exposition. Includes a synthetic
+/// `retrasyn_first_failure_timestamp_seconds` gauge (labels: component,
+/// code) when a sticky failure has been recorded, and per-phase
+/// `retrasyn_round_phase_seconds` gauges for the most recent traced round.
+std::string PrometheusText(const TelemetrySnapshot& snapshot);
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline). Exposed for tests.
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_TELEMETRY_PROMETHEUS_WRITER_H_

@@ -1,0 +1,56 @@
+#include "telemetry/round_trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace retrasyn {
+
+const char* RoundPhaseName(RoundPhase phase) {
+  switch (phase) {
+    case RoundPhase::kAdmit:      return "admit";
+    case RoundPhase::kSeal:       return "seal";
+    case RoundPhase::kMerge:      return "merge";
+    case RoundPhase::kClose:      return "close";
+    case RoundPhase::kDeliver:    return "deliver";
+    case RoundPhase::kJournal:    return "journal";
+    case RoundPhase::kCommit:     return "commit";
+    case RoundPhase::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+RoundTrace::RoundTrace(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)), ring_(capacity_) {}
+
+void RoundTrace::RecordPhase(int64_t round, RoundPhase phase, double seconds) {
+  if (round < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  RoundSpanSnapshot& slot = ring_[static_cast<size_t>(round) % capacity_];
+  if (slot.round > round) return;  // slot already recycled for a newer round
+  if (slot.round != round) {
+    slot = RoundSpanSnapshot{};
+    slot.round = round;
+    slot.start_unix_seconds =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+  }
+  slot.phase_seconds[static_cast<size_t>(phase)] += seconds;
+}
+
+std::vector<RoundSpanSnapshot> RoundTrace::Snapshot() const {
+  std::vector<RoundSpanSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RoundSpanSnapshot& slot : ring_) {
+      if (slot.round >= 0) out.push_back(slot);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RoundSpanSnapshot& a, const RoundSpanSnapshot& b) {
+              return a.round < b.round;
+            });
+  return out;
+}
+
+}  // namespace retrasyn

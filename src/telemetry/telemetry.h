@@ -1,0 +1,75 @@
+// The per-service telemetry bundle: one MetricsRegistry + one RoundTrace +
+// the sticky first-failure record. A TrajectoryService owns exactly one
+// Telemetry (when enabled) and hands raw pointers to every layer at attach
+// time; components treat a null Telemetry* as "detached" and skip all
+// recording, which is how the telemetry-off configuration stays zero-cost.
+//
+// Everything here is observation-only. Attaching or detaching telemetry
+// never changes released bytes -- the same invariant class as
+// Inline-vs-Async (tested in tests/service/telemetry_test.cc).
+
+#ifndef RETRASYN_TELEMETRY_TELEMETRY_H_
+#define RETRASYN_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/round_trace.h"
+
+namespace retrasyn {
+
+/// Sticky record of the first background poisoning: which component failed
+/// first, when, and with what status. Background errors (journal fsync,
+/// checkpoint worker, async closer) otherwise surface only as a failed
+/// *later* Tick(), long after the root cause.
+struct FirstFailure {
+  bool failed = false;
+  std::string component;       // "journal", "checkpoint", "closer", ...
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  double unix_seconds = 0.0;   // wall clock when the failure was recorded
+  int64_t round = -1;          // round being processed, -1 if unknown
+};
+
+/// Consistent point-in-time view of the whole subsystem, returned by
+/// TrajectoryService::telemetry() and consumed by the Prometheus writer.
+struct TelemetrySnapshot {
+  bool enabled = false;
+  std::vector<MetricSample> metrics;
+  std::vector<RoundSpanSnapshot> recent_rounds;
+  FirstFailure first_failure;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(size_t trace_capacity = 128);
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  RoundTrace& trace() { return trace_; }
+
+  /// Records the first failure only (later calls still bump the component's
+  /// poisoning counters at the call site; the sticky record keeps the root
+  /// cause). OK statuses are ignored. Thread-safe, callable under component
+  /// locks (the internal mutex is a leaf).
+  void RecordFailure(const std::string& component, const Status& status,
+                     int64_t round = -1);
+
+  FirstFailure first_failure() const;
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  MetricsRegistry registry_;
+  RoundTrace trace_;
+  mutable std::mutex failure_mu_;
+  FirstFailure first_failure_;
+};
+
+}  // namespace retrasyn
+
+#endif  // RETRASYN_TELEMETRY_TELEMETRY_H_

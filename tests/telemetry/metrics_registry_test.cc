@@ -1,0 +1,279 @@
+// MetricsRegistry: identity/dedupe semantics, histogram bucket boundaries
+// and percentile pinning, round-trace ring behavior, and — under TSan — the
+// N-writers-plus-concurrent-snapshot-reader stress the registry's lock-free
+// hot path must survive.
+
+#include "telemetry/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "telemetry/round_trace.h"
+#include "telemetry/telemetry.h"
+
+namespace retrasyn {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAddAndValue) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests_total", "help");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(MetricsRegistryTest, RegistrationDedupesOnNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("events_total", "help");
+  Counter* b = registry.GetCounter("events_total", "help");
+  EXPECT_EQ(a, b);  // same (name, labels) -> same object
+
+  Counter* shard0 =
+      registry.GetCounter("events_total", "help", {{"shard", "0"}});
+  Counter* shard1 =
+      registry.GetCounter("events_total", "help", {{"shard", "1"}});
+  EXPECT_NE(shard0, shard1);
+  EXPECT_NE(shard0, a);
+  EXPECT_EQ(shard0,
+            registry.GetCounter("events_total", "help", {{"shard", "0"}}));
+
+  // Shared identity is what aggregates shard journals: both writers Add into
+  // the same counter.
+  shard0->Add(3);
+  registry.GetCounter("events_total", "help", {{"shard", "0"}})->Add(4);
+  EXPECT_EQ(shard0->Value(), 7u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("x", "help"), nullptr);
+  EXPECT_EQ(registry.GetGauge("x", "help"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("x", "help"), nullptr);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddAndSetMax) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth", "help");
+  g->Set(5);
+  EXPECT_EQ(g->Value(), 5);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 3);
+  g->SetMax(10);
+  EXPECT_EQ(g->Value(), 10);
+  g->SetMax(7);  // never regresses
+  EXPECT_EQ(g->Value(), 10);
+}
+
+TEST(MetricsRegistryTest, CollectPreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total", "second-registered-first");
+  registry.GetGauge("a_gauge", "registered second");
+  registry.GetHistogram("c_seconds", "registered third");
+  std::vector<MetricSample> samples = registry.Collect();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "b_total");
+  EXPECT_EQ(samples[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(samples[1].name, "a_gauge");
+  EXPECT_EQ(samples[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(samples[2].name, "c_seconds");
+  EXPECT_EQ(samples[2].kind, MetricKind::kHistogram);
+}
+
+// --- Histogram bucket boundaries -----------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundariesArePinned) {
+  // Bucket 0 holds exactly zero; bucket b >= 1 holds [2^(b-1), 2^b) ns.
+  LatencyHistogram h;
+  h.RecordNanos(0);
+  h.RecordNanos(1);     // bucket 1: [1, 2)
+  h.RecordNanos(2);     // bucket 2: [2, 4)
+  h.RecordNanos(3);     // bucket 2
+  h.RecordNanos(4);     // bucket 3: [4, 8)
+  h.RecordNanos(1023);  // bucket 10: [512, 1024)
+  h.RecordNanos(1024);  // bucket 11: [1024, 2048)
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.buckets[10], 1u);
+  EXPECT_EQ(s.buckets[11], 1u);
+  EXPECT_EQ(s.count, 7u);
+
+  EXPECT_DOUBLE_EQ(HistogramSnapshot::BucketUpperSeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot::BucketUpperSeconds(1), 2e-9);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot::BucketUpperSeconds(11), 2048e-9);
+}
+
+TEST(LatencyHistogramTest, NegativeAndNaNClampToZeroBucket) {
+  LatencyHistogram h;
+  h.Record(-1.0);
+  h.Record(std::nan(""));
+  h.Record(0.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.buckets[0], 3u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum_seconds, 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesLandInTheRightBucket) {
+  LatencyHistogram h;
+  // 90 samples at ~1us (bucket [512, 1024) ns) and 10 at ~1ms.
+  for (int i = 0; i < 90; ++i) h.Record(600e-9);
+  for (int i = 0; i < 10; ++i) h.Record(1e-3);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+
+  const double p50 = s.Percentile(0.50);
+  EXPECT_GE(p50, 512e-9);
+  EXPECT_LE(p50, 1024e-9);
+
+  const double p95 = s.Percentile(0.95);
+  // 1e-3 s = 1,000,000 ns lands in [2^19, 2^20) ns.
+  EXPECT_GE(p95, 524288e-9);
+  EXPECT_LE(p95, 1048576e-9);
+
+  EXPECT_NEAR(s.MeanSeconds(), (90 * 600e-9 + 10 * 1e-3) / 100.0, 2e-6);
+  // q=0 pins to the lower edge of the first non-empty bucket.
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 512e-9);
+  EXPECT_LE(s.Percentile(1.0), 1048576e-9);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentileIsZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().MeanSeconds(), 0.0);
+}
+
+// --- Round trace ----------------------------------------------------------
+
+TEST(RoundTraceTest, PhasesAccumulateByRoundAndEvictOldSlots) {
+  RoundTrace trace(4);
+  trace.RecordPhase(0, RoundPhase::kSeal, 0.5);
+  trace.RecordPhase(0, RoundPhase::kSeal, 0.25);  // same phase accumulates
+  trace.RecordPhase(0, RoundPhase::kClose, 1.0);
+  for (int64_t r = 1; r <= 5; ++r) {
+    trace.RecordPhase(r, RoundPhase::kClose, static_cast<double>(r));
+  }
+  // Capacity 4: rounds 2..5 survive; a late phase for evicted round 0 drops.
+  trace.RecordPhase(0, RoundPhase::kCheckpoint, 9.0);
+  std::vector<RoundSpanSnapshot> rounds = trace.Snapshot();
+  ASSERT_EQ(rounds.size(), 4u);
+  EXPECT_EQ(rounds.front().round, 2);
+  EXPECT_EQ(rounds.back().round, 5);
+  EXPECT_DOUBLE_EQ(
+      rounds.back().phase_seconds[static_cast<size_t>(RoundPhase::kClose)],
+      5.0);
+}
+
+TEST(TelemetryTest, RecordFailureIsFirstOnly) {
+  Telemetry telemetry;
+  telemetry.RecordFailure("journal", Status::OK());  // ignored
+  EXPECT_FALSE(telemetry.first_failure().failed);
+  telemetry.RecordFailure("journal", Status::IOError("disk gone"), 7);
+  telemetry.RecordFailure("checkpoint", Status::Internal("later"), 9);
+  FirstFailure f = telemetry.first_failure();
+  EXPECT_TRUE(f.failed);
+  EXPECT_EQ(f.component, "journal");
+  EXPECT_EQ(f.code, StatusCode::kIOError);
+  EXPECT_EQ(f.round, 7);
+  EXPECT_NE(f.message.find("disk gone"), std::string::npos);
+}
+
+// --- Concurrency (exercised 3x under TSan via the CI stress regex) --------
+
+TEST(MetricsRegistryTest, ConcurrentWritersAndSnapshotReader) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress_total", "help");
+  Gauge* gauge = registry.GetGauge("stress_gauge", "help");
+  LatencyHistogram* hist = registry.GetHistogram("stress_seconds", "help");
+
+  constexpr int kWriters = 4;
+  constexpr int kIters = 20000;
+  std::atomic<bool> stop{false};
+
+  // A reader snapshotting concurrently with the writers: values must be
+  // torn-free (each cell read atomically) and Collect must never crash or
+  // deadlock against registration of new labeled series.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<MetricSample> samples = registry.Collect();
+      for (const MetricSample& s : samples) {
+        if (s.kind == MetricKind::kHistogram) {
+          uint64_t from_buckets = 0;
+          for (uint64_t b : s.histogram.buckets) from_buckets += b;
+          EXPECT_LE(from_buckets, static_cast<uint64_t>(kWriters) * kIters);
+        }
+      }
+      (void)hist->Snapshot().Percentile(0.99);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Each writer also registers its own labeled series mid-flight,
+      // racing the reader's Collect against FindOrCreate.
+      Counter* own = registry.GetCounter("stress_total", "help",
+                                         {{"writer", std::to_string(w)}});
+      for (int i = 0; i < kIters; ++i) {
+        counter->Increment();
+        own->Increment();
+        gauge->Set(i);
+        gauge->SetMax(i);
+        hist->RecordNanos(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kWriters) * kIters);
+  EXPECT_EQ(hist->Count(), static_cast<uint64_t>(kWriters) * kIters);
+  EXPECT_EQ(gauge->Value(), kIters - 1);
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(registry
+                  .GetCounter("stress_total", "help",
+                              {{"writer", std::to_string(w)}})
+                  ->Value(),
+              static_cast<uint64_t>(kIters));
+  }
+}
+
+TEST(RoundTraceTest, ConcurrentPhaseRecording) {
+  Telemetry telemetry;
+  RoundTrace& trace = telemetry.trace();
+  constexpr int kThreads = 4;
+  constexpr int64_t kRounds = 2000;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&trace, p] {
+      for (int64_t r = 0; r < kRounds; ++r) {
+        trace.RecordPhase(r, static_cast<RoundPhase>(p % kNumRoundPhases),
+                          1e-6);
+      }
+    });
+  }
+  std::thread failures([&telemetry] {
+    for (int i = 0; i < 100; ++i) {
+      telemetry.RecordFailure("closer", Status::Internal("x"), i);
+      (void)telemetry.Snapshot();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  failures.join();
+  std::vector<RoundSpanSnapshot> rounds = trace.Snapshot();
+  ASSERT_FALSE(rounds.empty());
+  EXPECT_EQ(rounds.back().round, kRounds - 1);
+  EXPECT_EQ(telemetry.first_failure().round, 0);
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,114 @@
+// Prometheus text-format (0.0.4) exposition: exact golden-text pinning of
+// header dedup, label rendering/escaping, cumulative histogram buckets, the
+// synthetic round-trace gauges, and the sticky first-failure gauge.
+
+#include "telemetry/prometheus_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/telemetry.h"
+
+namespace retrasyn {
+namespace {
+
+TEST(PrometheusWriterTest, EscapeLabelValue) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(PrometheusWriterTest, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(PrometheusText(TelemetrySnapshot()), "");
+}
+
+TEST(PrometheusWriterTest, GoldenText) {
+  Telemetry telemetry;
+  MetricsRegistry& registry = telemetry.registry();
+
+  // Two series of one counter family: the # HELP/# TYPE header must appear
+  // exactly once.
+  registry.GetCounter("retrasyn_test_events_total", "Events admitted",
+                      {{"shard", "0"}})->Add(3);
+  registry.GetCounter("retrasyn_test_events_total", "Events admitted",
+                      {{"shard", "1"}})->Add(4);
+  registry.GetGauge("retrasyn_test_depth", "Queue depth")->Set(-2);
+
+  // Known bucket landings: 0 ns -> bucket 0 (le="0"), 1 ns -> bucket 1
+  // (le = 2 ns), 3 ns -> bucket 2 (le = 4 ns), 1 ms -> bucket 20
+  // (le = 2^20 ns = 0.001048576 s). Empty buckets are skipped; the emitted
+  // ones are cumulative.
+  LatencyHistogram* hist =
+      registry.GetHistogram("retrasyn_test_latency_seconds", "Step latency");
+  hist->RecordNanos(0);
+  hist->RecordNanos(1);
+  hist->RecordNanos(3);
+  hist->RecordNanos(1000000);
+
+  registry.GetCounter("retrasyn_test_escape", "Label escaping",
+                      {{"path", "a\\b\"c\nd"}})->Increment();
+
+  telemetry.trace().RecordPhase(7, RoundPhase::kClose, 0.5);
+  telemetry.trace().RecordPhase(7, RoundPhase::kJournal, 0.25);
+  telemetry.RecordFailure("journal", Status::IOError("disk gone"), 3);
+
+  TelemetrySnapshot snap = telemetry.Snapshot();
+  // The failure timestamp is wall clock; pin it for the golden comparison.
+  snap.first_failure.unix_seconds = 12345.5;
+
+  const std::string expected =
+      R"(# HELP retrasyn_test_events_total Events admitted
+# TYPE retrasyn_test_events_total counter
+retrasyn_test_events_total{shard="0"} 3
+retrasyn_test_events_total{shard="1"} 4
+# HELP retrasyn_test_depth Queue depth
+# TYPE retrasyn_test_depth gauge
+retrasyn_test_depth -2
+# HELP retrasyn_test_latency_seconds Step latency
+# TYPE retrasyn_test_latency_seconds histogram
+retrasyn_test_latency_seconds_bucket{le="0"} 1
+retrasyn_test_latency_seconds_bucket{le="2e-09"} 2
+retrasyn_test_latency_seconds_bucket{le="4e-09"} 3
+retrasyn_test_latency_seconds_bucket{le="0.001048576"} 4
+retrasyn_test_latency_seconds_bucket{le="+Inf"} 4
+retrasyn_test_latency_seconds_sum 0.001000004
+retrasyn_test_latency_seconds_count 4
+# HELP retrasyn_test_escape Label escaping
+# TYPE retrasyn_test_escape counter
+retrasyn_test_escape{path="a\\b\"c\nd"} 1
+# HELP retrasyn_round_trace_last_round Most recent round with a recorded lifecycle trace
+# TYPE retrasyn_round_trace_last_round gauge
+retrasyn_round_trace_last_round 7
+# HELP retrasyn_round_phase_seconds Per-phase duration of the most recent traced round
+# TYPE retrasyn_round_phase_seconds gauge
+retrasyn_round_phase_seconds{phase="admit"} 0
+retrasyn_round_phase_seconds{phase="seal"} 0
+retrasyn_round_phase_seconds{phase="merge"} 0
+retrasyn_round_phase_seconds{phase="close"} 0.5
+retrasyn_round_phase_seconds{phase="deliver"} 0
+retrasyn_round_phase_seconds{phase="journal"} 0.25
+retrasyn_round_phase_seconds{phase="commit"} 0
+retrasyn_round_phase_seconds{phase="checkpoint"} 0
+# HELP retrasyn_first_failure_timestamp_seconds Wall-clock time of the first recorded background failure
+# TYPE retrasyn_first_failure_timestamp_seconds gauge
+retrasyn_first_failure_timestamp_seconds{component="journal",code="IOError",round="3"} 12345.5
+)";
+  EXPECT_EQ(PrometheusText(snap), expected);
+}
+
+TEST(PrometheusWriterTest, FailureWithoutRoundOmitsRoundLabel) {
+  TelemetrySnapshot snap;
+  snap.first_failure.failed = true;
+  snap.first_failure.component = "closer";
+  snap.first_failure.code = StatusCode::kInternal;
+  snap.first_failure.unix_seconds = 2.0;
+  const std::string text = PrometheusText(snap);
+  EXPECT_NE(text.find("retrasyn_first_failure_timestamp_seconds"
+                      "{component=\"closer\",code=\"Internal\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("round="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace retrasyn
