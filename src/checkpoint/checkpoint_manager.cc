@@ -97,6 +97,9 @@ Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
   std::unique_ptr<CheckpointManager> manager(new CheckpointManager(options));
   manager->retained_rounds_ = std::move(checkpoints);
   if (!manager->retained_rounds_.empty()) {
+    // No concurrency yet (the worker starts below), but last_checkpoint_round_
+    // is guarded state; take the lock so the seeding is analysis-clean.
+    MutexLock l(manager->mu_);
     manager->last_checkpoint_round_ = manager->retained_rounds_.back();
   }
   manager->worker_ = std::thread([m = manager.get()] { m->WorkerLoop(); });
@@ -105,10 +108,10 @@ Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
 
 CheckpointManager::~CheckpointManager() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -158,7 +161,7 @@ void CheckpointManager::AttachTelemetry(Telemetry* telemetry) {
 }
 
 void CheckpointManager::AttachJournals(std::vector<JournalWriter*> journals) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (journals.empty()) {
     for (JournalRetireState& j : journals_) j.writer = nullptr;
     return;
@@ -173,7 +176,7 @@ void CheckpointManager::AttachJournals(std::vector<JournalWriter*> journals) {
 Status CheckpointManager::SeedRecovered(
     const CheckpointState& state, std::vector<int64_t> surviving_rounds,
     const std::vector<std::vector<ScannedSegment>>& segments_per_journal) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (busy_ || !ready_.empty() || !pending_.empty()) {
     return Status::FailedPrecondition(
         "SeedRecovered must run before the first captured round");
@@ -182,7 +185,7 @@ Status CheckpointManager::SeedRecovered(
     return Status::InvalidArgument(
         "SeedRecovered needs one segment list per journal_dirs entry");
   }
-  std::lock_guard<std::mutex> sl(spill_mu_);
+  MutexLock sl(spill_mu_);  // mu_ -> spill_mu_, the documented order
   spills_.clear();
   for (int64_t round : state.spill_rounds) {
     SpillEntry entry;
@@ -217,7 +220,7 @@ void CheckpointManager::OnRoundClosed(int64_t sealed_round,
   // when a poisoned manager will never write their file (they then simply
   // stay memory-backed, and snapshots stay complete).
   if (!spilled.empty()) {
-    std::lock_guard<std::mutex> l(spill_mu_);
+    MutexLock l(spill_mu_);
     SpillEntry entry;
     entry.round = sealed_round + 1;
     entry.count = spilled.size();
@@ -226,7 +229,7 @@ void CheckpointManager::OnRoundClosed(int64_t sealed_round,
     if (spills_metric_ != nullptr) spills_metric_->Add(entry.count);
     spills_.push_back(std::move(entry));
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (stop_ || !error_.ok()) return;
   PendingCapture& capture = pending_[sealed_round];
   capture.engine = std::move(engine);
@@ -236,7 +239,7 @@ void CheckpointManager::OnRoundClosed(int64_t sealed_round,
 
 void CheckpointManager::OnRoundCommitted(int64_t sealed_round,
                                          SessionCheckpointState session) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (stop_ || !error_.ok()) return;
   PendingCapture& capture = pending_[sealed_round];
   capture.session = std::move(session);
@@ -251,14 +254,14 @@ void CheckpointManager::MaybeEnqueueLocked(int64_t round) {
     return;
   }
   ready_.push_back(round);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void CheckpointManager::WorkerLoop() {
-  std::unique_lock<std::mutex> l(mu_);
+  mu_.Lock();
   while (true) {
-    cv_.wait(l, [this] { return stop_ || (!ready_.empty() && error_.ok()); });
-    if (stop_) return;
+    while (!stop_ && (ready_.empty() || !error_.ok())) cv_.Wait(mu_);
+    if (stop_) break;
     const int64_t round = ready_.front();
     ready_.pop_front();
     auto it = pending_.find(round);
@@ -266,7 +269,7 @@ void CheckpointManager::WorkerLoop() {
     PendingCapture capture = std::move(it->second);
     pending_.erase(it);
     busy_ = true;
-    l.unlock();
+    mu_.Unlock();
     Stopwatch write_watch;
     Status st = WriteCheckpoint(round, std::move(capture.engine),
                                 std::move(capture.session));
@@ -275,7 +278,7 @@ void CheckpointManager::WorkerLoop() {
     if (trace_ != nullptr) {
       trace_->RecordPhase(round, RoundPhase::kCheckpoint, write_seconds);
     }
-    l.lock();
+    mu_.Lock();
     busy_ = false;
     if (!st.ok() && error_.ok()) {
       // Sticky poisoning, RoundCloser-style: drop everything queued — the
@@ -288,8 +291,9 @@ void CheckpointManager::WorkerLoop() {
         telemetry_->RecordFailure("checkpoint", st, round);
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
@@ -303,7 +307,7 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
   std::vector<CellStream> to_write;
   bool have_spill = false;
   {
-    std::lock_guard<std::mutex> l(spill_mu_);
+    MutexLock l(spill_mu_);
     for (const SpillEntry& entry : spills_) {
       if (entry.round == round && !entry.file_backed) {
         to_write = entry.streams;  // copy: the entry must stay servable
@@ -320,7 +324,7 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
                                            kHistoryMagic, options_.fingerprint,
                                            body));
     if (bytes_metric_ != nullptr) bytes_metric_->Add(body.size());
-    std::lock_guard<std::mutex> l(spill_mu_);
+    MutexLock l(spill_mu_);
     for (SpillEntry& entry : spills_) {
       if (entry.round == round) {
         entry.file_backed = true;
@@ -338,7 +342,7 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
   state.engine = std::move(engine);
   state.session = std::move(session);
   {
-    std::lock_guard<std::mutex> l(spill_mu_);
+    MutexLock l(spill_mu_);
     for (const SpillEntry& entry : spills_) {
       if (entry.round <= round) state.spill_rounds.push_back(entry.round);
     }
@@ -353,7 +357,7 @@ Status CheckpointManager::WriteCheckpoint(int64_t sealed_round,
   if (bytes_metric_ != nullptr) bytes_metric_->Add(body.size());
   retained_rounds_.push_back(round);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     ++checkpoints_written_;
     last_checkpoint_round_ = round;
   }
@@ -393,7 +397,7 @@ Status CheckpointManager::RetireJournalPrefix() {
   uint64_t retired_now = 0;
   for (JournalRetireState& j : journals_) {
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(mu_);
       if (j.writer != nullptr) {
         for (SealedSegment segment : j.writer->TakeSealedSegments()) {
           j.candidates.push_back(segment);
@@ -427,13 +431,13 @@ Status CheckpointManager::RetireJournalPrefix() {
   if (segments_retired_metric_ != nullptr) {
     segments_retired_metric_->Add(retired_now);
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   segments_retired_ += retired_now;
   return Status::OK();
 }
 
 Status CheckpointManager::AppendSpilledHistory(CellStreamSet* out) const {
-  std::lock_guard<std::mutex> l(spill_mu_);
+  MutexLock l(spill_mu_);
   for (const SpillEntry& entry : spills_) {
     if (entry.file_backed) {
       const std::string path =
@@ -462,40 +466,38 @@ Status CheckpointManager::AppendSpilledHistory(CellStreamSet* out) const {
 }
 
 bool CheckpointManager::has_spilled_history() const {
-  std::lock_guard<std::mutex> l(spill_mu_);
+  MutexLock l(spill_mu_);
   return !spills_.empty();
 }
 
 Status CheckpointManager::status() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return error_;
 }
 
 Status CheckpointManager::WaitIdle() {
-  std::unique_lock<std::mutex> l(mu_);
-  cv_.wait(l, [this] {
-    return stop_ || !error_.ok() || (ready_.empty() && !busy_);
-  });
+  MutexLock l(mu_);
+  while (!stop_ && error_.ok() && (!ready_.empty() || busy_)) cv_.Wait(mu_);
   return error_;
 }
 
 uint64_t CheckpointManager::checkpoints_written() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return checkpoints_written_;
 }
 
 uint64_t CheckpointManager::segments_retired() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return segments_retired_;
 }
 
 uint64_t CheckpointManager::streams_spilled() const {
-  std::lock_guard<std::mutex> l(spill_mu_);
+  MutexLock l(spill_mu_);
   return streams_spilled_;
 }
 
 int64_t CheckpointManager::last_checkpoint_round() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return last_checkpoint_round_;
 }
 

@@ -28,17 +28,16 @@
 #ifndef RETRASYN_CHECKPOINT_CHECKPOINT_MANAGER_H_
 #define RETRASYN_CHECKPOINT_CHECKPOINT_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "checkpoint/checkpoint_format.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "journal/journal_reader.h"
 #include "journal/journal_writer.h"
@@ -148,8 +147,9 @@ class CheckpointManager {
   /// checkpoint round, original order within). The caller appends the
   /// engine's in-memory snapshot after — the concatenation reproduces the
   /// no-spill snapshot byte-for-byte.
-  Status AppendSpilledHistory(CellStreamSet* out) const;
-  bool has_spilled_history() const;
+  Status AppendSpilledHistory(CellStreamSet* out) const
+      EXCLUDES(spill_mu_);
+  bool has_spilled_history() const EXCLUDES(spill_mu_);
 
   /// Registers this manager's metrics in \p telemetry (not owned; null
   /// detaches). Call before the first captured round — the worker reads the
@@ -158,17 +158,17 @@ class CheckpointManager {
   void AttachTelemetry(Telemetry* telemetry);
 
   /// Sticky first failure (OK while healthy).
-  Status status() const;
+  Status status() const EXCLUDES(mu_);
 
   /// Blocks until the worker has drained every ready checkpoint; returns
   /// status(). Used by Drain and tests for deterministic error surfacing.
-  Status WaitIdle();
+  Status WaitIdle() EXCLUDES(mu_);
 
-  uint64_t checkpoints_written() const;
-  uint64_t segments_retired() const;
-  uint64_t streams_spilled() const;
+  uint64_t checkpoints_written() const EXCLUDES(mu_);
+  uint64_t segments_retired() const EXCLUDES(mu_);
+  uint64_t streams_spilled() const EXCLUDES(spill_mu_);
   /// The newest durable checkpoint's round; -1 before the first one.
-  int64_t last_checkpoint_round() const;
+  int64_t last_checkpoint_round() const EXCLUDES(mu_);
 
   const CheckpointOptions& options() const { return options_; }
 
@@ -203,37 +203,52 @@ class CheckpointManager {
 
   explicit CheckpointManager(CheckpointOptions options);
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// One full checkpoint: spill file, checkpoint file, pruning, retirement.
+  /// Runs on the worker with mu_ released (file I/O must not block captures);
+  /// takes mu_/spill_mu_ briefly for the shared touches inside.
   Status WriteCheckpoint(int64_t round, EngineCheckpointState engine,
-                         SessionCheckpointState session);
+                         SessionCheckpointState session)
+      EXCLUDES(mu_, spill_mu_);
   Status PruneCheckpoints();
-  Status RetireJournalPrefix();
-  void MaybeEnqueueLocked(int64_t round);
+  Status RetireJournalPrefix() EXCLUDES(mu_);
+  void MaybeEnqueueLocked(int64_t round) REQUIRES(mu_);
 
   const CheckpointOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   std::thread worker_;
-  bool stop_ = false;
-  bool busy_ = false;
-  Status error_;  ///< first failure; sticky
-  std::map<int64_t, PendingCapture> pending_;  ///< halves awaiting their pair
-  std::deque<int64_t> ready_;                  ///< fully captured rounds
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool busy_ GUARDED_BY(mu_) = false;
+  Status error_ GUARDED_BY(mu_);  ///< first failure; sticky
+  /// Halves awaiting their pair.
+  std::map<int64_t, PendingCapture> pending_ GUARDED_BY(mu_);
+  /// Fully captured rounds.
+  std::deque<int64_t> ready_ GUARDED_BY(mu_);
 
-  // Worker-only state (no lock needed once the worker owns it), except the
-  // writer pointers inside (guarded by mu_ like the old journal_ field).
+  // Handoff-owned retirement state, deliberately NOT mutex-guarded: after
+  // Open (pre-worker) and SeedRecovered (which verifies the worker is idle
+  // under mu_ — no busy_, no ready_, no pending_ — before touching it),
+  // journals_' candidates/first_live/retired_base_round and retained_rounds_
+  // are owned exclusively by the worker thread, which mutates them with file
+  // I/O interleaved and must not hold mu_ across that. The one exception is
+  // each JournalRetireState::writer pointer, which AttachJournals swaps and
+  // the worker reads — both under mu_ (GUARDED_BY cannot name the outer
+  // class's mu_ from a nested struct; see docs/concurrency.md).
   std::vector<JournalRetireState> journals_;
   std::vector<int64_t> retained_rounds_;       ///< on-disk checkpoints, asc
 
-  mutable std::mutex spill_mu_;
-  std::vector<SpillEntry> spills_;  ///< ascending by round
-  uint64_t streams_spilled_ = 0;
+  /// Leaf lock, ordered after mu_ (SeedRecovered nests mu_ -> spill_mu_;
+  /// never the reverse).
+  mutable Mutex spill_mu_ ACQUIRED_AFTER(mu_);
+  /// Ascending by round.
+  std::vector<SpillEntry> spills_ GUARDED_BY(spill_mu_);
+  uint64_t streams_spilled_ GUARDED_BY(spill_mu_) = 0;
 
-  uint64_t checkpoints_written_ = 0;
-  uint64_t segments_retired_ = 0;
-  int64_t last_checkpoint_round_ = -1;
+  uint64_t checkpoints_written_ GUARDED_BY(mu_) = 0;
+  uint64_t segments_retired_ GUARDED_BY(mu_) = 0;
+  int64_t last_checkpoint_round_ GUARDED_BY(mu_) = -1;
 
   // Telemetry (all null when detached). Set once before the first capture;
   // read by the worker and capture threads without a lock.

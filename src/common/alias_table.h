@@ -46,6 +46,7 @@ class AliasTable {
   /// Requires has_mass(). Consumes exactly one RNG draw: the integer and
   /// fractional parts of one uniform double select the column and the
   /// accept/alias branch (53 mantissa bits cover both for any realistic n).
+  // HOT PATH — the per-synthetic-point draw; table lookups only.
   size_t Sample(Rng& rng) const {
     const double x = rng.UniformDouble() * static_cast<double>(prob_.size());
     size_t column = static_cast<size_t>(x);

@@ -1,0 +1,91 @@
+// Clang thread-safety analysis annotations, as portable no-op macros.
+//
+// These expand to Clang's `capability` attribute family when the compiler
+// supports it (clang with -Wthread-safety) and to nothing everywhere else, so
+// annotated code compiles unchanged under GCC/MSVC. The CI static-analysis
+// job builds the tree with clang at -Werror=thread-safety
+// -Werror=thread-safety-beta, turning every annotation into a compile-time
+// proof obligation: a read of a GUARDED_BY member without its mutex held is a
+// build error, not a TSan roll of the dice.
+//
+// Conventions (see docs/concurrency.md for the full write-up):
+//  - Every mutex-protected member is annotated GUARDED_BY(mu) (or
+//    PT_GUARDED_BY for the pointee of a guarded pointer).
+//  - Private helpers that assume a lock is already held are named *Locked and
+//    annotated REQUIRES(mu).
+//  - Lock-custody handoffs the analysis cannot see (e.g. the Tick thread
+//    holding every shard mutex while seal-pool workers touch shard state)
+//    assert the invariant with Mutex::AssertHeld() and a comment explaining
+//    the coordinator protocol.
+//  - State with a protocol other than a mutex (thread-confined, write-once
+//    publication via atomics, handoff-owned) is NOT annotated; the owning
+//    protocol is documented at the declaration instead.
+
+#ifndef RETRASYN_COMMON_THREAD_ANNOTATIONS_H_
+#define RETRASYN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RETRASYN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define RETRASYN_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+// A type that models a synchronization primitive ("mutex", "shared_mutex"...).
+#define CAPABILITY(x) RETRASYN_THREAD_ANNOTATION__(capability(x))
+
+// An RAII type whose constructor acquires a capability and whose destructor
+// releases it (MutexLock).
+#define SCOPED_CAPABILITY RETRASYN_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data members: reads/writes require the named capability to be held.
+#define GUARDED_BY(x) RETRASYN_THREAD_ANNOTATION__(guarded_by(x))
+// Pointer members: dereferences require the capability (the pointer itself
+// may be read freely).
+#define PT_GUARDED_BY(x) RETRASYN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Declaration-site lock-ordering facts, checked by -Wthread-safety-beta.
+#define ACQUIRED_BEFORE(...) \
+  RETRASYN_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  RETRASYN_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// Function contracts: the caller must hold (and not release) the capability.
+#define REQUIRES(...) \
+  RETRASYN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RETRASYN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the capability (Mutex::Lock / Mutex::Unlock and
+// functions that intentionally return with a lock held).
+#define ACQUIRE(...) \
+  RETRASYN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RETRASYN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  RETRASYN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RETRASYN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+// Function attempts the acquisition; the first argument is the return value
+// that means success.
+#define TRY_ACQUIRE(...) \
+  RETRASYN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (guards against self-deadlock on a
+// non-reentrant mutex).
+#define EXCLUDES(...) RETRASYN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; informs the analysis on
+// paths where custody was established elsewhere (see Mutex::AssertHeld).
+#define ASSERT_CAPABILITY(x) \
+  RETRASYN_THREAD_ANNOTATION__(assert_capability(x))
+
+// Returns a reference to the capability guarding the returned data.
+#define RETURN_CAPABILITY(x) RETRASYN_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// comment explaining why the protocol is sound (and ideally a TSan test).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RETRASYN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // RETRASYN_COMMON_THREAD_ANNOTATIONS_H_

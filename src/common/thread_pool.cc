@@ -19,10 +19,10 @@ int ThreadPool::DefaultConcurrency() {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -38,8 +38,8 @@ void ThreadPool::RunChunks(Job& job) {
       job.pending.fetch_sub(done, std::memory_order_acq_rel) == done) {
     // Last chunk of the job: wake the submitting thread. The lock pairs with
     // the wait in ParallelFor so the notify cannot be lost.
-    std::lock_guard<std::mutex> lock(mu_);
-    work_done_.notify_all();
+    MutexLock lock(mu_);
+    work_done_.NotifyAll();
   }
 }
 
@@ -48,10 +48,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&]() {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) work_ready_.Wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -70,22 +68,22 @@ void ThreadPool::ParallelFor(int num_chunks,
     for (int c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(submit_mu_);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->num_chunks = num_chunks;
   job->pending.store(num_chunks, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = job;
     ++generation_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   RunChunks(*job);  // the caller is an executor too
-  std::unique_lock<std::mutex> lock(mu_);
-  work_done_.wait(lock, [&]() {
-    return job->pending.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(mu_);
+  while (job->pending.load(std::memory_order_acquire) != 0) {
+    work_done_.Wait(mu_);
+  }
   // fn's lifetime ends with this call; drop the pool's reference so no worker
   // can observe a dangling fn through job_ (their own pins are ticket-empty).
   job_ = nullptr;

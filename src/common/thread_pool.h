@@ -21,13 +21,13 @@
 #define RETRASYN_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace retrasyn {
 
@@ -57,7 +57,8 @@ class ThreadPool {
   /// uneven chunks balance across workers. Safe to call from multiple threads
   /// concurrently: invocations are serialized internally, which is exactly
   /// the sharing discipline multi-tenant sessions need.
-  void ParallelFor(int num_chunks, const std::function<void(int)>& fn);
+  void ParallelFor(int num_chunks, const std::function<void(int)>& fn)
+      EXCLUDES(submit_mu_, mu_);
 
  private:
   /// One ParallelFor invocation. Heap-allocated and pinned by each
@@ -70,21 +71,24 @@ class ThreadPool {
     std::atomic<int> pending{0};     ///< chunks not yet completed
   };
 
-  void WorkerLoop();
-  /// Claims and runs chunks of \p job until none remain.
-  void RunChunks(Job& job);
+  void WorkerLoop() EXCLUDES(mu_);
+  /// Claims and runs chunks of \p job until none remain. Takes mu_ briefly
+  /// to publish the final wakeup.
+  void RunChunks(Job& job) EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex submit_mu_;  ///< serializes concurrent ParallelFor callers
+  /// Serializes concurrent ParallelFor callers; always taken before mu_.
+  Mutex submit_mu_ ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::shared_ptr<Job> job_;
-  uint64_t generation_ = 0;  ///< bumped per job so workers detect new work
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  std::shared_ptr<Job> job_ GUARDED_BY(mu_);
+  /// Bumped per job so workers detect new work.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace retrasyn

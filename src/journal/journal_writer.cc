@@ -176,21 +176,21 @@ JournalWriter::~JournalWriter() {
   Close();
   if (presync_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> l(presync_mu_);
+      MutexLock l(presync_mu_);
       presync_stop_ = true;
     }
-    presync_cv_.notify_all();
+    presync_cv_.NotifyAll();
     presync_thread_.join();
   }
 }
 
 void JournalWriter::PresyncLoop() {
-  std::unique_lock<std::mutex> l(presync_mu_);
+  presync_mu_.Lock();
   while (true) {
-    presync_cv_.wait(l, [this] { return presync_requested_ || presync_stop_; });
-    if (presync_stop_) return;
+    while (!presync_requested_ && !presync_stop_) presync_cv_.Wait(presync_mu_);
+    if (presync_stop_) break;
     const int fd = presync_fd_;
-    l.unlock();
+    presync_mu_.Unlock();
     Stopwatch watch;
     const int rc = ::fdatasync(fd);
     const int err = errno;
@@ -198,15 +198,16 @@ void JournalWriter::PresyncLoop() {
       fsync_hist_->Record(watch.ElapsedSeconds());
       fsyncs_metric_->Increment();
     }
-    l.lock();
+    presync_mu_.Lock();
     if (rc != 0 && presync_error_.ok()) {
       presync_error_ =
           Status::IOError(std::string("background fdatasync: ") +
                           std::strerror(err));
     }
     presync_requested_ = false;
-    presync_cv_.notify_all();
+    presync_cv_.NotifyAll();
   }
+  presync_mu_.Unlock();
 }
 
 void JournalWriter::BeginRoundSync() {
@@ -222,20 +223,20 @@ void JournalWriter::BeginRoundSync() {
     NotePoison(flushed);
     return;
   }
-  std::lock_guard<std::mutex> l(presync_mu_);
+  MutexLock l(presync_mu_);
   if (presync_requested_) return;  // previous round's presync still running
   presync_fd_ = segment_.fd();
   presync_requested_ = true;
   if (!presync_thread_.joinable()) {
     presync_thread_ = std::thread([this] { PresyncLoop(); });
   }
-  presync_cv_.notify_all();
+  presync_cv_.NotifyAll();
 }
 
 Status JournalWriter::WaitForPresync() {
   if (!presync_thread_.joinable()) return Status::OK();
-  std::unique_lock<std::mutex> l(presync_mu_);
-  presync_cv_.wait(l, [this] { return !presync_requested_; });
+  MutexLock l(presync_mu_);
+  while (presync_requested_) presync_cv_.Wait(presync_mu_);
   if (!presync_error_.ok() && error_.ok()) {
     error_ = presync_error_;
     NotePoison(error_);
@@ -303,7 +304,7 @@ Status JournalWriter::Append(const JournalEvent& event) {
       // on a closed round, so a torn tail can only live in the last one.
       if (segment_size_ >= options_.segment_bytes) {
         {
-          std::lock_guard<std::mutex> l(sealed_mu_);
+          MutexLock l(sealed_mu_);
           sealed_.push_back(SealedSegment{
               next_segment_index_ - 1,
               base_round_ + static_cast<int64_t>(rounds_appended_)});
@@ -327,7 +328,7 @@ Status JournalWriter::Append(const JournalEvent& event) {
 }
 
 std::vector<SealedSegment> JournalWriter::TakeSealedSegments() {
-  std::lock_guard<std::mutex> l(sealed_mu_);
+  MutexLock l(sealed_mu_);
   std::vector<SealedSegment> taken = std::move(sealed_);
   sealed_.clear();
   return taken;

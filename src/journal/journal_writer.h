@@ -30,15 +30,14 @@
 #ifndef RETRASYN_JOURNAL_JOURNAL_WRITER_H_
 #define RETRASYN_JOURNAL_JOURNAL_WRITER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/file_io.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "journal/event_codec.h"
 #include "journal/journal_options.h"
@@ -116,7 +115,7 @@ class JournalWriter {
   /// Drains the segments sealed (rotated away) since the last call, each
   /// tagged with the absolute closed-round count at its end. Thread-safe:
   /// the checkpoint manager's worker drains while the ingest thread appends.
-  std::vector<SealedSegment> TakeSealedSegments();
+  std::vector<SealedSegment> TakeSealedSegments() EXCLUDES(sealed_mu_);
 
   const std::string& dir() const { return dir_; }
   uint64_t records_appended() const { return records_appended_; }
@@ -149,9 +148,16 @@ class JournalWriter {
   /// Blocks until the presync worker is idle, folding its error (if any)
   /// into the sticky writer error. Every file-touching entry point calls
   /// this first, so the worker only ever runs while the writer is quiescent.
-  Status WaitForPresync();
-  void PresyncLoop();
+  Status WaitForPresync() EXCLUDES(presync_mu_);
+  void PresyncLoop() EXCLUDES(presync_mu_);
 
+  // Owner-thread state. The writer has exactly one driving thread (the
+  // ingest thread, or a shard producer holding that shard's lock); nothing
+  // below this comment is touched by the presync or checkpoint workers, so
+  // it is thread-confined rather than mutex-guarded. The two cross-thread
+  // surfaces are sealed_ (under sealed_mu_) and the presync_* block (under
+  // presync_mu_); WaitForPresync() quiesces the worker before any owner
+  // access to segment_/error_ it could race with.
   const std::string dir_;
   const JournalOptions options_;
   FileLock lock_;  ///< exclusive <dir>/LOCK, held for the writer's lifetime
@@ -181,19 +187,19 @@ class JournalWriter {
   LatencyHistogram* fsync_hist_ = nullptr;
 
   /// Segments rotated away and not yet drained by TakeSealedSegments().
-  std::mutex sealed_mu_;
-  std::vector<SealedSegment> sealed_;
+  Mutex sealed_mu_;
+  std::vector<SealedSegment> sealed_ GUARDED_BY(sealed_mu_);
 
   // Background data presync (kEveryRound): one worker, started lazily on
   // the first BeginRoundSync, fdatasync-ing the current segment while the
   // ingest thread runs the round-closing work.
   std::thread presync_thread_;
-  std::mutex presync_mu_;
-  std::condition_variable presync_cv_;
-  bool presync_requested_ = false;
-  bool presync_stop_ = false;
-  int presync_fd_ = -1;
-  Status presync_error_;
+  Mutex presync_mu_;
+  CondVar presync_cv_;
+  bool presync_requested_ GUARDED_BY(presync_mu_) = false;
+  bool presync_stop_ GUARDED_BY(presync_mu_) = false;
+  int presync_fd_ GUARDED_BY(presync_mu_) = -1;
+  Status presync_error_ GUARDED_BY(presync_mu_);
 };
 
 /// `shard-%03d` — the per-shard journal subdirectory under the configured

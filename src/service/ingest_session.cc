@@ -130,18 +130,26 @@ void IngestSession::AttachJournal(JournalWriter* journal) {
   RETRASYN_CHECK_MSG(shards_.size() == 1,
                      "AttachJournal is the single-shard entry point; sharded "
                      "sessions attach one journal per shard (AttachJournals)");
+  // Attach normally happens before producers start, but nothing enforced
+  // that: the naked pointer write raced any concurrent producer reading
+  // shard->journal under its lock. Take the shard lock (setup-time cost only).
+  MutexLock l(shards_[0]->mu);
   shards_[0]->journal = journal;
 }
 
 void IngestSession::AttachJournals(std::vector<JournalWriter*> journals) {
   if (journals.empty()) {
-    for (auto& shard : shards_) shard->journal = nullptr;
+    for (auto& shard : shards_) {
+      MutexLock l(shard->mu);  // see AttachJournal
+      shard->journal = nullptr;
+    }
     return;
   }
   RETRASYN_CHECK_MSG(journals.size() == shards_.size(),
                      "a sharded session needs exactly one journal per shard");
   for (size_t i = 0; i < shards_.size(); ++i) {
     RETRASYN_CHECK(journals[i] != nullptr);
+    MutexLock l(shards_[i]->mu);  // see AttachJournal
     shards_[i]->journal = journals[i];
   }
 }
@@ -154,7 +162,7 @@ Status IngestSession::BoundaryPoison() const {
 Status IngestSession::Enter(uint64_t user, const Point& location) {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());
   Shard& shard = shard_of(user);
-  std::lock_guard<std::mutex> l(shard.mu);
+  MutexLock l(shard.mu);
   // Re-check under the lock: Tick() sets the poison while holding every
   // shard mutex, so a producer that passed the fast-path check and then
   // blocked here must not journal an event after a skewed boundary.
@@ -205,7 +213,7 @@ Status IngestSession::EnterLocked(Shard& shard, uint64_t user,
 Status IngestSession::Move(uint64_t user, const Point& location) {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());
   Shard& shard = shard_of(user);
-  std::lock_guard<std::mutex> l(shard.mu);
+  MutexLock l(shard.mu);
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());  // see Enter
   Status st = MoveLocked(shard, user, location);
   if (st.ok()) {
@@ -258,7 +266,7 @@ Status IngestSession::MoveLocked(Shard& shard, uint64_t user,
 Status IngestSession::Quit(uint64_t user) {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());
   Shard& shard = shard_of(user);
-  std::lock_guard<std::mutex> l(shard.mu);
+  MutexLock l(shard.mu);
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());  // see Enter
   Status st = QuitLocked(shard, user);
   if (st.ok()) {
@@ -325,7 +333,7 @@ Status IngestSession::QuitLocked(Shard& shard, uint64_t user) {
 size_t IngestSession::num_active_users() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> l(shard->mu);
+    MutexLock l(shard->mu);
     n += shard->active.size() - shard->num_pending_quits +
          shard->num_pending_enters;
   }
@@ -335,7 +343,7 @@ size_t IngestSession::num_active_users() const {
 size_t IngestSession::num_pending_events() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> l(shard->mu);
+    MutexLock l(shard->mu);
     n += shard->num_pending_events;
   }
   return n;
@@ -348,7 +356,7 @@ IngestStats IngestSession::stats() const {
   IngestStats stats;
   stats.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> l(shard->mu);
+    MutexLock l(shard->mu);
     IngestShardStats s;
     s.events_accepted = shard->accepted_metric->Value();
     s.events_rejected = shard->rejected_metric->Value();
@@ -369,7 +377,7 @@ IngestStats IngestSession::stats() const {
 
 void IngestSession::RecycleBatch(TimestampBatch&& batch) {
   if (!options_.reuse_seal_buffers) return;
-  std::lock_guard<std::mutex> l(obs_pool_mu_);
+  MutexLock l(obs_pool_mu_);
   if (obs_pool_.size() >= kMaxPooledObservationBuffers) return;
   batch.observations.clear();
   obs_pool_.push_back(std::move(batch.observations));
@@ -379,7 +387,7 @@ std::vector<UserObservation> IngestSession::AcquireObservationBuffer(
     bool* reused) {
   *reused = false;
   if (!options_.reuse_seal_buffers) return {};
-  std::lock_guard<std::mutex> l(obs_pool_mu_);
+  MutexLock l(obs_pool_mu_);
   if (obs_pool_.empty()) return {};
   std::vector<UserObservation> buffer = std::move(obs_pool_.back());
   obs_pool_.pop_back();
@@ -394,9 +402,14 @@ size_t IngestSession::num_retiring_indices() const {
 }
 
 SessionCheckpointState IngestSession::SaveCheckpointState() const {
+  // Runs inside Tick()'s commit hook, where the Tick thread still holds every
+  // shard mutex (the all-shards protocol); single-threaded test callers hold
+  // no locks but have no concurrency to race. AssertHeld records the custody
+  // for the analysis without re-locking.
   size_t total_active = 0;
   size_t total_pending = 0;
   for (const auto& shard : shards_) {
+    shard->mu.AssertHeld();
     total_active += shard->active.size();
     total_pending += shard->num_pending_events;
   }
@@ -407,6 +420,7 @@ SessionCheckpointState IngestSession::SaveCheckpointState() const {
   state.next_stream_index = next_stream_index_;
   state.active.reserve(total_active);
   for (const auto& shard : shards_) {
+    shard->mu.AssertHeld();
     for (const auto& [user, stream] : shard->active) {
       state.active.push_back(SessionCheckpointState::ActiveEntry{
           user, stream.stream_index, stream.last_cell});
@@ -425,8 +439,14 @@ SessionCheckpointState IngestSession::SaveCheckpointState() const {
 }
 
 Status IngestSession::RestoreCheckpointState(SessionCheckpointState state) {
+  // Restore targets a fresh session, but "fresh" never implied "unobserved":
+  // a monitoring thread polling stats()/num_active_users() during recovery
+  // read shard->active while this wrote it. Hold every shard for the whole
+  // restore, same index-order protocol as Tick().
+  ShardLockSet locks(shards_);
   bool fresh = open_round_ == 0 && next_stream_index_ == 0;
   for (const auto& shard : shards_) {
+    shard->mu.AssertHeld();
     fresh = fresh && shard->active.empty() && shard->pending.empty();
   }
   if (!fresh) {
@@ -487,10 +507,12 @@ Status IngestSession::RestoreCheckpointState(SessionCheckpointState state) {
   open_round_ = state.open_round;
   next_stream_index_ = state.next_stream_index;
   for (const SessionCheckpointState::ActiveEntry& e : state.active) {
-    shard_of(e.user).active.emplace(e.user,
-                                    ActiveStream{e.stream_index, e.last_cell});
+    Shard& shard = shard_of(e.user);
+    shard.mu.AssertHeld();
+    shard.active.emplace(e.user, ActiveStream{e.stream_index, e.last_cell});
   }
   for (const auto& shard : shards_) {
+    shard->mu.AssertHeld();
     shard->active_metric->Set(static_cast<int64_t>(shard->active.size()));
   }
   quitted_at_ = std::move(state.quitted_at);
@@ -564,12 +586,14 @@ void IngestSession::CommitShard(Shard& shard) {
 
 Status IngestSession::Tick() {
   RETRASYN_RETURN_NOT_OK(BoundaryPoison());
-  // Hold every shard for the whole round close (consistent order; producers
-  // lock exactly one shard, so there is no deadlock). Producers arriving now
-  // block until the new round opens — their events land in the next round.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
-  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  // Hold every shard for the whole round close (index order; producers lock
+  // exactly one shard, so there is no deadlock). Producers arriving now block
+  // until the new round opens — their events land in the next round. Per-shard
+  // accesses below re-establish custody for the analysis with AssertHeld; the
+  // seal-pool lambdas do too, because the workers run under locks *this*
+  // thread holds (the ThreadPool job handoff provides the happens-before
+  // edges; the TSan suite exercises exactly this).
+  ShardLockSet locks(shards_);
 
   // Admit dwell: first admitted event -> this round boundary. Read, not
   // cleared — a failed Tick leaves the round (and its dwell clock) open.
@@ -582,6 +606,7 @@ Status IngestSession::Tick() {
 
   size_t total_entries = 0;
   for (auto& shard : shards_) {
+    shard->mu.AssertHeld();
     if (shard->journal != nullptr) {
       // A poisoned journal fails the Tick before the handler can consume the
       // batch: the round stays open, fully retryable once durability
@@ -592,6 +617,7 @@ Status IngestSession::Tick() {
     total_entries += shard->pending.size() + shard->active.size();
   }
   for (auto& shard : shards_) {
+    shard->mu.AssertHeld();
     if (shard->journal != nullptr) {
       // Start making this round's event data durable on the journal's
       // presync worker now, overlapped with sealing and the round handler
@@ -606,11 +632,16 @@ Status IngestSession::Tick() {
   //    of shard state alone — so the pool size never affects bytes.
   Stopwatch seal_watch;
   if (seal_pool_ != nullptr) {
-    seal_pool_->ParallelFor(
-        static_cast<int>(shards_.size()),
-        [this](int i) { SealShard(*shards_[static_cast<size_t>(i)]); });
+    seal_pool_->ParallelFor(static_cast<int>(shards_.size()), [this](int i) {
+      Shard& shard = *shards_[static_cast<size_t>(i)];
+      shard.mu.AssertHeld();  // held by the Tick thread; see ShardLockSet above
+      SealShard(shard);
+    });
   } else {
-    for (auto& shard : shards_) SealShard(*shard);
+    for (auto& shard : shards_) {
+      shard->mu.AssertHeld();
+      SealShard(*shard);
+    }
   }
   const double seal_s = seal_watch.ElapsedSeconds();
 
@@ -670,6 +701,7 @@ Status IngestSession::Tick() {
   std::vector<Cursor> cursors;
   cursors.reserve(shards_.size());
   for (auto& shard : shards_) {
+    shard->mu.AssertHeld();
     if (!shard->entries.empty()) {
       cursors.push_back(Cursor{shard->entries.data(),
                                shard->entries.data() + shard->entries.size()});
@@ -740,6 +772,7 @@ Status IngestSession::Tick() {
   Status journaled;
   Stopwatch journal_watch;
   for (auto& shard : shards_) {
+    shard->mu.AssertHeld();
     if (shard->journal == nullptr) continue;
     Status st = shard->journal->Append(JournalEvent::Tick());
     if (!st.ok() && journaled.ok()) journaled = st;
@@ -781,11 +814,16 @@ Status IngestSession::Tick() {
     }
   }
   if (seal_pool_ != nullptr) {
-    seal_pool_->ParallelFor(
-        static_cast<int>(shards_.size()),
-        [this](int i) { CommitShard(*shards_[static_cast<size_t>(i)]); });
+    seal_pool_->ParallelFor(static_cast<int>(shards_.size()), [this](int i) {
+      Shard& shard = *shards_[static_cast<size_t>(i)];
+      shard.mu.AssertHeld();  // held by the Tick thread; see ShardLockSet above
+      CommitShard(shard);
+    });
   } else {
-    for (auto& shard : shards_) CommitShard(*shard);
+    for (auto& shard : shards_) {
+      shard->mu.AssertHeld();
+      CommitShard(*shard);
+    }
   }
   const double commit_s = commit_watch.ElapsedSeconds();
   rounds_sealed_metric_->Increment();

@@ -63,10 +63,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "geo/state_space.h"
@@ -314,16 +314,19 @@ class IngestSession {
   /// stream, seal scratch, and counters. Producers lock exactly one shard
   /// per event; Tick() locks them all.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, ActiveStream> active;
-    std::unordered_map<uint64_t, PendingRound> pending;
-    size_t num_pending_enters = 0;
-    size_t num_pending_events = 0;
-    size_t num_pending_quits = 0;
-    JournalWriter* journal = nullptr;  ///< not owned; null = no journaling
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, ActiveStream> active GUARDED_BY(mu);
+    std::unordered_map<uint64_t, PendingRound> pending GUARDED_BY(mu);
+    size_t num_pending_enters GUARDED_BY(mu) = 0;
+    size_t num_pending_events GUARDED_BY(mu) = 0;
+    size_t num_pending_quits GUARDED_BY(mu) = 0;
+    /// Not owned; null = no journaling. The pointer itself is guarded (swapped
+    /// by AttachJournal(s), read by producers); the pointee synchronizes
+    /// internally where it is shared (TakeSealedSegments / presync).
+    JournalWriter* journal GUARDED_BY(mu) = nullptr;
     /// Seal scratch, sorted by (user, phase) each round; reused across
     /// rounds under reuse_seal_buffers.
-    std::vector<SealedEntry> entries;
+    std::vector<SealedEntry> entries GUARDED_BY(mu);
     /// Registry-backed counters (stable pointers into registry_; set once in
     /// the constructor). IngestStats reads these — one source of truth.
     Counter* accepted_metric = nullptr;
@@ -337,22 +340,48 @@ class IngestSession {
     return *shards_[ShardOf(user, static_cast<int>(shards_.size()))];
   }
 
+  /// RAII all-shards acquisition in ascending index order — the documented
+  /// Tick-time protocol (producers lock exactly one shard, so index order
+  /// alone rules out deadlock). A variable-count acquisition is outside the
+  /// analysis's vocabulary, so the constructor/destructor opt out and every
+  /// user re-establishes per-shard custody with shard.mu.AssertHeld().
+  class ShardLockSet {
+   public:
+    explicit ShardLockSet(const std::vector<std::unique_ptr<Shard>>& shards)
+        NO_THREAD_SAFETY_ANALYSIS : shards_(shards) {
+      for (const auto& shard : shards_) shard->mu.Lock();
+    }
+    ~ShardLockSet() NO_THREAD_SAFETY_ANALYSIS {
+      for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+        (*it)->mu.Unlock();
+      }
+    }
+    ShardLockSet(const ShardLockSet&) = delete;
+    ShardLockSet& operator=(const ShardLockSet&) = delete;
+
+   private:
+    const std::vector<std::unique_ptr<Shard>>& shards_;
+  };
+
   /// The sticky session-wide failure set when a round-boundary record missed
   /// any shard's journal (OK while healthy). Checked by every entry point.
   Status BoundaryPoison() const;
 
-  Status EnterLocked(Shard& shard, uint64_t user, const Point& location);
-  Status MoveLocked(Shard& shard, uint64_t user, const Point& location);
-  Status QuitLocked(Shard& shard, uint64_t user);
+  Status EnterLocked(Shard& shard, uint64_t user, const Point& location)
+      REQUIRES(shard.mu);
+  Status MoveLocked(Shard& shard, uint64_t user, const Point& location)
+      REQUIRES(shard.mu);
+  Status QuitLocked(Shard& shard, uint64_t user) REQUIRES(shard.mu);
 
   /// Builds \p shard's sorted entry run for the round being sealed. Pure
-  /// per-shard work (runs on the seal pool); mutates only the shard's
-  /// scratch, never its committed state.
-  void SealShard(Shard& shard);
+  /// per-shard work (runs on the seal pool while the Tick thread holds every
+  /// shard mutex); mutates only the shard's scratch, never its committed
+  /// state.
+  void SealShard(Shard& shard) REQUIRES(shard.mu);
   /// Applies the sealed round to \p shard's committed state, in place:
   /// quits erase, locations overwrite/insert. O(events), allocation-free at
   /// steady state.
-  void CommitShard(Shard& shard);
+  void CommitShard(Shard& shard) REQUIRES(shard.mu);
 
   /// Pops a recycled observation buffer (reuse_seal_buffers) or returns a
   /// fresh one. \p reused reports which.
@@ -373,6 +402,13 @@ class IngestSession {
   /// min(num_shards, hardware). Pool size never affects bytes — per-shard
   /// work is a pure function of the shard.
   std::unique_ptr<ThreadPool> seal_pool_;
+  // Tick-thread lifecycle state (commit_hook_, open_round_,
+  // next_stream_index_, and quitted_at_/free_indices_ below): written only by
+  // the single Tick/AdvanceTo caller while it holds every shard mutex.
+  // open_round_ is additionally read by producers inside the *Locked helpers
+  // (error messages) under their one shard mutex — "any shard lock to read,
+  // all shard locks to write", a protocol GUARDED_BY cannot name (see
+  // docs/concurrency.md).
   std::function<void(int64_t)> commit_hook_;
   int64_t open_round_ = 0;
   uint32_t next_stream_index_ = 0;
@@ -386,8 +422,8 @@ class IngestSession {
   // Recycled observation buffers (reuse_seal_buffers): consumed batches come
   // back through RecycleBatch — possibly from the async closer worker —
   // and the next Tick seals into one instead of allocating.
-  mutable std::mutex obs_pool_mu_;
-  std::vector<std::vector<UserObservation>> obs_pool_;
+  mutable Mutex obs_pool_mu_;
+  std::vector<std::vector<UserObservation>> obs_pool_ GUARDED_BY(obs_pool_mu_);
 
   // Telemetry plumbing. registry_ always points at a live registry — the
   // service's (options_.telemetry) or the session-private owned_registry_ —

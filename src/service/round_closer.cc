@@ -38,10 +38,10 @@ RoundCloser::RoundCloser(Options options, CloseFn close, DeliverFn deliver)
 
 RoundCloser::~RoundCloser() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   closer_.join();
   delivery_.join();
 }
@@ -57,7 +57,7 @@ void RoundCloser::PoisonLocked(const Status& error) {
 }
 
 Status RoundCloser::Submit(TimestampBatch batch) {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (!error_.ok()) return error_;
   if (rounds_.size() >= options_.queue_capacity) {
     if (options_.backpressure == BackpressurePolicy::kFailFast) {
@@ -69,10 +69,10 @@ Status RoundCloser::Submit(TimestampBatch batch) {
     if (backpressure_blocks_metric_ != nullptr) {
       backpressure_blocks_metric_->Increment();
     }
-    cv_.wait(l, [this] {
-      return stop_ || !error_.ok() ||
-             rounds_.size() < options_.queue_capacity;
-    });
+    while (!stop_ && error_.ok() &&
+           rounds_.size() >= options_.queue_capacity) {
+      cv_.Wait(mu_);
+    }
     if (!error_.ok()) return error_;
     if (stop_) return Status::Internal("round closer is shutting down");
   }
@@ -82,13 +82,13 @@ Status RoundCloser::Submit(TimestampBatch batch) {
   if (queue_depth_metric_ != nullptr) {
     queue_depth_metric_->Set(static_cast<int64_t>(rounds_.size()));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 Status RoundCloser::Drain() {
-  std::unique_lock<std::mutex> l(mu_);
-  cv_.wait(l, [this] { return stop_ || finished_ == submitted_; });
+  MutexLock l(mu_);
+  while (!stop_ && finished_ != submitted_) cv_.Wait(mu_);
   if (!error_.ok()) return error_;
   if (finished_ != submitted_) {
     return Status::Internal("round closer stopped with rounds in flight");
@@ -97,27 +97,30 @@ Status RoundCloser::Drain() {
 }
 
 size_t RoundCloser::in_flight() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return submitted_ - finished_;
 }
 
 Status RoundCloser::deferred_error() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return error_;
 }
 
 void RoundCloser::CloserLoop() {
-  std::unique_lock<std::mutex> l(mu_);
+  // Holds mu_ across iterations with an explicit release window around the
+  // close callback; the Lock/Unlock pairing is verified by the thread-safety
+  // analysis on every path.
+  mu_.Lock();
   for (;;) {
-    cv_.wait(l, [this] { return stop_ || !rounds_.empty(); });
-    if (stop_) return;
+    while (!stop_ && rounds_.empty()) cv_.Wait(mu_);
+    if (stop_) break;
     QueuedRound queued = std::move(rounds_.front());
     rounds_.pop_front();
     if (queue_depth_metric_ != nullptr) {
       queue_depth_metric_->Set(static_cast<int64_t>(rounds_.size()));
     }
-    cv_.notify_all();  // a queue slot freed for a blocked Submit
-    l.unlock();
+    cv_.NotifyAll();  // a queue slot freed for a blocked Submit
+    mu_.Unlock();
     if (queue_wait_hist_ != nullptr) {
       queue_wait_hist_->Record(std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() -
@@ -129,61 +132,63 @@ void RoundCloser::CloserLoop() {
     Result<RoundRelease> release = close_(batch);
     if (close_hist_ != nullptr) close_hist_->Record(close_watch.ElapsedSeconds());
     if (options_.recycle) options_.recycle(std::move(batch));
-    l.lock();
+    mu_.Lock();
     if (!release.ok()) {
       ++finished_;
       PoisonLocked(release.status());
-      cv_.notify_all();
+      cv_.NotifyAll();
       continue;
     }
     if (!error_.ok()) {  // delivery failed while we were closing
       ++finished_;
-      cv_.notify_all();
+      cv_.NotifyAll();
       continue;
     }
     if (release.value().density.empty()) {
       // Nothing to deliver (no sink was subscribed at close time); the round
       // is finished without entering the delivery stage.
       ++finished_;
-      cv_.notify_all();
+      cv_.NotifyAll();
       continue;
     }
     // The delivery queue is bounded too: a persistently slow sink eventually
     // backpressures the closer, which backpressures Submit.
-    cv_.wait(l, [this] {
-      return stop_ || !error_.ok() ||
-             releases_.size() < options_.queue_capacity;
-    });
+    while (!stop_ && error_.ok() &&
+           releases_.size() >= options_.queue_capacity) {
+      cv_.Wait(mu_);
+    }
     if (stop_ || !error_.ok()) {
       ++finished_;
-      cv_.notify_all();
-      if (stop_) return;
+      cv_.NotifyAll();
+      if (stop_) break;
       continue;
     }
     releases_.push_back(std::move(release).value());
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 void RoundCloser::DeliveryLoop() {
-  std::unique_lock<std::mutex> l(mu_);
+  mu_.Lock();
   int64_t last_t = -1;
   for (;;) {
-    cv_.wait(l, [this] { return stop_ || !releases_.empty(); });
-    if (stop_) return;
+    while (!stop_ && releases_.empty()) cv_.Wait(mu_);
+    if (stop_) break;
     RoundRelease release = std::move(releases_.front());
     releases_.pop_front();
-    cv_.notify_all();  // a delivery slot freed for the closer
-    l.unlock();
+    cv_.NotifyAll();  // a delivery slot freed for the closer
+    mu_.Unlock();
     RETRASYN_DCHECK(release.t > last_t);  // strict round order
     last_t = release.t;
     (void)last_t;
     Status st = deliver_(release);
-    l.lock();
+    mu_.Lock();
     ++finished_;
     if (!st.ok()) PoisonLocked(st);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 }  // namespace retrasyn

@@ -35,13 +35,12 @@
 #define RETRASYN_SERVICE_ROUND_CLOSER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/release_sink.h"
@@ -84,26 +83,26 @@ class RoundCloser {
   /// round state should stay un-committed), ResourceExhausted when the queue
   /// is full under BackpressurePolicy::kFailFast, and otherwise blocks until
   /// a slot frees up.
-  Status Submit(TimestampBatch batch);
+  Status Submit(TimestampBatch batch) EXCLUDES(mu_);
 
   /// Barrier: returns once every submitted round has been closed and its
   /// release delivered (or dropped by a failure). Returns the sticky
   /// pipeline error, OK otherwise. Required before SnapshotRelease().
-  Status Drain();
+  Status Drain() EXCLUDES(mu_);
 
   /// Rounds submitted but not yet fully closed + delivered. 0 after a
   /// successful Drain().
-  size_t in_flight() const;
+  size_t in_flight() const EXCLUDES(mu_);
 
   /// The sticky pipeline error (OK while healthy). Unlike Drain(), does not
   /// wait for in-flight rounds.
-  Status deferred_error() const;
+  Status deferred_error() const EXCLUDES(mu_);
 
  private:
-  void CloserLoop();
-  void DeliveryLoop();
-  /// Drops every queued round/release; called with mu_ held after a failure.
-  void PoisonLocked(const Status& error);
+  void CloserLoop() EXCLUDES(mu_);
+  void DeliveryLoop() EXCLUDES(mu_);
+  /// Drops every queued round/release after a failure.
+  void PoisonLocked(const Status& error) REQUIRES(mu_);
 
   const Options options_;
   const CloseFn close_;
@@ -124,14 +123,17 @@ class RoundCloser {
   Counter* backpressure_blocks_metric_ = nullptr;
   Counter* poisonings_metric_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< any state change; waiters re-check
-  std::deque<QueuedRound> rounds_;       ///< sealed, waiting for the closer
-  std::deque<RoundRelease> releases_;    ///< closed, waiting for delivery
-  size_t submitted_ = 0;
-  size_t finished_ = 0;  ///< delivered, failed, or dropped
-  Status error_;         ///< first failure; sticky
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;  ///< any state change; waiters re-check
+  /// Sealed rounds waiting for the closer.
+  std::deque<QueuedRound> rounds_ GUARDED_BY(mu_);
+  /// Closed releases waiting for delivery.
+  std::deque<RoundRelease> releases_ GUARDED_BY(mu_);
+  size_t submitted_ GUARDED_BY(mu_) = 0;
+  /// Delivered, failed, or dropped.
+  size_t finished_ GUARDED_BY(mu_) = 0;
+  Status error_ GUARDED_BY(mu_);  ///< first failure; sticky
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::thread closer_;
   std::thread delivery_;

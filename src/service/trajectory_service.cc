@@ -843,7 +843,7 @@ Status TrajectoryService::ReplayJournals(const std::vector<JournalScan>& scans,
 
 void TrajectoryService::AddSink(ReleaseSink* sink) {
   if (sink == nullptr) return;
-  std::lock_guard<std::mutex> l(sinks_mu_);
+  MutexLock l(sinks_mu_);
   sinks_.push_back(sink);
 }
 
@@ -902,7 +902,7 @@ Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) 
   }
   bool have_sinks;
   {
-    std::lock_guard<std::mutex> l(sinks_mu_);
+    MutexLock l(sinks_mu_);
     have_sinks = !sinks_.empty();
   }
   // With no sink subscribed at close time there is nobody to consume the
@@ -924,7 +924,7 @@ Result<RoundRelease> TrajectoryService::CloseRound(const TimestampBatch& batch) 
 Status TrajectoryService::Deliver(const RoundRelease& round) {
   std::vector<ReleaseSink*> sinks;
   {
-    std::lock_guard<std::mutex> l(sinks_mu_);
+    MutexLock l(sinks_mu_);
     sinks = sinks_;
   }
   Stopwatch deliver_watch;

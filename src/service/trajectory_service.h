@@ -39,10 +39,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "checkpoint/checkpoint_manager.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/release_sink.h"
@@ -290,13 +290,15 @@ class TrajectoryService {
   std::vector<std::unique_ptr<JournalWriter>> journals_;
   std::unique_ptr<CheckpointManager> checkpoint_;  ///< null = disabled
 
-  mutable std::mutex sinks_mu_;  ///< AddSink vs. the delivery worker
-  std::vector<ReleaseSink*> sinks_;
+  mutable Mutex sinks_mu_;  ///< AddSink vs. the delivery worker
+  std::vector<ReleaseSink*> sinks_ GUARDED_BY(sinks_mu_);
 
   std::unique_ptr<RoundCloser> closer_;  ///< null under SyncPolicy::kInline
   /// Inline-mode counterpart of the closer's sticky error: a sink failure
   /// after the engine consumed the round (failing that Tick would make a
   /// retry double-observe the batch). Surfaces on the next Tick()/Drain().
+  /// Confined to the ingest thread (inline mode runs close + delivery
+  /// there), so unguarded by design.
   Status inline_error_;
 
   // Service-level round timing (null when telemetry is off): the close and

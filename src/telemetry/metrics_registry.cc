@@ -26,6 +26,7 @@ size_t BucketFor(uint64_t nanos) {
 
 }  // namespace
 
+// HOT PATH — called per admitted event; striped relaxed add only.
 void Counter::Add(uint64_t delta) {
   cells_[ThreadStripe() % kStripes].value.fetch_add(delta,
                                                     std::memory_order_relaxed);
@@ -39,6 +40,7 @@ uint64_t Counter::Value() const {
   return total;
 }
 
+// HOT PATH — per-event high-water update; lock-free CAS loop only.
 void Gauge::SetMax(int64_t value) {
   int64_t current = value_.load(std::memory_order_relaxed);
   while (value > current &&
@@ -82,6 +84,7 @@ void LatencyHistogram::Record(double seconds) {
   RecordNanos(static_cast<uint64_t>(seconds * 1e9));
 }
 
+// HOT PATH — per-round phase timing; three relaxed adds only.
 void LatencyHistogram::RecordNanos(uint64_t nanos) {
   buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -131,7 +134,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreateLocked(
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help, Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry* entry =
       FindOrCreateLocked(name, help, MetricKind::kCounter, std::move(labels));
   return entry != nullptr ? entry->counter.get() : nullptr;
@@ -139,7 +142,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help, Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry* entry =
       FindOrCreateLocked(name, help, MetricKind::kGauge, std::move(labels));
   return entry != nullptr ? entry->gauge.get() : nullptr;
@@ -148,14 +151,14 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
                                                 const std::string& help,
                                                 Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry* entry =
       FindOrCreateLocked(name, help, MetricKind::kHistogram, std::move(labels));
   return entry != nullptr ? entry->histogram.get() : nullptr;
 }
 
 std::vector<MetricSample> MetricsRegistry::Collect() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const std::unique_ptr<Entry>& entry : entries_) {

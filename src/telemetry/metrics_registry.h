@@ -24,10 +24,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace retrasyn {
 
@@ -160,10 +161,10 @@ class MetricsRegistry {
   };
 
   Entry* FindOrCreateLocked(const std::string& name, const std::string& help,
-                            MetricKind kind, Labels&& labels);
+                            MetricKind kind, Labels&& labels) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace retrasyn

@@ -24,7 +24,7 @@ RoundTrace::RoundTrace(size_t capacity)
 
 void RoundTrace::RecordPhase(int64_t round, RoundPhase phase, double seconds) {
   if (round < 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RoundSpanSnapshot& slot = ring_[static_cast<size_t>(round) % capacity_];
   if (slot.round > round) return;  // slot already recycled for a newer round
   if (slot.round != round) {
@@ -41,7 +41,7 @@ void RoundTrace::RecordPhase(int64_t round, RoundPhase phase, double seconds) {
 std::vector<RoundSpanSnapshot> RoundTrace::Snapshot() const {
   std::vector<RoundSpanSnapshot> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const RoundSpanSnapshot& slot : ring_) {
       if (slot.round >= 0) out.push_back(slot);
     }

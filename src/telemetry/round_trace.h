@@ -15,8 +15,9 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace retrasyn {
 
@@ -58,8 +59,8 @@ class RoundTrace {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<RoundSpanSnapshot> ring_;
+  mutable Mutex mu_;
+  std::vector<RoundSpanSnapshot> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace retrasyn

@@ -9,7 +9,7 @@ Telemetry::Telemetry(size_t trace_capacity) : trace_(trace_capacity) {}
 void Telemetry::RecordFailure(const std::string& component,
                               const Status& status, int64_t round) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(failure_mu_);
+  MutexLock lock(failure_mu_);
   if (first_failure_.failed) return;
   first_failure_.failed = true;
   first_failure_.component = component;
@@ -23,7 +23,7 @@ void Telemetry::RecordFailure(const std::string& component,
 }
 
 FirstFailure Telemetry::first_failure() const {
-  std::lock_guard<std::mutex> lock(failure_mu_);
+  MutexLock lock(failure_mu_);
   return first_failure_;
 }
 

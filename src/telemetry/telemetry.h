@@ -12,10 +12,10 @@
 #define RETRASYN_TELEMETRY_TELEMETRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/round_trace.h"
@@ -66,8 +66,11 @@ class Telemetry {
  private:
   MetricsRegistry registry_;
   RoundTrace trace_;
-  mutable std::mutex failure_mu_;
-  FirstFailure first_failure_;
+  /// Leaf mutex: RecordFailure is callable while holding any component
+  /// lock (closer mu_, checkpoint mu_, shard mu); nothing is acquired under
+  /// it. See docs/concurrency.md, lock ordering.
+  mutable Mutex failure_mu_;
+  FirstFailure first_failure_ GUARDED_BY(failure_mu_);
 };
 
 }  // namespace retrasyn

@@ -1,0 +1,205 @@
+// Mutex/MutexLock/CondVar semantics: exclusion under contention, TryLock,
+// timed waits, and notify delivery. The contention tests double as the TSan
+// stress for the wrapper layer — the full suite runs under
+// -DRETRASYN_SANITIZE_THREAD=ON in CI, so a wrapper that dropped an acquire
+// or leaked ownership through CondVar's adopt-lock dance would surface here
+// as a race or a deadlock, not a flaky counter.
+
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+namespace retrasyn {
+namespace {
+
+TEST(MutexTest, ExclusionUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Mutex mu;
+  int64_t counter GUARDED_BY(mu) = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mu;
+  mu.Lock();
+  bool acquired = true;
+  std::thread contender([&]() { acquired = mu.TryLock(); });
+  contender.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, ManualLockPairsAcrossReleaseWindow) {
+  // The worker-loop shape: hold across iterations, drop mid-scope to do
+  // unlocked work, re-acquire.
+  Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+  mu.Lock();
+  value = 1;
+  mu.Unlock();
+  // <- release window: another thread can observe value == 1 here.
+  std::thread observer([&]() {
+    MutexLock lock(mu);
+    EXPECT_EQ(value, 1);
+  });
+  observer.join();
+  mu.Lock();
+  value = 2;
+  EXPECT_EQ(value, 2);
+  mu.Unlock();
+}
+
+TEST(CondVarTest, ProducerConsumerTransfersEverything) {
+  constexpr int kItems = 5000;
+  Mutex mu;
+  CondVar cv;
+  std::deque<int> queue GUARDED_BY(mu);
+  bool done GUARDED_BY(mu) = false;
+  int64_t consumed_sum = 0;
+
+  std::thread consumer([&]() {
+    for (;;) {
+      mu.Lock();
+      while (queue.empty() && !done) cv.Wait(mu);
+      if (queue.empty() && done) {
+        mu.Unlock();
+        return;
+      }
+      const int item = queue.front();
+      queue.pop_front();
+      mu.Unlock();
+      consumed_sum += item;
+    }
+  });
+
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      MutexLock lock(mu);
+      queue.push_back(i);
+    }
+    cv.NotifyOne();
+  }
+  {
+    MutexLock lock(mu);
+    done = true;
+  }
+  cv.NotifyAll();
+  consumer.join();
+  EXPECT_EQ(consumed_sum, static_cast<int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(CondVarTest, WaitForTimesOutWhenNobodyNotifies) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(20)));
+}
+
+TEST(CondVarTest, WaitForObservesSignaledPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool flag GUARDED_BY(mu) = false;
+  std::thread signaler([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      MutexLock lock(mu);
+      flag = true;
+    }
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    // Predicate loop as the header prescribes; the deadline only bounds the
+    // test, it is not part of the protocol.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!flag && std::chrono::steady_clock::now() < deadline) {
+      cv.WaitFor(mu, std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(flag);
+  }
+  signaler.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  constexpr int kWaiters = 6;
+  Mutex mu;
+  CondVar cv;
+  bool go GUARDED_BY(mu) = false;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&]() {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+TEST(MutexTest, StressManyThreadsManyMutexes) {
+  // Cross-thread, cross-mutex churn: each thread round-robins over every
+  // mutex, mixing MutexLock scopes with TryLock opportunism.
+  constexpr int kThreads = 8;
+  constexpr int kMutexes = 4;
+  constexpr int kRounds = 4000;
+  Mutex mus[kMutexes];
+  int64_t counters[kMutexes] = {0, 0, 0, 0};
+  std::atomic<int64_t> try_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kRounds; ++i) {
+        const int m = (t + i) % kMutexes;
+        if (i % 3 == 0 && mus[m].TryLock()) {
+          ++counters[m];
+          try_hits.fetch_add(1, std::memory_order_relaxed);
+          mus[m].Unlock();
+        } else {
+          MutexLock lock(mus[m]);
+          ++counters[m];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t total = 0;
+  for (int m = 0; m < kMutexes; ++m) {
+    MutexLock lock(mus[m]);
+    total += counters[m];
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace retrasyn

@@ -1,0 +1,57 @@
+// Deliberate thread-safety violations. NEVER linked into anything — the name
+// avoids the tests/*_test.cc glob on purpose. CMake registers two checks over
+// this file when the compiler is clang:
+//
+//   static_thread_safety_gate_fires    compiles it WITH -Werror=thread-safety
+//                                      and passes only if compilation FAILS
+//                                      (WILL_FAIL) — proving the CI gate
+//                                      actually rejects guarded-state abuse,
+//                                      i.e. the annotations are not silently
+//                                      expanding to nothing.
+//   static_thread_safety_control       compiles it WITHOUT the warning flags
+//                                      and must succeed — proving the gate
+//                                      test fails for the right reason (the
+//                                      analysis) and not a stray syntax error.
+//
+// Keep every violation on the list below in sync with the code; each is a
+// distinct diagnostic class the gate must catch.
+
+#include "common/mutex.h"
+
+namespace retrasyn {
+
+class Account {
+ public:
+  // Violation 1: reads a GUARDED_BY member without holding its mutex.
+  int UnguardedRead() { return balance_; }
+
+  // Violation 2: writes a GUARDED_BY member without holding its mutex.
+  void UnguardedWrite(int v) { balance_ = v; }
+
+  // Violation 3: returns with the mutex still held (unbalanced ACQUIRE).
+  void LockLeak() { mu_.Lock(); }
+
+  // Violation 4: calls a REQUIRES function without the capability.
+  void CallsLockedHelperNaked() { AddLocked(1); }
+
+  // Violation 5: double-acquires a non-reentrant mutex.
+  void DoubleLock() {
+    MutexLock outer(mu_);
+    MutexLock inner(mu_);  // self-deadlock at runtime
+    balance_ = 0;
+  }
+
+ private:
+  void AddLocked(int v) REQUIRES(mu_) { balance_ += v; }
+
+  Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the file is not "empty" under -fsyntax-only optimizations.
+int Touch(Account& a) {
+  a.UnguardedWrite(1);
+  return a.UnguardedRead();
+}
+
+}  // namespace retrasyn
